@@ -1,0 +1,99 @@
+package natpunch
+
+// The benchmark harness: one testing.B benchmark per table and figure
+// in the paper's evaluation (plus the section-level ablations), each
+// delegating to the corresponding experiment driver. Benchmarks
+// measure simulated-workload throughput (wall time per full
+// experiment run); the experiment *outputs* — the paper-shaped tables
+// — are what EXPERIMENTS.md records.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single artifact, e.g. the Table 1 survey:
+//
+//	go test -bench=BenchmarkTable1 -benchmem
+
+import (
+	"testing"
+
+	"natpunch/internal/experiments"
+)
+
+// benchExperiment runs one experiment driver per iteration with a
+// distinct seed, so allocations and runtime reflect a full fresh run.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Run(int64(i + 1))
+		if r.Table == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1NATCheckSurvey regenerates Table 1: NAT Check over
+// the full 380-device vendor population.
+func BenchmarkTable1NATCheckSurvey(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkFig1AddressRealms measures the reachability-matrix
+// experiment for Figure 1.
+func BenchmarkFig1AddressRealms(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig2Relaying measures the relaying-cost experiment.
+func BenchmarkFig2Relaying(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkFig3ConnectionReversal measures the reversal experiment.
+func BenchmarkFig3ConnectionReversal(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkFig4CommonNAT measures the common-NAT punching experiment.
+func BenchmarkFig4CommonNAT(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkFig5DifferentNATs measures the 4x4 behavior-matrix punch
+// sweep.
+func BenchmarkFig5DifferentNATs(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkFig6MultiLevelNAT measures the hairpin-dependent
+// multi-level scenario.
+func BenchmarkFig6MultiLevelNAT(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkFig7TCPPortReuse measures the socket-accounting
+// experiment.
+func BenchmarkFig7TCPPortReuse(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkFig8NATCheckUDP measures the NAT Check methodology
+// walkthrough.
+func BenchmarkFig8NATCheckUDP(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkSec43OSBehaviors measures the OS-flavor behavior sweep.
+func BenchmarkSec43OSBehaviors(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkSec44SimultaneousOpen measures the crossing-SYN scenario.
+func BenchmarkSec44SimultaneousOpen(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkSec45SequentialVsParallel measures both TCP punching
+// procedures under clean and lossy networks.
+func BenchmarkSec45SequentialVsParallel(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkSec36KeepAlives measures the keep-alive interval sweep.
+func BenchmarkSec36KeepAlives(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkSec51PortPrediction measures the symmetric-NAT prediction
+// ablation.
+func BenchmarkSec51PortPrediction(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkSec52RSTvsDrop measures punch latency under the refusal
+// modes.
+func BenchmarkSec52RSTvsDrop(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkSec53PayloadMangling measures the obfuscation ablation.
+func BenchmarkSec53PayloadMangling(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkConnectorAggregate measures the population-level connector
+// sweep.
+func BenchmarkConnectorAggregate(b *testing.B) { benchExperiment(b, "E17") }

@@ -1,0 +1,45 @@
+// Command experiments runs the paper's reproduction experiments —
+// Table 1, every figure, and the section-level ablations — printing
+// paper-style tables.
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # run everything
+//	go run ./cmd/experiments -run E1    # Table 1 survey only
+//	go run ./cmd/experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"natpunch/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by ID (e.g. E1)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *runID != "" {
+		e, ok := experiments.Lookup(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run(*seed))
+		return
+	}
+	for _, e := range experiments.All() {
+		fmt.Println(e.Run(*seed))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,69 @@
+// Command punch is the real-network hole punching client: register
+// with a rendezvous server under a name, then punch a UDP session to
+// a peer by name and exchange a greeting.
+//
+// Run the server and two clients (possibly behind different NATs):
+//
+//	go run ./cmd/rendezvous -listen 0.0.0.0:7000
+//	go run ./cmd/punch -name alice -server <server-ip>:7000 -wait
+//	go run ./cmd/punch -name bob -server <server-ip>:7000 -peer alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"natpunch/realnet"
+)
+
+func main() {
+	name := flag.String("name", "", "client name to register")
+	server := flag.String("server", "127.0.0.1:7000", "rendezvous server address")
+	peer := flag.String("peer", "", "peer name to punch to (empty: wait for peers)")
+	wait := flag.Bool("wait", false, "stay online waiting for inbound sessions")
+	timeout := flag.Duration("timeout", 15*time.Second, "punch timeout")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "-name is required")
+		os.Exit(1)
+	}
+	c, err := realnet.NewClient(*name, "0.0.0.0:0", *server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	c.OnData = func(s *realnet.Session, p []byte) {
+		fmt.Printf("[%s] %s\n", s.Peer, p)
+	}
+	c.OnSession = func(s *realnet.Session) {
+		fmt.Printf("inbound session from %s at %s\n", s.Peer, s.Remote)
+		s.Send([]byte("hello from " + *name))
+	}
+
+	pub, err := c.Register(10 * time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("registered as %q; public endpoint %s\n", *name, pub)
+
+	if *peer != "" {
+		sess, err := c.Connect(*peer, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("punched session to %s at %s\n", sess.Peer, sess.Remote)
+		sess.Send([]byte("hello from " + *name))
+		time.Sleep(2 * time.Second) // give the greeting time to land
+	}
+	if *wait {
+		fmt.Println("waiting for inbound sessions (ctrl-c to exit)")
+		select {}
+	}
+}

@@ -1,0 +1,33 @@
+// Command rendezvous runs the real-network rendezvous server over
+// UDP, the well-known server S of §3.1 that punching clients register
+// with.
+//
+// Usage:
+//
+//	go run ./cmd/rendezvous -listen 0.0.0.0:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"natpunch/realnet"
+)
+
+func main() {
+	listen := flag.String("listen", "0.0.0.0:7000", "UDP address to listen on")
+	flag.Parse()
+
+	srv, err := realnet.ListenServer(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("rendezvous server listening on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

@@ -1,0 +1,13 @@
+// Package natpunch is a reproduction of "Peer-to-Peer Communication
+// Across Network Address Translators" (Ford, Srisuresh, Kegel;
+// USENIX ATC 2005): UDP and TCP hole punching, relaying, connection
+// reversal, and the NAT Check measurement study, implemented over a
+// deterministic discrete-event network simulator with a full NAT
+// behavior model and TCP state machine.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and bench_test.go for the per-table/
+// figure benchmark harness. The library lives under internal/; the
+// runnable entry points are cmd/experiments, cmd/natcheck,
+// cmd/rendezvous, cmd/punch, and the examples/ directory.
+package natpunch

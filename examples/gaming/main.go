@@ -1,0 +1,117 @@
+// Gaming example: the online-gaming motivation from the paper's
+// introduction. Six players behind a mix of NAT types (including one
+// public host and one symmetric NAT) build a full mesh with hole
+// punching plus relay fallback, and the example prints the
+// connectivity matrix with the method used per pair.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/nat"
+	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/topo"
+)
+
+func main() {
+	in := topo.NewInternet(99)
+	core := in.CoreRealm()
+	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
+	server, err := rendezvous.New(s, 1234, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// Players: two behind cones, one full-cone, one restricted, one
+	// symmetric, one public.
+	specs := []struct {
+		name string
+		beh  *nat.Behavior
+	}{
+		{"ann", behPtr(nat.Cone())},
+		{"ben", behPtr(nat.Cone())},
+		{"cho", behPtr(nat.FullCone())},
+		{"dee", behPtr(nat.RestrictedCone())},
+		{"eve", behPtr(nat.Symmetric())},
+		{"fox", nil}, // public host
+	}
+	players := make(map[string]*punch.Client)
+	cfg := punch.Config{PunchTimeout: 4 * time.Second, RelayFallback: true}
+	for i, spec := range specs {
+		var h *host.Host
+		if spec.beh == nil {
+			h = core.AddHost(spec.name, fmt.Sprintf("80.0.0.%d", i+1), host.BSDStyle)
+		} else {
+			realm := core.AddSite("NAT-"+spec.name, *spec.beh,
+				fmt.Sprintf("60.0.%d.1", i+1), "10.0.0.0/24")
+			h = realm.AddHost(spec.name, "10.0.0.2", host.BSDStyle)
+		}
+		c := punch.NewClient(h, spec.name, server.Endpoint(), cfg)
+		c.InboundUDP = punch.UDPCallbacks{}
+		if err := c.RegisterUDP(4321, nil); err != nil {
+			panic(err)
+		}
+		players[spec.name] = c
+	}
+	in.RunFor(2 * time.Second)
+
+	// Build the mesh: every ordered pair (i<j) punches once.
+	methods := map[[2]string]punch.Method{}
+	for i, a := range specs {
+		for _, b := range specs[i+1:] {
+			key := [2]string{a.name, b.name}
+			var got *punch.UDPSession
+			players[a.name].ConnectUDP(b.name, punch.UDPCallbacks{
+				Established: func(s *punch.UDPSession) { got = s },
+			})
+			deadline := in.Net.Sched.Now() + 30*time.Second
+			in.Net.Sched.RunWhile(func() bool {
+				return got == nil && in.Net.Sched.Now() < deadline
+			})
+			if got != nil {
+				methods[key] = got.Via
+				got.Send([]byte("gg")) // game traffic over whatever path won
+			}
+		}
+	}
+
+	fmt.Println("connectivity matrix (method used per pair):")
+	fmt.Printf("%-6s", "")
+	for _, s := range specs {
+		fmt.Printf("%-9s", s.name)
+	}
+	fmt.Println()
+	total, relayCount := 0, 0
+	for i, a := range specs {
+		fmt.Printf("%-6s", a.name)
+		for j, b := range specs {
+			switch {
+			case i == j:
+				fmt.Printf("%-9s", "-")
+			case i < j:
+				m, ok := methods[[2]string{a.name, b.name}]
+				if !ok {
+					fmt.Printf("%-9s", "FAIL")
+					continue
+				}
+				total++
+				if m == punch.MethodRelay {
+					relayCount++
+				}
+				fmt.Printf("%-9s", m)
+			default:
+				fmt.Printf("%-9s", ".")
+			}
+		}
+		fmt.Println()
+	}
+	in.RunFor(2 * time.Second) // let the greetings land
+	fmt.Printf("\n%d/%d pairs connected; %d needed the relay (symmetric NAT pairs)\n",
+		total, len(specs)*(len(specs)-1)/2, relayCount)
+	fmt.Printf("server relayed %d greeting messages for the relay pairs\n", server.Stats().RelayedMessages)
+}
+
+func behPtr(b nat.Behavior) *nat.Behavior { return &b }

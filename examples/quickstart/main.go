@@ -1,0 +1,76 @@
+// Quickstart: two clients behind different (well-behaved) NATs
+// establish a direct UDP session via hole punching and exchange
+// messages — the paper's Figure 5 scenario end to end.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"natpunch/internal/nat"
+	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/topo"
+)
+
+func main() {
+	// The paper's canonical topology: server S at 18.181.0.31,
+	// client A (10.0.0.1) behind NAT A (155.99.25.11), client B
+	// (10.1.1.3) behind NAT B (138.76.29.7).
+	world := topo.NewCanonical(42, nat.Cone(), nat.Cone())
+	server, err := rendezvous.New(world.S, 1234, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	alice := punch.NewClient(world.A, "alice", server.Endpoint(), punch.Config{})
+	bob := punch.NewClient(world.B, "bob", server.Endpoint(), punch.Config{})
+
+	// Both register from local port 4321 (the paper's example port).
+	check(alice.RegisterUDP(4321, nil))
+	check(bob.RegisterUDP(4321, nil))
+	world.RunFor(time.Second)
+	fmt.Printf("alice: private %v -> public %v\n", alice.PrivateUDP(), alice.PublicUDP())
+	fmt.Printf("bob:   private %v -> public %v\n", bob.PrivateUDP(), bob.PublicUDP())
+
+	// Bob accepts inbound sessions and echoes greetings.
+	bob.InboundUDP = punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) {
+			fmt.Printf("bob: session from %s via %s endpoint %v\n", s.Peer, s.Via, s.Remote)
+		},
+		Data: func(s *punch.UDPSession, p []byte) {
+			fmt.Printf("bob: received %q\n", p)
+			s.Send([]byte("hi alice, punching works"))
+		},
+	}
+
+	// Alice punches through to bob.
+	var session *punch.UDPSession
+	alice.ConnectUDP("bob", punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) {
+			session = s
+			fmt.Printf("alice: session to %s via %s endpoint %v\n", s.Peer, s.Via, s.Remote)
+			s.Send([]byte("hello through the NATs!"))
+		},
+		Data: func(s *punch.UDPSession, p []byte) {
+			fmt.Printf("alice: received %q\n", p)
+		},
+		Failed: func(peer string, err error) {
+			fmt.Printf("alice: punch to %s failed: %v\n", peer, err)
+		},
+	})
+
+	world.RunFor(30 * time.Second)
+	if session == nil {
+		fmt.Println("no session established")
+		return
+	}
+	fmt.Printf("done: %d datagrams sent, %d received on alice's session\n",
+		session.SentDatagrams, session.RecvDatagrams)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

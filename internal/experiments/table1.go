@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"natpunch/internal/host"
+	"natpunch/internal/natcheck"
+	"natpunch/internal/topo"
+	"natpunch/internal/vendors"
+)
+
+// checkDevice runs a full NAT Check against one simulated device,
+// each in a fresh isolated topology (the survey's volunteers each ran
+// against their own NAT).
+func checkDevice(seed int64, dev vendors.Device) natcheck.Report {
+	in := topo.NewInternet(seed)
+	core := in.CoreRealm()
+	s1 := core.AddHost("s1", "18.181.0.31", host.BSDStyle)
+	s2 := core.AddHost("s2", "18.181.0.32", host.BSDStyle)
+	s3 := core.AddHost("s3", "18.181.0.33", host.BSDStyle)
+	sv, err := natcheck.NewServers(s1, s2, s3)
+	must(err)
+	realm := core.AddSite("NAT", dev.Behavior, "155.99.25.11", "10.0.0.0/24")
+	client := realm.AddHost("C", "10.0.0.1", host.BSDStyle)
+	var report natcheck.Report
+	must(natcheck.Run(client, sv, 4321, func(r natcheck.Report) { report = r }))
+	in.RunFor(natcheck.CheckDuration + 10e9)
+	return report
+}
+
+// Table1Survey regenerates Table 1: every vendor row's device
+// population is generated from the paper's marginal counts, NAT Check
+// runs against each device, and the measured tallies are printed next
+// to the paper's cells. A reproduction mismatch would mean our NAT
+// Check misclassifies a configured behavior.
+func Table1Survey(seed int64) Result {
+	header := []string{"NAT", "UDP punch", "(paper)", "UDP hairpin", "(paper)", "TCP punch", "(paper)", "TCP hairpin", "(paper)"}
+	var rows [][]string
+	mismatches := 0
+	devicesRun := 0
+
+	all := vendors.NewTally("All Vendors (measured)", false)
+	section := ""
+	for _, row := range vendors.AllRows() {
+		if row.Hardware && section != "hw" {
+			section = "hw"
+			rows = append(rows, []string{"-- NAT Hardware --", "", "", "", "", "", "", "", ""})
+		} else if !row.Hardware && section != "os" {
+			section = "os"
+			rows = append(rows, []string{"-- OS-based NAT --", "", "", "", "", "", "", "", ""})
+		}
+		tally := vendors.NewTally(row.Name, row.Hardware)
+		for i, dev := range vendors.Devices(row) {
+			r := checkDevice(seed+int64(i), dev)
+			devicesRun++
+			tally.Add(dev, r.SupportsUDPPunch(), r.UDPHairpin, r.SupportsTCPPunch(), r.TCPHairpin)
+		}
+		m := tally.Row
+		if m.UDPPunch != row.UDPPunch || m.UDPHairpin != row.UDPHairpin ||
+			m.TCPPunch != row.TCPPunch || m.TCPHairpin != row.TCPHairpin {
+			mismatches++
+		}
+		all.Merge(m)
+		rows = append(rows, []string{
+			row.Name,
+			m.UDPPunch.String(), row.UDPPunch.String(),
+			m.UDPHairpin.String(), row.UDPHairpin.String(),
+			m.TCPPunch.String(), row.TCPPunch.String(),
+			m.TCPHairpin.String(), row.TCPHairpin.String(),
+		})
+	}
+	paper := vendors.PaperAllVendors
+	rows = append(rows, []string{
+		"All Vendors",
+		all.Row.UDPPunch.String(), paper.UDPPunch.String(),
+		all.Row.UDPHairpin.String(), paper.UDPHairpin.String(),
+		all.Row.TCPPunch.String(), paper.TCPPunch.String(),
+		all.Row.TCPHairpin.String(), paper.TCPHairpin.String(),
+	})
+
+	return Result{
+		ID:    "E1",
+		Title: "Table 1 — user reports of NAT support for UDP and TCP hole punching",
+		Table: table(header, rows),
+		Notes: []string{
+			fmt.Sprintf("%d simulated devices checked; %d row mismatches against the paper's cells", devicesRun, mismatches),
+			"measured All-Vendors TCP hairpin is 40/286 vs the paper's printed 37/286: the printed per-vendor cells sum to 40 (see DESIGN.md)",
+			"the 'Other' residual bucket models the paper's unlisted small vendors so totals balance",
+		},
+		Metrics: map[string]float64{
+			"devices":             float64(devicesRun),
+			"row_mismatches":      float64(mismatches),
+			"udp_punch_pct":       float64(all.Row.UDPPunch.Pct()),
+			"tcp_punch_pct":       float64(all.Row.TCPPunch.Pct()),
+			"udp_hairpin_pct":     float64(all.Row.UDPHairpin.Pct()),
+			"tcp_hairpin_pct":     float64(all.Row.TCPHairpin.Pct()),
+			"paper_udp_punch_pct": 82,
+			"paper_tcp_punch_pct": 64,
+		},
+	}
+}

@@ -1,0 +1,400 @@
+package host
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+	"natpunch/internal/tcp"
+)
+
+// twoHosts builds a public segment with two directly-connected hosts.
+func twoHosts(t *testing.T, flavorA, flavorB OSFlavor) (*sim.Network, *Host, *Host) {
+	t.Helper()
+	n := sim.NewNetwork(1)
+	core := n.NewSegment("core", "0.0.0.0/0", 5*time.Millisecond)
+	a := New(n, "A", flavorA)
+	b := New(n, "B", flavorB)
+	a.Attach(core, inet.MustParseAddr("1.0.0.1"))
+	b.Attach(core, inet.MustParseAddr("1.0.0.2"))
+	return n, a, b
+}
+
+func TestUDPExchange(t *testing.T) {
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	sa, err := a.UDPBind(4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.UDPBind(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotFrom inet.Endpoint
+	var gotData []byte
+	sb.OnRecv(func(from inet.Endpoint, p []byte) {
+		gotFrom, gotData = from, p
+		sb.SendTo(from, []byte("pong"))
+	})
+	var reply []byte
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { reply = p })
+
+	sa.SendTo(sb.Local(), []byte("ping"))
+	n.Sched.Run()
+
+	if string(gotData) != "ping" || gotFrom != sa.Local() {
+		t.Fatalf("b got %q from %v", gotData, gotFrom)
+	}
+	if string(reply) != "pong" {
+		t.Fatalf("a got %q", reply)
+	}
+}
+
+func TestUDPBindConflictsAndEphemeral(t *testing.T) {
+	_, a, _ := twoHosts(t, BSDStyle, BSDStyle)
+	if _, err := a.UDPBind(4321); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.UDPBind(4321); err != ErrAddrInUse {
+		t.Errorf("duplicate bind = %v, want ErrAddrInUse", err)
+	}
+	s1, err := a.UDPBind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.UDPBind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Local().Port == s2.Local().Port {
+		t.Error("ephemeral ports collide")
+	}
+	if s1.Local().Port < 49152 {
+		t.Errorf("ephemeral port %d below range", s1.Local().Port)
+	}
+	s1.Close()
+	if err := s1.SendTo(s2.Local(), []byte("x")); err != ErrSocketClose {
+		t.Errorf("send on closed socket = %v", err)
+	}
+	// Port is free again.
+	if _, err := a.UDPBind(s1.Local().Port); err != nil {
+		t.Errorf("rebind after close = %v", err)
+	}
+}
+
+func TestUDPToClosedPortGetsICMP(t *testing.T) {
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	sa, _ := a.UDPBind(100)
+	var icmpAbout inet.Endpoint
+	var icmpErr error
+	sa.OnError(func(about inet.Endpoint, err error) { icmpAbout, icmpErr = about, err })
+	dead := inet.Endpoint{Addr: b.Addr(), Port: 999}
+	sa.SendTo(dead, []byte("anyone?"))
+	n.Sched.Run()
+	if icmpErr == nil || icmpAbout != dead {
+		t.Fatalf("expected ICMP error about %v, got %v/%v", dead, icmpAbout, icmpErr)
+	}
+	// Silent mode: no ICMP.
+	b.SilentToClosedPorts = true
+	icmpErr = nil
+	sa.SendTo(dead, []byte("anyone?"))
+	n.Sched.Run()
+	if icmpErr != nil {
+		t.Error("silent host still sent ICMP")
+	}
+}
+
+func TestTCPConnectAcceptAndTransfer(t *testing.T) {
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	var accepted *tcp.Conn
+	var serverGot bytes.Buffer
+	_, err := b.TCPListen(80, false, func(c *tcp.Conn) {
+		accepted = c
+		c.OnData(func(_ *tcp.Conn, p []byte) {
+			serverGot.Write(p)
+			c.Write([]byte("ack:" + string(p)))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var clientGot bytes.Buffer
+	established := false
+	conn, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 80}, DialOpts{}, tcp.Callbacks{
+		Established: func(c *tcp.Conn) { established = true; c.Write([]byte("hello")) },
+		Data:        func(_ *tcp.Conn, p []byte) { clientGot.Write(p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sched.RunFor(2 * time.Second)
+
+	if !established || !accepted.Accepted {
+		t.Fatal("handshake incomplete")
+	}
+	if serverGot.String() != "hello" || clientGot.String() != "ack:hello" {
+		t.Fatalf("server=%q client=%q", serverGot.String(), clientGot.String())
+	}
+	conn.Close()
+	accepted.Close()
+	n.Sched.RunFor(10 * time.Second)
+	if a.TCPConnCount() != 0 || b.TCPConnCount() != 0 {
+		t.Errorf("conn leak: a=%d b=%d", a.TCPConnCount(), b.TCPConnCount())
+	}
+	if a.TCPBoundPorts() != 0 {
+		t.Errorf("port leak on a: %d", a.TCPBoundPorts())
+	}
+}
+
+func TestTCPConnectToClosedPortResets(t *testing.T) {
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	var gotErr error
+	_, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 81}, DialOpts{}, tcp.Callbacks{
+		Error: func(_ *tcp.Conn, e error) { gotErr = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sched.RunFor(time.Second)
+	if !errors.Is(gotErr, tcp.ErrReset) {
+		t.Fatalf("err = %v, want reset", gotErr)
+	}
+}
+
+func TestTCPConnectToDeadAddressUnreachable(t *testing.T) {
+	n, a, _ := twoHosts(t, BSDStyle, BSDStyle)
+	var gotErr error
+	_, err := a.TCPDial(inet.EP("1.0.0.99", 80), DialOpts{}, tcp.Callbacks{
+		Error: func(_ *tcp.Conn, e error) { gotErr = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sched.RunFor(time.Second)
+	if !errors.Is(gotErr, tcp.ErrUnreachable) {
+		t.Fatalf("err = %v, want unreachable", gotErr)
+	}
+}
+
+func TestReuseAddrSemantics(t *testing.T) {
+	// §4.1: one local port must support a listener plus multiple
+	// outbound connections, but only when every socket sets the reuse
+	// flag.
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	b.TCPListen(80, false, nil)
+	b.TCPListen(81, false, nil)
+
+	// Without reuse: second binder fails.
+	if _, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 80}, DialOpts{LocalPort: 4321}, tcp.Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 81}, DialOpts{LocalPort: 4321}, tcp.Callbacks{}); err != ErrAddrInUse {
+		t.Fatalf("second bind without reuse = %v, want ErrAddrInUse", err)
+	}
+	n.Sched.RunFor(time.Second)
+
+	// With reuse on all: listener + two dials share port 5000.
+	if _, err := a.TCPListen(5000, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 80}, DialOpts{LocalPort: 5000, ReuseAddr: true}, tcp.Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 81}, DialOpts{LocalPort: 5000, ReuseAddr: true}, tcp.Callbacks{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same 4-tuple twice: refused regardless of reuse.
+	if _, err := a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 81}, DialOpts{LocalPort: 5000, ReuseAddr: true}, tcp.Callbacks{}); err != ErrAddrInUse {
+		t.Fatalf("duplicate 4-tuple = %v, want ErrAddrInUse", err)
+	}
+	// Mixed flags: a non-reuse dial from a reused port fails.
+	if _, err := a.TCPDial(inet.EP("1.0.0.2", 82), DialOpts{LocalPort: 5000}, tcp.Callbacks{}); err != ErrAddrInUse {
+		t.Fatalf("non-reuse bind on reused port = %v, want ErrAddrInUse", err)
+	}
+	n.Sched.RunFor(2 * time.Second)
+}
+
+func TestDuplicateListenerRefused(t *testing.T) {
+	_, a, _ := twoHosts(t, BSDStyle, BSDStyle)
+	if _, err := a.TCPListen(80, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TCPListen(80, true, nil); err != ErrAddrInUse {
+		t.Errorf("second listener = %v, want ErrAddrInUse", err)
+	}
+}
+
+// simultaneousDial has A and B dial each other's exact endpoints at
+// the same instant from bound ports, with listeners present — the
+// §4.3/§4.4 situation hole punching creates.
+func simultaneousDial(t *testing.T, flavorA, flavorB OSFlavor) (accA, accB, conA, conB *tcp.Conn, errA, errB error) {
+	t.Helper()
+	n, a, b := twoHosts(t, flavorA, flavorB)
+	epA := inet.Endpoint{Addr: a.Addr(), Port: 4321}
+	epB := inet.Endpoint{Addr: b.Addr(), Port: 4321}
+
+	if _, err := a.TCPListen(4321, true, func(c *tcp.Conn) { accA = c }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TCPListen(4321, true, func(c *tcp.Conn) { accB = c }); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.TCPDial(epB, DialOpts{LocalPort: 4321, ReuseAddr: true}, tcp.Callbacks{
+		Established: func(c *tcp.Conn) { conA = c },
+		Error:       func(_ *tcp.Conn, e error) { errA = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.TCPDial(epA, DialOpts{LocalPort: 4321, ReuseAddr: true}, tcp.Callbacks{
+		Established: func(c *tcp.Conn) { conB = c },
+		Error:       func(_ *tcp.Conn, e error) { errB = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ca
+	n.Sched.RunFor(5 * time.Second)
+	return
+}
+
+func TestSimultaneousOpenBSDFlavor(t *testing.T) {
+	// BSD behavior (§4.3 first bullet): the SYNs cross; each side's
+	// connect() succeeds on the connecting socket; listeners see
+	// nothing.
+	accA, accB, conA, conB, errA, errB := simultaneousDial(t, BSDStyle, BSDStyle)
+	if conA == nil || conB == nil {
+		t.Fatalf("connects did not complete: a=%v b=%v errs a=%v b=%v", conA, conB, errA, errB)
+	}
+	if accA != nil || accB != nil {
+		t.Errorf("listeners fired on BSD flavor: a=%v b=%v", accA, accB)
+	}
+	if conA.Accepted || conB.Accepted {
+		t.Error("BSD conns should not be marked accepted")
+	}
+}
+
+func TestSimultaneousOpenLinuxFlavor(t *testing.T) {
+	// Linux/Windows behavior (§4.3 second bullet): each side's listen
+	// socket claims the crossing SYN; accept() delivers the working
+	// stream and connect() fails with address-in-use. The paper:
+	// "as if this TCP stream had magically created itself".
+	accA, accB, conA, conB, errA, errB := simultaneousDial(t, LinuxStyle, LinuxStyle)
+	if accA == nil || accB == nil {
+		t.Fatalf("accepts missing: a=%v b=%v", accA, accB)
+	}
+	if !accA.Accepted || !accB.Accepted {
+		t.Error("accepted conns not flagged")
+	}
+	if conA != nil || conB != nil {
+		t.Errorf("connect succeeded on Linux flavor: a=%v b=%v", conA, conB)
+	}
+	if !errors.Is(errA, tcp.ErrAddrInUse) || !errors.Is(errB, tcp.ErrAddrInUse) {
+		t.Errorf("connect errors = %v / %v, want address-in-use", errA, errB)
+	}
+	if accA.State() != tcp.Established || accB.State() != tcp.Established {
+		t.Errorf("accepted states: %v / %v", accA.State(), accB.State())
+	}
+}
+
+func TestMixedFlavors(t *testing.T) {
+	// One BSD host, one Linux host: both must still end up with a
+	// working stream (connect-side on BSD, accept-side on Linux).
+	accA, accB, conA, conB, _, _ := simultaneousDial(t, BSDStyle, LinuxStyle)
+	aStream := conA
+	if aStream == nil {
+		aStream = accA
+	}
+	bStream := conB
+	if bStream == nil {
+		bStream = accB
+	}
+	if aStream == nil || bStream == nil {
+		t.Fatal("mixed flavors failed to produce streams on both sides")
+	}
+}
+
+func TestLinuxFlavorDataFlowsAfterAccept(t *testing.T) {
+	// Data written on the BSD side must arrive at the Linux side's
+	// accepted socket.
+	n, a, b := twoHosts(t, BSDStyle, LinuxStyle)
+	epA := inet.Endpoint{Addr: a.Addr(), Port: 4321}
+	epB := inet.Endpoint{Addr: b.Addr(), Port: 4321}
+	var got bytes.Buffer
+	a.TCPListen(4321, true, nil)
+	b.TCPListen(4321, true, func(c *tcp.Conn) {
+		c.OnData(func(_ *tcp.Conn, p []byte) { got.Write(p) })
+	})
+	var aConn *tcp.Conn
+	aConn, _ = a.TCPDial(epB, DialOpts{LocalPort: 4321, ReuseAddr: true}, tcp.Callbacks{
+		Established: func(c *tcp.Conn) { c.Write([]byte("punched!")) },
+	})
+	b.TCPDial(epA, DialOpts{LocalPort: 4321, ReuseAddr: true}, tcp.Callbacks{})
+	n.Sched.RunFor(5 * time.Second)
+	_ = aConn
+	if got.String() != "punched!" {
+		t.Fatalf("linux side got %q", got.String())
+	}
+}
+
+func TestEphemeralExhaustion(t *testing.T) {
+	_, a, _ := twoHosts(t, BSDStyle, BSDStyle)
+	// Exhaust the UDP ephemeral range.
+	for i := 0; i < 16384; i++ {
+		if _, err := a.UDPBind(0); err != nil {
+			t.Fatalf("bind %d failed early: %v", i, err)
+		}
+	}
+	if _, err := a.UDPBind(0); err != ErrNoPorts {
+		t.Errorf("exhausted bind = %v, want ErrNoPorts", err)
+	}
+}
+
+func TestDetachedHostErrors(t *testing.T) {
+	n := sim.NewNetwork(1)
+	h := New(n, "lonely", BSDStyle)
+	if _, err := h.UDPBind(1); err != ErrNoRoute {
+		t.Errorf("UDPBind = %v", err)
+	}
+	if _, err := h.TCPListen(1, false, nil); err != ErrNoRoute {
+		t.Errorf("TCPListen = %v", err)
+	}
+	if _, err := h.TCPDial(inet.EP("1.2.3.4", 5), DialOpts{}, tcp.Callbacks{}); err != ErrNoRoute {
+		t.Errorf("TCPDial = %v", err)
+	}
+	if h.Addr() != inet.Unspecified {
+		t.Error("detached host has an address")
+	}
+}
+
+func TestListenerCloseStopsAccepts(t *testing.T) {
+	n, a, b := twoHosts(t, BSDStyle, BSDStyle)
+	var accepted int
+	l, _ := b.TCPListen(80, false, func(*tcp.Conn) { accepted++ })
+	l.Close()
+	var gotErr error
+	a.TCPDial(inet.Endpoint{Addr: b.Addr(), Port: 80}, DialOpts{}, tcp.Callbacks{
+		Error: func(_ *tcp.Conn, e error) { gotErr = e },
+	})
+	n.Sched.RunFor(time.Second)
+	if accepted != 0 {
+		t.Error("closed listener accepted")
+	}
+	if !errors.Is(gotErr, tcp.ErrReset) {
+		t.Errorf("dial to closed listener = %v, want reset", gotErr)
+	}
+	// Port is free for a fresh listener.
+	if _, err := b.TCPListen(80, false, nil); err != nil {
+		t.Errorf("rebind after listener close: %v", err)
+	}
+}
+
+func TestOSFlavorString(t *testing.T) {
+	if BSDStyle.String() != "BSD" || LinuxStyle.String() != "Linux" {
+		t.Error("flavor names wrong")
+	}
+}

@@ -1,0 +1,239 @@
+package host
+
+import (
+	"natpunch/internal/inet"
+	"natpunch/internal/tcp"
+)
+
+// TCPListener accepts incoming TCP connections on a local port.
+type TCPListener struct {
+	h        *Host
+	port     inet.Port
+	reuse    bool
+	onAccept func(*tcp.Conn)
+	closed   bool
+}
+
+// DialOpts configures an outgoing TCP connection attempt.
+type DialOpts struct {
+	// LocalPort fixes the local port; 0 allocates an ephemeral port.
+	// TCP hole punching requires dialing from the same local port used
+	// to register with the rendezvous server (§4.2 step 3).
+	LocalPort inet.Port
+	// ReuseAddr corresponds to SO_REUSEADDR (+SO_REUSEPORT on BSD):
+	// binding multiple sockets to one local port is allowed only when
+	// every socket involved sets it (§4.1).
+	ReuseAddr bool
+}
+
+// TCPListen opens a listening socket on port (0 allocates ephemeral).
+// onAccept fires once per accepted connection, after its handshake
+// completes; the application installs data callbacks on the conn from
+// inside onAccept.
+func (h *Host) TCPListen(port inet.Port, reuse bool, onAccept func(*tcp.Conn)) (*TCPListener, error) {
+	if len(h.ifcs) == 0 {
+		return nil, ErrNoRoute
+	}
+	if port == 0 {
+		p, err := h.allocEphemeral(func(p inet.Port) bool { return h.tcpBinds[p] != nil })
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	}
+	if _, dup := h.listeners[port]; dup {
+		return nil, ErrAddrInUse
+	}
+	if err := h.bindTCP(port, reuse); err != nil {
+		return nil, err
+	}
+	l := &TCPListener{h: h, port: port, reuse: reuse, onAccept: onAccept}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listener's bound port.
+func (l *TCPListener) Port() inet.Port { return l.port }
+
+// Local returns the listener's bound endpoint.
+func (l *TCPListener) Local() inet.Endpoint {
+	return inet.Endpoint{Addr: l.h.Addr(), Port: l.port}
+}
+
+// Close stops accepting. Established connections are unaffected.
+func (l *TCPListener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.h.listeners, l.port)
+	l.h.unbindTCP(l.port)
+}
+
+// TCPDial starts an active open to remote and returns the connection,
+// which will be in SYN-SENT until the handshake completes (watch
+// cb.Established / cb.Error).
+func (h *Host) TCPDial(remote inet.Endpoint, opts DialOpts, cb tcp.Callbacks) (*tcp.Conn, error) {
+	if len(h.ifcs) == 0 {
+		return nil, ErrNoRoute
+	}
+	port := opts.LocalPort
+	if port == 0 {
+		p, err := h.allocEphemeral(func(p inet.Port) bool { return h.tcpBinds[p] != nil })
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	}
+	local := inet.Endpoint{Addr: h.Addr(), Port: port}
+	sess := inet.Session{Local: local, Remote: remote}
+	if _, dup := h.tcpConns[sess]; dup {
+		return nil, ErrAddrInUse
+	}
+	if err := h.bindTCP(port, opts.ReuseAddr); err != nil {
+		return nil, err
+	}
+	c := h.newConn(local, remote, h.net.Sched.Rand().Uint32(), cb)
+	h.tcpConns[sess] = c
+	c.Open()
+	return c, nil
+}
+
+// newConn builds a tcp.Conn wired to this host's clock, output path,
+// and demux table.
+func (h *Host) newConn(local, remote inet.Endpoint, iss uint32, cb tcp.Callbacks) *tcp.Conn {
+	env := tcp.Env{
+		Now:   h.net.Sched.Now,
+		After: h.net.Sched.After,
+		Send:  h.send,
+		Remove: func(c *tcp.Conn) {
+			sess := c.Session()
+			if h.tcpConns[sess] == c {
+				delete(h.tcpConns, sess)
+				h.unbindTCP(sess.Local.Port)
+			}
+		},
+	}
+	return tcp.NewConn(env, h.TCPConfig, local, remote, iss, cb)
+}
+
+// bindTCP records a binder on the port, enforcing SO_REUSEADDR rules.
+func (h *Host) bindTCP(port inet.Port, reuse bool) error {
+	b := h.tcpBinds[port]
+	if b == nil {
+		h.tcpBinds[port] = &bindState{refs: 1, reuseAll: reuse}
+		return nil
+	}
+	if !b.reuseAll || !reuse {
+		return ErrAddrInUse
+	}
+	b.refs++
+	return nil
+}
+
+// bindTCPChild records a listener-spawned connection on the port.
+// Accepted connections always share their listener's port; the
+// SO_REUSEADDR rules of bindTCP apply only to explicit application
+// binds (§4.1).
+func (h *Host) bindTCPChild(port inet.Port) {
+	b := h.tcpBinds[port]
+	if b == nil {
+		h.tcpBinds[port] = &bindState{refs: 1}
+		return
+	}
+	b.refs++
+}
+
+func (h *Host) unbindTCP(port inet.Port) {
+	b := h.tcpBinds[port]
+	if b == nil {
+		return
+	}
+	b.refs--
+	if b.refs <= 0 {
+		delete(h.tcpBinds, port)
+	}
+}
+
+// receiveTCP demultiplexes an incoming segment, implementing the §4.3
+// OS-flavor split for SYNs that match an in-progress connect.
+func (h *Host) receiveTCP(pkt *inet.Packet) {
+	sess := inet.Session{Local: pkt.Dst, Remote: pkt.Src}
+	conn, haveConn := h.tcpConns[sess]
+	bareSYN := pkt.Flags.Has(inet.FlagSYN) && !pkt.Flags.Has(inet.FlagACK)
+	listener, haveListener := h.listeners[pkt.Dst.Port]
+	if haveListener && listener.closed {
+		haveListener = false
+	}
+
+	if haveConn {
+		if bareSYN && conn.State() == tcp.SynSent && h.flavor == LinuxStyle && haveListener {
+			// Linux/Windows behavior (§4.3): the listen socket wins.
+			// A new socket is created for the incoming SYN and will be
+			// delivered via accept(); the in-progress connect() on the
+			// same 4-tuple fails with "address in use".
+			delete(h.tcpConns, sess) // detach before failing so Remove doesn't clobber
+			h.unbindTCP(sess.Local.Port)
+			// The child inherits the displaced connect socket's ISS so
+			// its SYN-ACK "replays A's original outbound SYN, using
+			// the same sequence number" (§4.3) — this is what lets a
+			// simultaneous open converge even when both sides take
+			// the accept() path (§4.4).
+			h.passiveOpen(listener, sess, pkt, conn.ISS())
+			conn.FailAddrInUse()
+			return
+		}
+		conn.Deliver(pkt)
+		return
+	}
+
+	if bareSYN && haveListener {
+		h.passiveOpen(listener, sess, pkt, h.net.Sched.Rand().Uint32())
+		return
+	}
+
+	// No socket wants this segment: answer with RST (unless it is
+	// itself an RST, or the host is configured silent).
+	if pkt.Flags.Has(inet.FlagRST) || h.SilentToClosedPorts {
+		return
+	}
+	h.sendRSTFor(pkt)
+}
+
+// passiveOpen creates a listener child connection from an incoming
+// SYN.
+func (h *Host) passiveOpen(l *TCPListener, sess inet.Session, syn *inet.Packet, iss uint32) {
+	h.bindTCPChild(sess.Local.Port)
+	child := h.newConn(sess.Local, sess.Remote, iss, tcp.Callbacks{
+		Established: func(c *tcp.Conn) {
+			if l.onAccept != nil {
+				l.onAccept(c)
+			}
+		},
+	})
+	h.tcpConns[sess] = child
+	child.OpenPassive(syn)
+}
+
+// sendRSTFor answers an unwanted segment with a reset, the behavior
+// §5.2 notes NATs should *not* mimic for unsolicited SYNs — but end
+// hosts legitimately do.
+func (h *Host) sendRSTFor(pkt *inet.Packet) {
+	rst := &inet.Packet{
+		Proto: inet.TCP, Src: pkt.Dst, Dst: pkt.Src, TTL: inet.DefaultTTL,
+		Flags: inet.FlagRST | inet.FlagACK,
+		Ack:   pkt.Seq + 1,
+	}
+	if pkt.Flags.Has(inet.FlagACK) {
+		rst.Flags = inet.FlagRST
+		rst.Seq = pkt.Ack
+	}
+	h.send(rst)
+}
+
+// TCPConnCount reports the number of live TCP connections, for the
+// Figure 7 socket-accounting experiment and leak checks.
+func (h *Host) TCPConnCount() int { return len(h.tcpConns) }
+
+// TCPBoundPorts reports how many distinct local TCP ports are bound.
+func (h *Host) TCPBoundPorts() int { return len(h.tcpBinds) }

@@ -1,0 +1,322 @@
+// Package nat implements the simulated NAT/NAPT device, covering
+// every behavioral axis the paper identifies as relevant to hole
+// punching (§5):
+//
+//   - mapping policy: endpoint-independent ("cone", §5.1) vs.
+//     address-dependent vs. address-and-port-dependent ("symmetric");
+//   - filtering policy: endpoint-independent (full cone) vs. address-
+//     restricted vs. port-restricted;
+//   - port allocation: preserving, sequential, or random — sequential
+//     allocation is what makes symmetric NATs partially predictable
+//     (§5.1's port prediction variants);
+//   - unsolicited inbound TCP handling: silent drop (the §5.2 "good"
+//     behavior) vs. RST vs. ICMP error;
+//   - hairpin (loopback) translation per protocol (§3.5, §5.4);
+//   - blind payload address rewriting (§3.1, §5.3);
+//   - per-session idle timers for UDP (§3.6) and TCP state tracking.
+package nat
+
+import (
+	"fmt"
+	"time"
+
+	"natpunch/internal/inet"
+)
+
+// MappingPolicy determines when a NAT reuses an existing public
+// endpoint for a private endpoint (RFC 4787 terminology; §5.1).
+type MappingPolicy uint8
+
+// Mapping policies.
+const (
+	// MappingEndpointIndependent reuses one public endpoint for all
+	// sessions from a private endpoint — the "cone NAT" of RFC 3489,
+	// the paper's primary precondition for hole punching (§5.1).
+	MappingEndpointIndependent MappingPolicy = iota
+	// MappingAddressDependent allocates per remote IP address.
+	MappingAddressDependent
+	// MappingAddressPortDependent allocates per remote endpoint — the
+	// "symmetric NAT" that defeats basic hole punching (§5.1).
+	MappingAddressPortDependent
+)
+
+// String names the policy.
+func (p MappingPolicy) String() string {
+	switch p {
+	case MappingEndpointIndependent:
+		return "endpoint-independent (cone)"
+	case MappingAddressDependent:
+		return "address-dependent"
+	case MappingAddressPortDependent:
+		return "address+port-dependent (symmetric)"
+	}
+	return fmt.Sprintf("mapping(%d)", uint8(p))
+}
+
+// FilteringPolicy determines which inbound packets a mapping accepts.
+type FilteringPolicy uint8
+
+// Filtering policies.
+const (
+	// FilterEndpointIndependent accepts anything addressed to the
+	// mapped public endpoint ("full cone"). NAT Check's filtering test
+	// detects this as "does not filter unsolicited traffic" (§6.1.1).
+	FilterEndpointIndependent FilteringPolicy = iota
+	// FilterAddressDependent accepts from any port of a previously
+	// contacted remote address ("restricted cone").
+	FilterAddressDependent
+	// FilterAddressPortDependent accepts only from exactly contacted
+	// remote endpoints ("port-restricted cone") — the strictest
+	// filtering that still permits hole punching.
+	FilterAddressPortDependent
+)
+
+// String names the policy.
+func (p FilteringPolicy) String() string {
+	switch p {
+	case FilterEndpointIndependent:
+		return "endpoint-independent (none)"
+	case FilterAddressDependent:
+		return "address-dependent"
+	case FilterAddressPortDependent:
+		return "address+port-dependent"
+	}
+	return fmt.Sprintf("filter(%d)", uint8(p))
+}
+
+// PortAlloc selects how public ports are chosen for new mappings.
+type PortAlloc uint8
+
+// Port allocation strategies.
+const (
+	// PortSequential hands out consecutive ports from PortBase — the
+	// paper's examples (62000, 62005) and the predictable behavior
+	// port prediction exploits (§5.1).
+	PortSequential PortAlloc = iota
+	// PortPreserving tries to reuse the private port number, falling
+	// back to sequential on conflict.
+	PortPreserving
+	// PortRandom draws uniformly from the dynamic range.
+	PortRandom
+)
+
+// String names the strategy.
+func (p PortAlloc) String() string {
+	switch p {
+	case PortSequential:
+		return "sequential"
+	case PortPreserving:
+		return "preserving"
+	case PortRandom:
+		return "random"
+	}
+	return fmt.Sprintf("alloc(%d)", uint8(p))
+}
+
+// TCPRefusal is a NAT's response to an unsolicited inbound TCP SYN
+// (§5.2).
+type TCPRefusal uint8
+
+// Refusal modes.
+const (
+	// RefuseDrop silently discards — the behavior §5.2 asks of
+	// P2P-friendly NATs.
+	RefuseDrop TCPRefusal = iota
+	// RefuseRST actively rejects with a TCP RST, which disturbs but
+	// does not necessarily kill hole punching (clients retry).
+	RefuseRST
+	// RefuseICMP sends an ICMP admin-prohibited error.
+	RefuseICMP
+)
+
+// String names the mode.
+func (r TCPRefusal) String() string {
+	switch r {
+	case RefuseDrop:
+		return "drop"
+	case RefuseRST:
+		return "rst"
+	case RefuseICMP:
+		return "icmp"
+	}
+	return fmt.Sprintf("refusal(%d)", uint8(r))
+}
+
+// Behavior is the complete behavioral configuration of a NAT device.
+type Behavior struct {
+	// Label names the configuration in reports ("Linksys-like",
+	// "symmetric+rst").
+	Label string
+
+	Mapping   MappingPolicy
+	Filtering FilteringPolicy
+	PortAlloc PortAlloc
+	// PortBase is the first port for sequential allocation (default
+	// 62000, matching the paper's Figure 5 narrative).
+	PortBase inet.Port
+
+	// HairpinUDP/HairpinTCP enable loopback translation (§3.5) per
+	// protocol; Table 1 measures them separately.
+	HairpinUDP bool
+	HairpinTCP bool
+	// HairpinFiltered applies inbound filtering rules to hairpin
+	// traffic too — the over-strict behavior §6.3 suspects causes NAT
+	// Check to under-report hairpin support.
+	HairpinFiltered bool
+
+	// TCPRefusal is the unsolicited-SYN response (§5.2).
+	TCPRefusal TCPRefusal
+
+	// Mangle enables blind payload rewriting of the sender's private
+	// address into the public address (§3.1, §5.3).
+	Mangle bool
+
+	// InboundRefresh lets inbound traffic refresh UDP timers (most
+	// NATs refresh only on outbound traffic, which is why both peers
+	// must send keep-alives, §3.6).
+	InboundRefresh bool
+
+	// Idle timeouts. Zero values take defaults: UDP 120s (§3.6 notes
+	// values as low as 20s exist; tests set that explicitly), TCP
+	// transitory 30s, TCP established 2h.
+	UDPTimeout     time.Duration
+	TCPTransitory  time.Duration
+	TCPEstablished time.Duration
+}
+
+// Defaults fills zero timeout fields.
+func (b Behavior) withDefaults() Behavior {
+	if b.PortBase == 0 {
+		b.PortBase = 62000
+	}
+	if b.UDPTimeout == 0 {
+		b.UDPTimeout = 120 * time.Second
+	}
+	if b.TCPTransitory == 0 {
+		b.TCPTransitory = 30 * time.Second
+	}
+	if b.TCPEstablished == 0 {
+		b.TCPEstablished = 2 * time.Hour
+	}
+	return b
+}
+
+// String summarizes the behavior for reports.
+func (b Behavior) String() string {
+	label := b.Label
+	if label == "" {
+		label = "nat"
+	}
+	return fmt.Sprintf("%s{map=%s filter=%s alloc=%s hairpinUDP=%v hairpinTCP=%v refusal=%s}",
+		label, b.Mapping, b.Filtering, b.PortAlloc, b.HairpinUDP, b.HairpinTCP, b.TCPRefusal)
+}
+
+// SupportsUDPPunch reports whether the behavior satisfies the paper's
+// primary precondition for UDP hole punching: consistent
+// (endpoint-independent) mapping (§5.1).
+func (b Behavior) SupportsUDPPunch() bool {
+	return b.Mapping == MappingEndpointIndependent
+}
+
+// SupportsTCPPunch reports whether the behavior satisfies both TCP
+// punching preconditions per NAT Check's criterion (§6.2): consistent
+// mapping, and no RSTs in response to unsolicited inbound connection
+// attempts. A NAT configured to refuse with RST but whose filtering
+// policy admits everything (endpoint-independent) never actually
+// refuses traffic to mapped endpoints, so it tests — and punches — as
+// compatible.
+func (b Behavior) SupportsTCPPunch() bool {
+	if b.Mapping != MappingEndpointIndependent {
+		return false
+	}
+	return b.TCPRefusal != RefuseRST || b.Filtering == FilterEndpointIndependent
+}
+
+// Preset behaviors used throughout tests and experiments.
+
+// WellBehaved is the paper's §5 ideal: cone mapping, per-session
+// filtering, silent SYN drops, hairpin support for both protocols.
+func WellBehaved() Behavior {
+	return Behavior{
+		Label:      "well-behaved",
+		Mapping:    MappingEndpointIndependent,
+		Filtering:  FilterAddressPortDependent,
+		PortAlloc:  PortSequential,
+		HairpinUDP: true,
+		HairpinTCP: true,
+		TCPRefusal: RefuseDrop,
+	}
+}
+
+// Cone is a typical consumer NAT: cone mapping, port-restricted
+// filtering, no hairpin.
+func Cone() Behavior {
+	return Behavior{
+		Label:      "cone",
+		Mapping:    MappingEndpointIndependent,
+		Filtering:  FilterAddressPortDependent,
+		PortAlloc:  PortSequential,
+		TCPRefusal: RefuseDrop,
+	}
+}
+
+// FullCone is a cone NAT with no inbound filtering.
+func FullCone() Behavior {
+	return Behavior{
+		Label:      "full-cone",
+		Mapping:    MappingEndpointIndependent,
+		Filtering:  FilterEndpointIndependent,
+		PortAlloc:  PortSequential,
+		TCPRefusal: RefuseDrop,
+	}
+}
+
+// RestrictedCone filters by remote address only.
+func RestrictedCone() Behavior {
+	return Behavior{
+		Label:      "restricted-cone",
+		Mapping:    MappingEndpointIndependent,
+		Filtering:  FilterAddressDependent,
+		PortAlloc:  PortSequential,
+		TCPRefusal: RefuseDrop,
+	}
+}
+
+// Symmetric allocates a fresh public endpoint per destination — the
+// client/server-only design of §5.1 that defeats basic hole punching.
+func Symmetric() Behavior {
+	return Behavior{
+		Label:      "symmetric",
+		Mapping:    MappingAddressPortDependent,
+		Filtering:  FilterAddressPortDependent,
+		PortAlloc:  PortSequential,
+		TCPRefusal: RefuseDrop,
+	}
+}
+
+// SymmetricRandom is a symmetric NAT with random port allocation,
+// unpredictable even to port prediction.
+func SymmetricRandom() Behavior {
+	b := Symmetric()
+	b.Label = "symmetric-random"
+	b.PortAlloc = PortRandom
+	return b
+}
+
+// RSTCone is a cone NAT that actively rejects unsolicited SYNs with
+// RSTs (§5.2's problematic behavior).
+func RSTCone() Behavior {
+	b := Cone()
+	b.Label = "cone-rst"
+	b.TCPRefusal = RefuseRST
+	return b
+}
+
+// Mangler is a cone NAT that blindly rewrites payload addresses
+// (§3.1, §5.3).
+func Mangler() Behavior {
+	b := Cone()
+	b.Label = "mangler"
+	b.Mangle = true
+	return b
+}

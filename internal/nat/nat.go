@@ -1,0 +1,524 @@
+package nat
+
+import (
+	"encoding/binary"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// Stats counts NAT activity for experiments and assertions.
+type Stats struct {
+	MappingsCreated    uint64
+	TranslatedOut      uint64
+	TranslatedIn       uint64
+	DroppedUnsolicited uint64
+	RSTsSent           uint64
+	ICMPsSent          uint64
+	Hairpins           uint64
+	HairpinRefused     uint64
+	Mangled            uint64
+	Expired            uint64
+}
+
+// NAT is a simulated NAPT (or Basic NAT) device with one inside and
+// one outside interface. Its inside interface is installed as the
+// inside segment's default gateway.
+type NAT struct {
+	name    string
+	net     *sim.Network
+	b       Behavior
+	inside  *sim.Iface
+	outside *sim.Iface
+
+	udp *table
+	tcp *table
+
+	nextPort inet.Port
+
+	// Basic NAT address pool (translate addresses only, §2.1). Empty
+	// means NAPT.
+	pool     []inet.Addr
+	poolUsed map[inet.Addr]inet.Addr // private host addr -> public pool addr
+
+	stats Stats
+}
+
+// New creates a NAT with the given behavior. Attach the interfaces
+// with AttachInside/AttachOutside before running traffic.
+func New(n *sim.Network, name string, b Behavior) *NAT {
+	b = b.withDefaults()
+	return &NAT{
+		name:     name,
+		net:      n,
+		b:        b,
+		udp:      newTable(),
+		tcp:      newTable(),
+		nextPort: b.PortBase,
+		poolUsed: make(map[inet.Addr]inet.Addr),
+	}
+}
+
+// SetBasicNATPool switches the device to Basic NAT mode: private host
+// addresses are mapped one-to-one onto pool addresses with ports
+// preserved (§2.1). The pool addresses must also be attached to the
+// outside segment via AttachOutside so traffic routes back.
+func (nat *NAT) SetBasicNATPool(addrs []inet.Addr) { nat.pool = addrs }
+
+// Name implements sim.Device.
+func (nat *NAT) Name() string { return nat.name }
+
+// Behavior returns the device's behavioral configuration.
+func (nat *NAT) Behavior() Behavior { return nat.b }
+
+// Stats returns a copy of the activity counters.
+func (nat *NAT) Stats() Stats { return nat.stats }
+
+// AttachInside attaches the private-side interface and installs it as
+// the segment's default gateway.
+func (nat *NAT) AttachInside(seg *sim.Segment, addr inet.Addr) *sim.Iface {
+	ifc := seg.Attach(nat, addr)
+	seg.SetGateway(ifc)
+	nat.inside = ifc
+	return ifc
+}
+
+// AttachOutside attaches the public-side interface. The first call
+// defines the NAT's public (NAPT) address; later calls add Basic NAT
+// pool addresses.
+func (nat *NAT) AttachOutside(seg *sim.Segment, addr inet.Addr) *sim.Iface {
+	ifc := seg.Attach(nat, addr)
+	if nat.outside == nil {
+		nat.outside = ifc
+	}
+	return ifc
+}
+
+// PublicAddr returns the NAT's public (NAPT) address.
+func (nat *NAT) PublicAddr() inet.Addr {
+	if nat.outside == nil {
+		return inet.Unspecified
+	}
+	return nat.outside.Addr()
+}
+
+// MappingCount returns the number of live mappings (after purging
+// expired state).
+func (nat *NAT) MappingCount() int {
+	nat.Sweep()
+	return len(nat.udp.byKey) + len(nat.tcp.byKey)
+}
+
+// PublicEndpointFor reports the public endpoint currently mapped for
+// (priv, remote), if any — the view a STUN-style probe would obtain.
+func (nat *NAT) PublicEndpointFor(proto inet.Proto, priv, remote inet.Endpoint) (inet.Endpoint, bool) {
+	t := nat.tableFor(proto)
+	m := t.byKey[keyFor(nat.b.Mapping, proto, priv, remote)]
+	if m == nil || !nat.purge(t, m) {
+		return inet.Endpoint{}, false
+	}
+	return m.pub, true
+}
+
+// Sweep purges all expired sessions and mappings immediately. Expiry
+// is otherwise evaluated lazily when packets touch a mapping.
+func (nat *NAT) Sweep() {
+	for _, t := range []*table{nat.udp, nat.tcp} {
+		for _, m := range t.byKey {
+			nat.purge(t, m)
+		}
+	}
+}
+
+func (nat *NAT) tableFor(proto inet.Proto) *table {
+	if proto == inet.TCP {
+		return nat.tcp
+	}
+	return nat.udp
+}
+
+// Receive implements sim.Device.
+func (nat *NAT) Receive(ifc *sim.Iface, pkt *inet.Packet) {
+	if nat.inside == nil || nat.outside == nil {
+		return
+	}
+	if ifc == nat.inside {
+		nat.handleOutbound(pkt)
+	} else {
+		nat.handleInbound(pkt)
+	}
+}
+
+// --- outbound path (private -> public) ---
+
+func (nat *NAT) handleOutbound(pkt *inet.Packet) {
+	if pkt.Proto == inet.ICMP {
+		nat.forwardICMPOut(pkt)
+		return
+	}
+	if nat.isOwnPublicAddr(pkt.Dst.Addr) {
+		nat.handleHairpin(pkt)
+		return
+	}
+	m := nat.mapOutbound(pkt.Proto, pkt.Src, pkt.Dst)
+	if m == nil {
+		return // Basic NAT pool exhausted
+	}
+	s := m.sessionFor(pkt.Dst, true)
+	s.lastOut = nat.now()
+	nat.trackTCPOut(pkt, s)
+
+	out := pkt.Clone()
+	out.Src = m.pub
+	out.TTL--
+	if nat.b.Mangle {
+		nat.mangle(out, pkt.Src.Addr, m.pub.Addr)
+	}
+	nat.stats.TranslatedOut++
+	nat.outside.Send(out)
+}
+
+// mapOutbound finds or creates the mapping for an outbound flow.
+func (nat *NAT) mapOutbound(proto inet.Proto, priv, remote inet.Endpoint) *mapping {
+	t := nat.tableFor(proto)
+	key := keyFor(nat.b.Mapping, proto, priv, remote)
+	if m := t.byKey[key]; m != nil {
+		if nat.purge(t, m) {
+			return m
+		}
+	}
+	pub, ok := nat.allocPublic(proto, priv)
+	if !ok {
+		return nil
+	}
+	m := &mapping{
+		key: key, priv: priv, pub: pub, proto: proto,
+		sessions: make(map[inet.Endpoint]*session),
+		created:  nat.now(),
+	}
+	t.insert(m)
+	nat.stats.MappingsCreated++
+	return m
+}
+
+// allocPublic picks the public endpoint for a new mapping.
+func (nat *NAT) allocPublic(proto inet.Proto, priv inet.Endpoint) (inet.Endpoint, bool) {
+	if len(nat.pool) > 0 {
+		// Basic NAT: one public address per private host, ports
+		// preserved.
+		pub, ok := nat.poolUsed[priv.Addr]
+		if !ok {
+			if len(nat.poolUsed) >= len(nat.pool) {
+				return inet.Endpoint{}, false
+			}
+			pub = nat.pool[len(nat.poolUsed)]
+			nat.poolUsed[priv.Addr] = pub
+		}
+		return inet.Endpoint{Addr: pub, Port: priv.Port}, true
+	}
+
+	addr := nat.PublicAddr()
+	t := nat.tableFor(proto)
+	free := func(p inet.Port) bool {
+		if p == 0 {
+			return false
+		}
+		_, used := t.byPub[inet.Endpoint{Addr: addr, Port: p}]
+		return !used
+	}
+
+	switch nat.b.PortAlloc {
+	case PortPreserving:
+		if free(priv.Port) {
+			return inet.Endpoint{Addr: addr, Port: priv.Port}, true
+		}
+	case PortRandom:
+		for i := 0; i < 64; i++ {
+			p := inet.Port(49152 + nat.net.Sched.Rand().Intn(16384))
+			if free(p) {
+				return inet.Endpoint{Addr: addr, Port: p}, true
+			}
+		}
+	}
+	// Sequential (also the fallback for the other strategies).
+	for i := 0; i < 65536; i++ {
+		p := nat.nextPort
+		nat.nextPort++
+		if nat.nextPort == 0 {
+			nat.nextPort = nat.b.PortBase
+		}
+		if free(p) {
+			return inet.Endpoint{Addr: addr, Port: p}, true
+		}
+	}
+	return inet.Endpoint{}, false
+}
+
+// --- inbound path (public -> private) ---
+
+func (nat *NAT) handleInbound(pkt *inet.Packet) {
+	if pkt.Proto == inet.ICMP {
+		nat.forwardICMPIn(pkt)
+		return
+	}
+	t := nat.tableFor(pkt.Proto)
+	m := t.byPub[pkt.Dst]
+	if m == nil || !nat.purge(t, m) {
+		nat.refuse(pkt, false)
+		return
+	}
+	if !m.allows(nat.b.Filtering, pkt.Src) {
+		nat.refuse(pkt, false)
+		return
+	}
+	s := m.sessionFor(pkt.Src, nat.b.Filtering != FilterAddressPortDependent)
+	if s != nil {
+		if s.lastOut == 0 {
+			s.inbound = true
+		}
+		s.lastIn = nat.now()
+		nat.trackTCPIn(pkt, s)
+	}
+	out := pkt.Clone()
+	out.Dst = m.priv
+	out.TTL--
+	nat.stats.TranslatedIn++
+	nat.inside.Send(out)
+}
+
+// refuse handles an unsolicited or filtered packet. towardInside
+// marks refusals of hairpin traffic, whose errors go back into the
+// private network.
+func (nat *NAT) refuse(pkt *inet.Packet, towardInside bool) {
+	dir := nat.outside
+	if towardInside {
+		dir = nat.inside
+	}
+	if pkt.Proto == inet.TCP && pkt.Flags.Has(inet.FlagSYN) && !pkt.Flags.Has(inet.FlagACK) {
+		switch nat.b.TCPRefusal {
+		case RefuseRST:
+			// §5.2: actively rejecting with RST interferes with hole
+			// punching (the peer's connect fails fast and must retry).
+			nat.stats.RSTsSent++
+			dir.Send(&inet.Packet{
+				Proto: inet.TCP, Src: pkt.Dst, Dst: pkt.Src, TTL: inet.DefaultTTL,
+				Flags: inet.FlagRST | inet.FlagACK, Ack: pkt.Seq + 1,
+			})
+			return
+		case RefuseICMP:
+			nat.stats.ICMPsSent++
+			dir.Send(&inet.Packet{
+				Proto: inet.ICMP, ICMP: inet.ICMPAdminProhibited,
+				Src: inet.Endpoint{Addr: nat.PublicAddr()}, Dst: pkt.Src,
+				TTL: inet.DefaultTTL, Orig: pkt.Session(), OrigProto: inet.TCP,
+			})
+			return
+		}
+	}
+	nat.stats.DroppedUnsolicited++
+}
+
+// --- hairpin path (§3.5) ---
+
+func (nat *NAT) handleHairpin(pkt *inet.Packet) {
+	enabled := nat.b.HairpinUDP
+	if pkt.Proto == inet.TCP {
+		enabled = nat.b.HairpinTCP
+	}
+	t := nat.tableFor(pkt.Proto)
+	target := t.byPub[pkt.Dst]
+	if !enabled || target == nil || !nat.purge(t, target) {
+		nat.stats.HairpinRefused++
+		nat.refuse(pkt, true)
+		return
+	}
+
+	// The sender's own outbound session to the public endpoint also
+	// creates a mapping (it is a normal outbound session that happens
+	// to loop back).
+	sender := nat.mapOutbound(pkt.Proto, pkt.Src, pkt.Dst)
+	if sender == nil {
+		return
+	}
+	ss := sender.sessionFor(pkt.Dst, true)
+	ss.lastOut = nat.now()
+	nat.trackTCPOut(pkt, ss)
+
+	if nat.b.HairpinFiltered && !target.allows(nat.b.Filtering, sender.pub) {
+		// §6.3: a NAT may treat all traffic to its public ports as
+		// untrusted regardless of origin, filtering hairpin flows that
+		// a plain inbound filter would reject.
+		nat.stats.HairpinRefused++
+		nat.refuse(pkt, true)
+		return
+	}
+
+	ts := target.sessionFor(sender.pub, nat.b.Filtering != FilterAddressPortDependent)
+	if ts != nil {
+		if ts.lastOut == 0 {
+			ts.inbound = true
+		}
+		ts.lastIn = nat.now()
+		nat.trackTCPIn(pkt, ts)
+	}
+
+	// §3.5: "it then translates both the source and destination
+	// addresses in the datagram and loops the datagram back onto the
+	// private network".
+	out := pkt.Clone()
+	out.Src = sender.pub
+	out.Dst = target.priv
+	out.TTL--
+	nat.stats.Hairpins++
+	nat.inside.Send(out)
+}
+
+// --- ICMP translation ---
+
+// forwardICMPOut carries an ICMP error generated inside the private
+// network out to the public side, rewriting the referenced session's
+// private endpoint to its public mapping.
+func (nat *NAT) forwardICMPOut(pkt *inet.Packet) {
+	t := nat.tableFor(pkt.OrigProto)
+	for _, m := range t.byKey {
+		if m.priv == pkt.Orig.Remote {
+			out := pkt.Clone()
+			out.Orig.Remote = m.pub
+			out.Src = inet.Endpoint{Addr: nat.PublicAddr()}
+			out.TTL--
+			nat.outside.Send(out)
+			return
+		}
+	}
+	// No mapping: the error references an unknown session; drop.
+}
+
+// forwardICMPIn carries an ICMP error from the public side to the
+// private host whose translated session triggered it.
+func (nat *NAT) forwardICMPIn(pkt *inet.Packet) {
+	t := nat.tableFor(pkt.OrigProto)
+	m := t.byPub[pkt.Orig.Local]
+	if m == nil {
+		nat.stats.DroppedUnsolicited++
+		return
+	}
+	out := pkt.Clone()
+	out.Orig.Local = m.priv
+	out.Dst = inet.Endpoint{Addr: m.priv.Addr}
+	out.TTL--
+	nat.inside.Send(out)
+}
+
+// --- TCP session tracking ---
+
+func (nat *NAT) trackTCPOut(pkt *inet.Packet, s *session) {
+	if pkt.Proto != inet.TCP {
+		return
+	}
+	if pkt.Flags.Has(inet.FlagSYN) {
+		s.sawSynOut = true
+	}
+	nat.trackTCPCommon(pkt, s)
+}
+
+func (nat *NAT) trackTCPIn(pkt *inet.Packet, s *session) {
+	if pkt.Proto != inet.TCP {
+		return
+	}
+	if pkt.Flags.Has(inet.FlagSYN) {
+		s.sawSynIn = true
+	}
+	nat.trackTCPCommon(pkt, s)
+}
+
+func (nat *NAT) trackTCPCommon(pkt *inet.Packet, s *session) {
+	if pkt.Flags.Has(inet.FlagRST) || pkt.Flags.Has(inet.FlagFIN) {
+		s.tcp = tcpClosing
+		return
+	}
+	if s.tcp != tcpEstablished && s.sawSynOut && s.sawSynIn &&
+		pkt.Flags.Has(inet.FlagACK) && !pkt.Flags.Has(inet.FlagSYN) {
+		// Handshake completed under the NAT's gaze (§4: TCP's state
+		// machine gives NATs a standard way to track session
+		// lifetime).
+		s.tcp = tcpEstablished
+	}
+}
+
+// --- expiry ---
+
+func (nat *NAT) now() time.Duration { return nat.net.Sched.Now() }
+
+// purge drops expired sessions from m and removes m entirely when no
+// sessions remain. It reports whether the mapping survived.
+func (nat *NAT) purge(t *table, m *mapping) bool {
+	now := nat.now()
+	for remote, s := range m.sessions {
+		if nat.sessionExpired(m.proto, s, now) {
+			delete(m.sessions, remote)
+		}
+	}
+	if len(m.sessions) == 0 && now-m.created > 0 {
+		t.remove(m)
+		nat.stats.Expired++
+		return false
+	}
+	return true
+}
+
+func (nat *NAT) sessionExpired(proto inet.Proto, s *session, now time.Duration) bool {
+	last := s.lastOut
+	if (nat.b.InboundRefresh || s.inbound) && s.lastIn > last {
+		last = s.lastIn
+	}
+	var limit time.Duration
+	if proto == inet.UDP {
+		limit = nat.b.UDPTimeout
+	} else if s.tcp == tcpEstablished {
+		limit = nat.b.TCPEstablished
+	} else {
+		limit = nat.b.TCPTransitory
+	}
+	return now-last > limit
+}
+
+// isOwnPublicAddr reports whether addr is the NAT's public address or
+// one of its Basic NAT pool addresses.
+func (nat *NAT) isOwnPublicAddr(addr inet.Addr) bool {
+	if addr == nat.PublicAddr() {
+		return true
+	}
+	for _, a := range nat.pool {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// --- payload mangling (§3.1, §5.3) ---
+
+// mangle blindly rewrites 4-byte payload fields equal to the private
+// source address into the public address, mimicking NATs that scan
+// payloads "for 4-byte fields that look like IP addresses, and
+// translate them as they would the IP address fields in the IP
+// header".
+func (nat *NAT) mangle(pkt *inet.Packet, priv, pub inet.Addr) {
+	if len(pkt.Payload) < 4 {
+		return
+	}
+	var privBytes, pubBytes [4]byte
+	binary.BigEndian.PutUint32(privBytes[:], uint32(priv))
+	binary.BigEndian.PutUint32(pubBytes[:], uint32(pub))
+	for i := 0; i+4 <= len(pkt.Payload); i++ {
+		if pkt.Payload[i] == privBytes[0] &&
+			pkt.Payload[i+1] == privBytes[1] &&
+			pkt.Payload[i+2] == privBytes[2] &&
+			pkt.Payload[i+3] == privBytes[3] {
+			copy(pkt.Payload[i:i+4], pubBytes[:])
+			nat.stats.Mangled++
+			i += 3
+		}
+	}
+}

@@ -1,0 +1,591 @@
+package nat_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/tcp"
+	"natpunch/internal/topo"
+)
+
+// echo wires a UDP echo server on h at port, replying "echo:<payload>".
+func echo(t *testing.T, h *host.Host, port inet.Port) *host.UDPSocket {
+	t.Helper()
+	s, err := h.UDPBind(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OnRecv(func(from inet.Endpoint, p []byte) {
+		s.SendTo(from, append([]byte("echo:"), p...))
+	})
+	return s
+}
+
+// observed records the source endpoints a server saw per payload.
+type observed struct {
+	sock  *host.UDPSocket
+	from  []inet.Endpoint
+	datas [][]byte
+}
+
+func observer(t *testing.T, h *host.Host, port inet.Port) *observed {
+	t.Helper()
+	s, err := h.UDPBind(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &observed{sock: s}
+	s.OnRecv(func(from inet.Endpoint, p []byte) {
+		o.from = append(o.from, from)
+		o.datas = append(o.datas, append([]byte(nil), p...))
+	})
+	return o
+}
+
+func TestOutboundTranslationAndReply(t *testing.T) {
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	echo(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	var reply []byte
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { reply = p })
+
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("hi"))
+	c.RunFor(time.Second)
+
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q", reply)
+	}
+	// The paper's narrative: NAT A assigns 62000 as the public port
+	// for A's session with S (sequential allocation from 62000).
+	pub, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	if !ok || pub != inet.EP("155.99.25.11", 62000) {
+		t.Errorf("public endpoint = %v ok=%v, want 155.99.25.11:62000", pub, ok)
+	}
+}
+
+func TestConeMappingIsConsistent(t *testing.T) {
+	// §5.1: sessions from one private endpoint to different remotes
+	// must reuse the same public endpoint.
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	o1 := observer(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("one"))
+	sa.SendTo(inet.EP("18.181.0.31", 5678), []byte("two")) // different remote port
+	c.RunFor(time.Second)
+	if len(o1.from) != 1 {
+		t.Fatalf("server1 got %d datagrams", len(o1.from))
+	}
+	pub1, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	pub2, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 5678))
+	if !ok || pub1 != pub2 {
+		t.Errorf("cone NAT gave inconsistent endpoints: %v vs %v", pub1, pub2)
+	}
+}
+
+func TestSymmetricMappingDiffersPerRemote(t *testing.T) {
+	c := topo.NewCanonical(1, nat.Symmetric(), nat.Cone())
+	sa, _ := c.A.UDPBind(4321)
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("one"))
+	sa.SendTo(inet.EP("18.181.0.31", 5678), []byte("two"))
+	sa.SendTo(inet.EP("138.76.29.7", 1234), []byte("three"))
+	c.RunFor(time.Second)
+	p1, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	p2, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 5678))
+	p3, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("138.76.29.7", 1234))
+	if p1 == p2 || p1 == p3 || p2 == p3 {
+		t.Errorf("symmetric NAT reused endpoints: %v %v %v", p1, p2, p3)
+	}
+	// Sequential allocation: consecutive ports (§5.1's predictability).
+	if p2.Port != p1.Port+1 || p3.Port != p2.Port+1 {
+		t.Errorf("ports not sequential: %d %d %d", p1.Port, p2.Port, p3.Port)
+	}
+}
+
+func TestAddressDependentMapping(t *testing.T) {
+	b := nat.Cone()
+	b.Mapping = nat.MappingAddressDependent
+	c := topo.NewCanonical(1, b, nat.Cone())
+	sa, _ := c.A.UDPBind(4321)
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("x"))
+	sa.SendTo(inet.EP("18.181.0.31", 5678), []byte("y")) // same addr, diff port
+	sa.SendTo(inet.EP("138.76.29.7", 1234), []byte("z")) // diff addr
+	c.RunFor(time.Second)
+	p1, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	p2, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 5678))
+	p3, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("138.76.29.7", 1234))
+	if p1 != p2 {
+		t.Errorf("same remote addr should share mapping: %v vs %v", p1, p2)
+	}
+	if p1 == p3 {
+		t.Errorf("different remote addr should get fresh mapping: %v", p3)
+	}
+}
+
+func TestFilteringPolicies(t *testing.T) {
+	// Client A talks to S; then an unrelated public host X probes A's
+	// public endpoint from (a) a fresh address, (b) S's address but a
+	// fresh port. Expectations per policy:
+	//   endpoint-independent: both delivered
+	//   address-dependent: only (b)
+	//   address+port-dependent: neither
+	cases := []struct {
+		policy       nat.FilteringPolicy
+		wantFreshIP  bool
+		wantSamePort bool
+	}{
+		{nat.FilterEndpointIndependent, true, true},
+		{nat.FilterAddressDependent, false, true},
+		{nat.FilterAddressPortDependent, false, false},
+	}
+	for _, tc := range cases {
+		b := nat.Cone()
+		b.Filtering = tc.policy
+		c := topo.NewCanonical(1, b, nat.Cone())
+		x := c.CoreRealm().AddHost("X", "99.99.99.99", host.BSDStyle)
+		echo(t, c.S, 1234)
+		sa, _ := c.A.UDPBind(4321)
+		var got [][]byte
+		sa.OnRecv(func(_ inet.Endpoint, p []byte) { got = append(got, p) })
+		sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("register"))
+		c.RunFor(time.Second)
+		pub, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+		if !ok {
+			t.Fatalf("%v: no mapping", tc.policy)
+		}
+
+		sx, _ := x.UDPBind(777)
+		sx.SendTo(pub, []byte("fresh-ip"))
+		ss2, _ := c.S.UDPBind(9999) // same IP as S, different port
+		ss2.SendTo(pub, []byte("same-ip-new-port"))
+		c.RunFor(time.Second)
+
+		has := func(want string) bool {
+			for _, g := range got {
+				if string(g) == want {
+					return true
+				}
+			}
+			return false
+		}
+		if has("fresh-ip") != tc.wantFreshIP {
+			t.Errorf("%v: fresh-ip delivered=%v want %v", tc.policy, has("fresh-ip"), tc.wantFreshIP)
+		}
+		if has("same-ip-new-port") != tc.wantSamePort {
+			t.Errorf("%v: same-ip-new-port delivered=%v want %v", tc.policy, has("same-ip-new-port"), tc.wantSamePort)
+		}
+	}
+}
+
+func TestPortAllocationStrategies(t *testing.T) {
+	// Preserving: public port equals private port when free.
+	b := nat.Cone()
+	b.PortAlloc = nat.PortPreserving
+	c := topo.NewCanonical(1, b, nat.Cone())
+	sa, _ := c.A.UDPBind(4321)
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("x"))
+	c.RunFor(time.Second)
+	pub, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	if pub.Port != 4321 {
+		t.Errorf("preserving alloc gave %d, want 4321", pub.Port)
+	}
+	// Second host with the same private port: falls back to sequential.
+	c2 := c.RealmA.AddHost("A2", "10.0.0.9", host.BSDStyle)
+	sa2, _ := c2.UDPBind(4321)
+	sa2.SendTo(inet.EP("18.181.0.31", 1234), []byte("y"))
+	c.RunFor(time.Second)
+	pub2, _ := c.NATA.PublicEndpointFor(inet.UDP, sa2.Local(), inet.EP("18.181.0.31", 1234))
+	if pub2.Port == 4321 || pub2.Port == 0 {
+		t.Errorf("conflicting preserve should fall back, got %d", pub2.Port)
+	}
+
+	// Random: allocations differ across mappings and stay in range.
+	br := nat.SymmetricRandom()
+	cr := topo.NewCanonical(2, br, nat.Cone())
+	sr, _ := cr.A.UDPBind(4321)
+	ports := map[inet.Port]bool{}
+	for p := inet.Port(1000); p < 1010; p++ {
+		sr.SendTo(inet.Endpoint{Addr: inet.MustParseAddr("18.181.0.31"), Port: p}, []byte("r"))
+	}
+	cr.RunFor(time.Second)
+	for p := inet.Port(1000); p < 1010; p++ {
+		pub, ok := cr.NATA.PublicEndpointFor(inet.UDP, sr.Local(), inet.Endpoint{Addr: inet.MustParseAddr("18.181.0.31"), Port: p})
+		if !ok || pub.Port < 49152 {
+			t.Fatalf("random alloc out of range: %v ok=%v", pub, ok)
+		}
+		ports[pub.Port] = true
+	}
+	if len(ports) < 8 {
+		t.Errorf("random allocation produced only %d distinct ports", len(ports))
+	}
+}
+
+func TestUDPIdleTimeoutAndRepunchMapping(t *testing.T) {
+	// §3.6: an idle mapping expires; traffic after expiry is
+	// unsolicited and a new outbound session gets a fresh mapping.
+	b := nat.Cone()
+	b.UDPTimeout = 20 * time.Second // paper: "some NATs have timeouts as short as 20 seconds"
+	c := topo.NewCanonical(1, b, nat.Cone())
+	echo(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	var replies int
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { replies++ })
+
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("a"))
+	c.RunFor(time.Second)
+	pub1, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+
+	c.RunFor(30 * time.Second) // exceed timeout
+	if _, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234)); ok {
+		t.Error("mapping survived past idle timeout")
+	}
+
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("b"))
+	c.RunFor(time.Second)
+	pub2, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), inet.EP("18.181.0.31", 1234))
+	if !ok {
+		t.Fatal("no mapping after re-send")
+	}
+	if pub2 == pub1 {
+		t.Errorf("expired mapping's endpoint reused: %v", pub2)
+	}
+	if replies != 2 {
+		t.Errorf("replies = %d, want 2", replies)
+	}
+}
+
+func TestKeepAlivesPreserveMapping(t *testing.T) {
+	b := nat.Cone()
+	b.UDPTimeout = 20 * time.Second
+	c := topo.NewCanonical(1, b, nat.Cone())
+	echo(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	server := inet.EP("18.181.0.31", 1234)
+	sa.SendTo(server, []byte("first"))
+	c.RunFor(time.Second)
+	pub1, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), server)
+	// Keep-alive every 15s for 2 minutes.
+	for i := 0; i < 8; i++ {
+		c.RunFor(15 * time.Second)
+		sa.SendTo(server, []byte("ka"))
+	}
+	c.RunFor(time.Second)
+	pub2, ok := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), server)
+	if !ok || pub2 != pub1 {
+		t.Errorf("keep-alives failed to preserve mapping: %v -> %v ok=%v", pub1, pub2, ok)
+	}
+}
+
+func TestPerSessionTimersIndependent(t *testing.T) {
+	// §3.6: keep-alives on one session do not keep other sessions of
+	// the same mapping alive.
+	b := nat.Cone()
+	b.UDPTimeout = 20 * time.Second
+	c := topo.NewCanonical(1, b, nat.Cone())
+	echo(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	s1 := inet.EP("18.181.0.31", 1234)
+	s2 := inet.EP("138.76.29.7", 31000) // B's public endpoint, say
+	sa.SendTo(s1, []byte("x"))
+	sa.SendTo(s2, []byte("y"))
+	c.RunFor(time.Second)
+	// Refresh only session 1 for a while.
+	for i := 0; i < 4; i++ {
+		c.RunFor(10 * time.Second)
+		sa.SendTo(s1, []byte("ka"))
+	}
+	c.RunFor(time.Second)
+	// Session to s2 must have expired: a probe from s2's address is
+	// now unsolicited under APDF filtering.
+	var got []string
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { got = append(got, string(p)) })
+	bHost := c.B
+	sb, _ := bHost.UDPBind(31000)
+	pub, _ := c.NATA.PublicEndpointFor(inet.UDP, sa.Local(), s1)
+	sb.SendTo(pub, []byte("late"))
+	c.RunFor(time.Second)
+	for _, g := range got {
+		if g == "late" {
+			t.Error("expired session still admits inbound traffic")
+		}
+	}
+}
+
+func TestHairpinUDP(t *testing.T) {
+	// Figure 4 public-endpoint variant: A sends to B's public
+	// endpoint on their common NAT; with hairpin support it loops
+	// back translated on both addresses.
+	c := topo.NewCommonNAT(1, nat.WellBehaved())
+	echo(t, c.S, 1234)
+	server := inet.EP("18.181.0.31", 1234)
+	sa, _ := c.A.UDPBind(4321)
+	sb, _ := c.B.UDPBind(4321)
+	var bGot []inet.Endpoint
+	sb.OnRecv(func(from inet.Endpoint, p []byte) {
+		if string(p) == "hairpin" {
+			bGot = append(bGot, from)
+		}
+	})
+	// Both register so mappings exist.
+	sa.SendTo(server, []byte("reg-a"))
+	sb.SendTo(server, []byte("reg-b"))
+	c.RunFor(time.Second)
+	pubB, _ := c.NAT.PublicEndpointFor(inet.UDP, sb.Local(), server)
+
+	sa.SendTo(pubB, []byte("hairpin"))
+	c.RunFor(time.Second)
+	if len(bGot) != 1 {
+		t.Fatalf("hairpin packet not delivered: %v", bGot)
+	}
+	// §3.5: B sees A's *public* endpoint as the source.
+	pubA, _ := c.NAT.PublicEndpointFor(inet.UDP, sa.Local(), pubB)
+	if bGot[0] != pubA {
+		t.Errorf("hairpin source = %v, want A's public endpoint %v", bGot[0], pubA)
+	}
+	if c.NAT.Stats().Hairpins != 1 {
+		t.Errorf("hairpin stats = %+v", c.NAT.Stats())
+	}
+}
+
+func TestHairpinDisabledDrops(t *testing.T) {
+	c := topo.NewCommonNAT(1, nat.Cone()) // no hairpin
+	echo(t, c.S, 1234)
+	server := inet.EP("18.181.0.31", 1234)
+	sa, _ := c.A.UDPBind(4321)
+	sb, _ := c.B.UDPBind(4321)
+	delivered := false
+	sb.OnRecv(func(_ inet.Endpoint, p []byte) {
+		if string(p) == "hairpin" {
+			delivered = true
+		}
+	})
+	sa.SendTo(server, []byte("reg-a"))
+	sb.SendTo(server, []byte("reg-b"))
+	c.RunFor(time.Second)
+	pubB, _ := c.NAT.PublicEndpointFor(inet.UDP, sb.Local(), server)
+	sa.SendTo(pubB, []byte("hairpin"))
+	c.RunFor(time.Second)
+	if delivered {
+		t.Error("hairpin-less NAT delivered looped packet")
+	}
+	if c.NAT.Stats().HairpinRefused == 0 {
+		t.Error("refusal not counted")
+	}
+}
+
+func TestManglerRewritesPayloadAndObfuscationDefeatsIt(t *testing.T) {
+	// §3.1/§5.3: the NAT rewrites payload bytes equal to the private
+	// address; sending the one's complement protects the field.
+	c := topo.NewCanonical(1, nat.Mangler(), nat.Cone())
+	o := observer(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+
+	privAddr := sa.Local().Addr // 10.0.0.1
+	plain := make([]byte, 8)
+	copy(plain[0:4], addrBytes(privAddr))
+	copy(plain[4:8], []byte{9, 9, 9, 9})
+	sa.SendTo(inet.EP("18.181.0.31", 1234), plain)
+
+	obfuscated := make([]byte, 4)
+	copy(obfuscated, addrBytes(privAddr.Complement()))
+	sa.SendTo(inet.EP("18.181.0.31", 1234), obfuscated)
+	c.RunFor(time.Second)
+
+	if len(o.datas) != 2 {
+		t.Fatalf("server got %d datagrams", len(o.datas))
+	}
+	pub := o.from[0].Addr
+	if !bytes.Equal(o.datas[0][0:4], addrBytes(pub)) {
+		t.Errorf("mangler did not rewrite private address: % x", o.datas[0])
+	}
+	if !bytes.Equal(o.datas[0][4:8], []byte{9, 9, 9, 9}) {
+		t.Errorf("mangler rewrote unrelated bytes: % x", o.datas[0])
+	}
+	if !bytes.Equal(o.datas[1], addrBytes(privAddr.Complement())) {
+		t.Errorf("obfuscated field altered: % x", o.datas[1])
+	}
+	if inet.Addr(^uint32(0))-0 != 0xFFFFFFFF {
+		t.Fatal("sanity")
+	}
+}
+
+func addrBytes(a inet.Addr) []byte {
+	o := a.Octets()
+	return o[:]
+}
+
+func TestUnsolicitedTCPRefusalModes(t *testing.T) {
+	// §5.2: drop is correct; RST and ICMP errors surface to the
+	// probing client as fast failures.
+	for _, mode := range []nat.TCPRefusal{nat.RefuseDrop, nat.RefuseRST, nat.RefuseICMP} {
+		b := nat.Cone()
+		b.TCPRefusal = mode
+		c := topo.NewCanonical(1, b, nat.Cone())
+		var connErr error
+		c.S.TCPConfig.SYNRetries = 1
+		_, err := c.S.TCPDial(inet.EP("155.99.25.11", 62000), host.DialOpts{}, tcp.Callbacks{
+			Error: func(_ *tcp.Conn, e error) { connErr = e },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(30 * time.Second)
+		switch mode {
+		case nat.RefuseDrop:
+			if !errors.Is(connErr, tcp.ErrTimeout) {
+				t.Errorf("drop: err = %v, want timeout", connErr)
+			}
+		case nat.RefuseRST:
+			if !errors.Is(connErr, tcp.ErrReset) {
+				t.Errorf("rst: err = %v, want reset", connErr)
+			}
+			if c.NATA.Stats().RSTsSent == 0 {
+				t.Error("rst: no RSTs counted")
+			}
+		case nat.RefuseICMP:
+			if !errors.Is(connErr, tcp.ErrUnreachable) {
+				t.Errorf("icmp: err = %v, want unreachable", connErr)
+			}
+		}
+	}
+}
+
+func TestTCPThroughNAT(t *testing.T) {
+	// Client behind NAT connects out to a public TCP server; data
+	// flows both ways through the translated session.
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	var serverGot, clientGot bytes.Buffer
+	_, err := c.S.TCPListen(1234, false, func(conn *tcp.Conn) {
+		conn.OnData(func(cn *tcp.Conn, p []byte) {
+			serverGot.Write(p)
+			cn.Write(append([]byte("ok:"), p...))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.A.TCPDial(inet.EP("18.181.0.31", 1234), host.DialOpts{LocalPort: 4321}, tcp.Callbacks{
+		Established: func(cn *tcp.Conn) { cn.Write([]byte("hello")) },
+		Data:        func(_ *tcp.Conn, p []byte) { clientGot.Write(p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	if serverGot.String() != "hello" || clientGot.String() != "ok:hello" {
+		t.Fatalf("server=%q client=%q", serverGot.String(), clientGot.String())
+	}
+	// The paper's narrative port for TCP too: 62000.
+	pub, ok := c.NATA.PublicEndpointFor(inet.TCP, conn.Local(), inet.EP("18.181.0.31", 1234))
+	if !ok || pub != inet.EP("155.99.25.11", 62000) {
+		t.Errorf("TCP public endpoint = %v ok=%v", pub, ok)
+	}
+}
+
+func TestTCPTransitoryTimeoutReapsHalfOpenSessions(t *testing.T) {
+	// A SYN that never completes a handshake must not hold NAT state
+	// past the transitory timeout.
+	b := nat.Cone()
+	b.TCPTransitory = 10 * time.Second
+	c := topo.NewCanonical(1, b, nat.Cone())
+	c.A.TCPConfig.SYNRetries = 1
+	// Dial a public address that silently drops (host with no RST).
+	x := c.CoreRealm().AddHost("X", "99.99.99.99", host.BSDStyle)
+	x.SilentToClosedPorts = true
+	c.A.TCPDial(inet.EP("99.99.99.99", 80), host.DialOpts{LocalPort: 4321}, tcp.Callbacks{})
+	c.RunFor(time.Second)
+	if c.NATA.MappingCount() != 1 {
+		t.Fatalf("mapping not created: %d", c.NATA.MappingCount())
+	}
+	c.RunFor(30 * time.Second)
+	if c.NATA.MappingCount() != 0 {
+		t.Errorf("half-open TCP mapping survived: %d", c.NATA.MappingCount())
+	}
+}
+
+func TestBasicNATPreservesPorts(t *testing.T) {
+	// §2.1: Basic NAT translates addresses only. Two inside hosts get
+	// distinct pool addresses with their ports preserved.
+	in := topo.NewInternet(1)
+	core := in.CoreRealm()
+	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
+	realm := core.AddSite("BASIC", nat.Cone(), "155.99.25.11", "10.0.0.0/24")
+	realm.NAT.SetBasicNATPool([]inet.Addr{
+		inet.MustParseAddr("155.99.25.12"),
+		inet.MustParseAddr("155.99.25.13"),
+	})
+	// Pool addresses must be routable to the NAT.
+	realm.NAT.AttachOutside(in.Core, inet.MustParseAddr("155.99.25.12"))
+	realm.NAT.AttachOutside(in.Core, inet.MustParseAddr("155.99.25.13"))
+	a := realm.AddHost("A", "10.0.0.1", host.BSDStyle)
+	bHost := realm.AddHost("B", "10.0.0.2", host.BSDStyle)
+
+	o := observer(t, s, 1234)
+	sa, _ := a.UDPBind(4321)
+	sb, _ := bHost.UDPBind(4321) // same private port as A
+	var aGot []byte
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { aGot = p })
+	sa.SendTo(inet.EP("18.181.0.31", 1234), []byte("from-a"))
+	sb.SendTo(inet.EP("18.181.0.31", 1234), []byte("from-b"))
+	in.RunFor(time.Second)
+
+	if len(o.from) != 2 {
+		t.Fatalf("server saw %d datagrams", len(o.from))
+	}
+	if o.from[0].Port != 4321 || o.from[1].Port != 4321 {
+		t.Errorf("Basic NAT changed ports: %v %v", o.from[0], o.from[1])
+	}
+	if o.from[0].Addr == o.from[1].Addr {
+		t.Errorf("Basic NAT shared a pool address: %v", o.from)
+	}
+	// Replies route back.
+	o.sock.SendTo(o.from[0], []byte("reply"))
+	in.RunFor(time.Second)
+	if string(aGot) != "reply" {
+		t.Errorf("reply through Basic NAT = %q", aGot)
+	}
+}
+
+func TestHairpinFilteredMode(t *testing.T) {
+	// §6.3: a NAT that treats all traffic to its public ports as
+	// untrusted filters hairpin probes from un-punched sources, even
+	// though it "supports" hairpin for fully punched sessions.
+	b := nat.WellBehaved()
+	b.HairpinFiltered = true
+	c := topo.NewCommonNAT(1, b)
+	echo(t, c.S, 1234)
+	server := inet.EP("18.181.0.31", 1234)
+	sa, _ := c.A.UDPBind(4321)
+	sb, _ := c.B.UDPBind(4321)
+	delivered := false
+	sb.OnRecv(func(_ inet.Endpoint, p []byte) {
+		if string(p) == "hairpin" || string(p) == "hairpin-2" {
+			delivered = true
+		}
+	})
+	sa.SendTo(server, []byte("reg-a"))
+	sb.SendTo(server, []byte("reg-b"))
+	c.RunFor(time.Second)
+	pubB, _ := c.NAT.PublicEndpointFor(inet.UDP, sb.Local(), server)
+	// A probes B's public endpoint; B has never sent toward A's
+	// public endpoint, so the filter rejects the looped packet.
+	sa.SendTo(pubB, []byte("hairpin"))
+	c.RunFor(time.Second)
+	if delivered {
+		t.Error("filtered hairpin NAT delivered un-punched probe")
+	}
+	// After B also sends toward A's public endpoint (a punch), the
+	// hairpin passes.
+	pubA, _ := c.NAT.PublicEndpointFor(inet.UDP, sa.Local(), pubB)
+	sb.SendTo(pubA, []byte("punch-back"))
+	c.RunFor(time.Second)
+	sa.SendTo(pubB, []byte("hairpin-2"))
+	c.RunFor(time.Second)
+	if !delivered {
+		t.Error("punched hairpin still filtered")
+	}
+}

@@ -1,0 +1,127 @@
+package nat
+
+import (
+	"time"
+
+	"natpunch/internal/inet"
+)
+
+// mapKey identifies a mapping according to the NAT's mapping policy:
+// for endpoint-independent mapping only the private endpoint matters;
+// address-dependent adds the remote address; address+port-dependent
+// (symmetric) adds the full remote endpoint.
+type mapKey struct {
+	proto      inet.Proto
+	priv       inet.Endpoint
+	remoteAddr inet.Addr     // set only for MappingAddressDependent
+	remoteEP   inet.Endpoint // set only for MappingAddressPortDependent
+}
+
+// tcpState is the NAT's coarse per-session TCP tracking, which gives
+// the NAT "a standard way to determine the precise lifetime of a
+// particular TCP session" (§4) unlike UDP's pure idle timing.
+type tcpState uint8
+
+const (
+	tcpTransitory  tcpState = iota // SYN seen, handshake incomplete
+	tcpEstablished                 // traffic both ways after SYNs
+	tcpClosing                     // FIN or RST seen
+)
+
+// session is per-remote-endpoint state within a mapping: the filter
+// entry plus idle bookkeeping. §3.6: "many NATs associate UDP idle
+// timers with individual UDP sessions defined by a particular pair of
+// endpoints", which is why keep-alives on one session do not keep
+// others alive.
+type session struct {
+	remote    inet.Endpoint
+	lastOut   time.Duration // last outbound traffic (refreshes timer)
+	lastIn    time.Duration
+	inbound   bool // created by unsolicited inbound (EIF NATs only)
+	tcp       tcpState
+	sawSynIn  bool
+	sawSynOut bool
+}
+
+// mapping is one NAT translation: a private endpoint (plus, for
+// non-cone policies, a remote qualifier) bound to a public endpoint.
+type mapping struct {
+	key      mapKey
+	priv     inet.Endpoint
+	pub      inet.Endpoint
+	proto    inet.Proto
+	sessions map[inet.Endpoint]*session
+	created  time.Duration
+}
+
+// table holds one protocol's mappings with both lookup directions.
+// Public endpoints are full (address, port) pairs so that Basic NAT
+// pool addresses and NAPT translations coexist, and so UDP and TCP
+// port spaces stay independent (each protocol has its own table).
+type table struct {
+	byKey map[mapKey]*mapping
+	byPub map[inet.Endpoint]*mapping
+}
+
+func newTable() *table {
+	return &table{
+		byKey: make(map[mapKey]*mapping),
+		byPub: make(map[inet.Endpoint]*mapping),
+	}
+}
+
+func (t *table) insert(m *mapping) {
+	t.byKey[m.key] = m
+	t.byPub[m.pub] = m
+}
+
+func (t *table) remove(m *mapping) {
+	if t.byKey[m.key] == m {
+		delete(t.byKey, m.key)
+	}
+	if t.byPub[m.pub] == m {
+		delete(t.byPub, m.pub)
+	}
+}
+
+// keyFor derives the mapping key for an outbound packet under the
+// given policy.
+func keyFor(policy MappingPolicy, proto inet.Proto, priv, remote inet.Endpoint) mapKey {
+	k := mapKey{proto: proto, priv: priv}
+	switch policy {
+	case MappingAddressDependent:
+		k.remoteAddr = remote.Addr
+	case MappingAddressPortDependent:
+		k.remoteEP = remote
+	}
+	return k
+}
+
+// sessionFor returns (creating if requested) the per-remote session.
+func (m *mapping) sessionFor(remote inet.Endpoint, create bool) *session {
+	s := m.sessions[remote]
+	if s == nil && create {
+		s = &session{remote: remote}
+		m.sessions[remote] = s
+	}
+	return s
+}
+
+// allows applies the filtering policy to an inbound packet from
+// remote. A session must exist that matches per the policy and has
+// not expired (expiry is handled by the caller's purge).
+func (m *mapping) allows(policy FilteringPolicy, remote inet.Endpoint) bool {
+	switch policy {
+	case FilterEndpointIndependent:
+		return true
+	case FilterAddressDependent:
+		for _, s := range m.sessions {
+			if s.remote.Addr == remote.Addr {
+				return true
+			}
+		}
+		return false
+	default: // FilterAddressPortDependent
+		return m.sessions[remote] != nil
+	}
+}

@@ -1,0 +1,148 @@
+// Package natcheck reproduces the paper's NAT Check tool (§6.1,
+// Figure 8): a client behind the NAT under test cooperating with
+// three servers at distinct global IP addresses to measure the two
+// properties crucial to hole punching — consistent identity-
+// preserving endpoint translation (§5.1) and silent dropping of
+// unsolicited inbound TCP SYNs (§5.2) — plus hairpin translation
+// support (§5.4) and whether the NAT filters unsolicited inbound
+// traffic at all.
+package natcheck
+
+import (
+	"encoding/binary"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+)
+
+// Port layout: every server speaks UDP and TCP on Port; server 2
+// reaches server 3 on CtrlPort; server 3 sources its inbound probe
+// connection from ProbePort.
+const (
+	Port      inet.Port = 7000
+	CtrlPort  inet.Port = 7001
+	ProbePort inet.Port = 9001
+)
+
+// UDP wire tags (single byte + token + optional endpoint).
+const (
+	tagQuery      = 'Q' // client -> s1/s2: report my public endpoint
+	tagQueryFwd   = 'W' // client -> s2: also trigger server 3's reply
+	tagAnswer     = 'A' // s1/s2 -> client: observed endpoint
+	tagForward    = 'F' // s2 -> s3 (control): UDP test, reply unsolicited
+	tagTCPForward = 'T' // s2 -> s3 (control): TCP test, dial the client
+	tagUnsol      = 'X' // s3 -> client: the unsolicited reply
+	tagHairpin    = 'H' // client second socket -> first socket's public EP
+)
+
+// TCP stream tags.
+const (
+	tagTCPQuery  = 'q' // client -> s1: report observed endpoint
+	tagTCPQuery2 = 'w' // client -> s2: delayed reply + server-3 probe
+	tagTCPAnswer = 'a' // server -> client: observed EP [+ probe EP]
+	tagTCPProbe  = 'p' // s3 -> client on its inbound probe connection
+	tagGoAhead   = 'g' // s3 -> s2 (control): reply to the client now
+)
+
+// UnsolicitedSYNBehavior is the NAT's observed response to server 3's
+// unsolicited TCP connection attempt (§6.1.2).
+type UnsolicitedSYNBehavior uint8
+
+// Behaviors.
+const (
+	// SYNUnknown: the TCP test did not complete.
+	SYNUnknown UnsolicitedSYNBehavior = iota
+	// SYNDropped: nothing arrived before server 2's delayed reply and
+	// the client's subsequent connect to server 3 succeeded — the NAT
+	// silently dropped the SYN (the §5.2 good behavior).
+	SYNDropped
+	// SYNAllowedThrough: the client's listen socket received server
+	// 3's connection before server 2 replied — no inbound filtering
+	// ("fine for hole punching but not ideal for security", §6.1.2).
+	SYNAllowedThrough
+	// SYNRejected: the client's connect to server 3 failed — the NAT
+	// answered server 3 with RST (or ICMP), killing its attempt.
+	SYNRejected
+)
+
+// String names the behavior.
+func (b UnsolicitedSYNBehavior) String() string {
+	switch b {
+	case SYNDropped:
+		return "dropped"
+	case SYNAllowedThrough:
+		return "allowed-through"
+	case SYNRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// Report is NAT Check's outcome for one device, mirroring the four
+// Table 1 columns plus the filtering observation.
+type Report struct {
+	// UDP results (§6.1.1).
+	UDPResponded  bool
+	UDPPublic1    inet.Endpoint // as seen by server 1
+	UDPPublic2    inet.Endpoint // as seen by server 2
+	UDPConsistent bool          // the §5.1 precondition
+	UDPFilters    bool          // server 3's reply did NOT arrive
+	UDPHairpin    bool
+
+	// TCP results (§6.1.2).
+	TCPResponded  bool
+	TCPPublic1    inet.Endpoint
+	TCPPublic2    inet.Endpoint
+	TCPConsistent bool
+	SYNBehavior   UnsolicitedSYNBehavior
+	TCPConnS3OK   bool
+	TCPHairpin    bool
+}
+
+// SupportsUDPPunch applies the paper's §6.2 criterion: consistent
+// translation of the client's private endpoint.
+func (r Report) SupportsUDPPunch() bool {
+	return r.UDPResponded && r.UDPConsistent
+}
+
+// SupportsTCPPunch applies §6.2: consistent translation and no RSTs
+// to unsolicited connection attempts.
+func (r Report) SupportsTCPPunch() bool {
+	return r.TCPResponded && r.TCPConsistent && r.SYNBehavior != SYNRejected &&
+		(r.TCPConnS3OK || r.SYNBehavior == SYNAllowedThrough)
+}
+
+func appendEP(b []byte, ep inet.Endpoint) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(ep.Addr))
+	return binary.BigEndian.AppendUint16(b, uint16(ep.Port))
+}
+
+func readEP(b []byte) (inet.Endpoint, []byte) {
+	if len(b) < 6 {
+		return inet.Endpoint{}, nil
+	}
+	ep := inet.Endpoint{
+		Addr: inet.Addr(binary.BigEndian.Uint32(b)),
+		Port: inet.Port(binary.BigEndian.Uint16(b[4:])),
+	}
+	return ep, b[6:]
+}
+
+// Timeouts from §6.1.2: server 3 waits five seconds before signalling
+// the go-ahead and up to twenty in total.
+const (
+	goAheadDelay = 5 * time.Second
+	probeGiveUp  = 20 * time.Second
+	replyWait    = 2 * time.Second
+)
+
+// Durations the full check needs; callers should run the simulation
+// at least this long.
+const CheckDuration = 40 * time.Second
+
+// hostAddrEP builds an endpoint on h.
+func hostAddrEP(h *host.Host, port inet.Port) inet.Endpoint {
+	return inet.Endpoint{Addr: h.Addr(), Port: port}
+}

@@ -1,0 +1,170 @@
+package natcheck_test
+
+import (
+	"testing"
+
+	"natpunch/internal/host"
+	"natpunch/internal/nat"
+	"natpunch/internal/natcheck"
+	"natpunch/internal/topo"
+)
+
+// check runs NAT Check against a client behind the given behavior
+// (nil = no NAT at all).
+func check(t *testing.T, behavior *nat.Behavior) natcheck.Report {
+	t.Helper()
+	in := topo.NewInternet(1)
+	core := in.CoreRealm()
+	s1 := core.AddHost("s1", "18.181.0.31", host.BSDStyle)
+	s2 := core.AddHost("s2", "18.181.0.32", host.BSDStyle)
+	s3 := core.AddHost("s3", "18.181.0.33", host.BSDStyle)
+	sv, err := natcheck.NewServers(s1, s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var client *host.Host
+	if behavior == nil {
+		client = core.AddHost("C", "155.99.25.80", host.BSDStyle)
+	} else {
+		realm := core.AddSite("NAT", *behavior, "155.99.25.11", "10.0.0.0/24")
+		client = realm.AddHost("C", "10.0.0.1", host.BSDStyle)
+	}
+	var report natcheck.Report
+	got := false
+	if err := natcheck.Run(client, sv, 4321, func(r natcheck.Report) { report, got = r, true }); err != nil {
+		t.Fatal(err)
+	}
+	in.RunFor(natcheck.CheckDuration + 10e9)
+	if !got {
+		t.Fatal("NAT Check did not complete")
+	}
+	return report
+}
+
+func bp(b nat.Behavior) *nat.Behavior { return &b }
+
+func TestNATCheckWellBehaved(t *testing.T) {
+	r := check(t, bp(nat.WellBehaved()))
+	if !r.SupportsUDPPunch() {
+		t.Errorf("well-behaved NAT should support UDP punching: %+v", r)
+	}
+	if !r.SupportsTCPPunch() {
+		t.Errorf("well-behaved NAT should support TCP punching: %+v", r)
+	}
+	if !r.UDPFilters {
+		t.Error("port-restricted NAT should filter server 3's reply")
+	}
+	if !r.UDPHairpin || !r.TCPHairpin {
+		t.Errorf("hairpin not detected: udp=%v tcp=%v", r.UDPHairpin, r.TCPHairpin)
+	}
+	if r.SYNBehavior != natcheck.SYNDropped {
+		t.Errorf("SYN behavior = %v, want dropped", r.SYNBehavior)
+	}
+}
+
+func TestNATCheckCone(t *testing.T) {
+	r := check(t, bp(nat.Cone()))
+	if !r.SupportsUDPPunch() || !r.SupportsTCPPunch() {
+		t.Errorf("cone NAT should support punching: %+v", r)
+	}
+	if r.UDPHairpin || r.TCPHairpin {
+		t.Error("cone preset has no hairpin, but NAT Check saw it")
+	}
+}
+
+func TestNATCheckFullCone(t *testing.T) {
+	r := check(t, bp(nat.FullCone()))
+	if !r.SupportsUDPPunch() {
+		t.Errorf("full-cone should punch: %+v", r)
+	}
+	if r.UDPFilters {
+		t.Error("full cone must not filter server 3's unsolicited reply")
+	}
+	if r.SYNBehavior != natcheck.SYNAllowedThrough {
+		t.Errorf("SYN behavior = %v, want allowed-through", r.SYNBehavior)
+	}
+	if !r.SupportsTCPPunch() {
+		t.Error("allowed-through is punch-compatible (§6.1.2)")
+	}
+}
+
+func TestNATCheckSymmetric(t *testing.T) {
+	r := check(t, bp(nat.Symmetric()))
+	if r.SupportsUDPPunch() {
+		t.Errorf("symmetric NAT must fail the consistency test: %+v", r)
+	}
+	if r.UDPConsistent || r.TCPConsistent {
+		t.Error("symmetric NAT reported consistent endpoints")
+	}
+	if r.SupportsTCPPunch() {
+		t.Error("symmetric NAT must not be TCP-punch compatible")
+	}
+}
+
+func TestNATCheckRSTNAT(t *testing.T) {
+	r := check(t, bp(nat.RSTCone()))
+	if !r.SupportsUDPPunch() {
+		t.Error("RST cone still supports UDP punching")
+	}
+	if r.SYNBehavior != natcheck.SYNRejected {
+		t.Errorf("SYN behavior = %v, want rejected", r.SYNBehavior)
+	}
+	if r.SupportsTCPPunch() {
+		t.Error("§6.2: RST-sending NATs are counted TCP-punch incompatible")
+	}
+}
+
+func TestNATCheckNoNAT(t *testing.T) {
+	r := check(t, nil)
+	if !r.UDPConsistent || !r.TCPConsistent {
+		t.Errorf("no-NAT client inconsistent: %+v", r)
+	}
+	if r.UDPFilters {
+		t.Error("no NAT, nothing filters")
+	}
+	// The public host answers its own hairpin probe trivially (there
+	// is no NAT to loop through; the packet goes straight to the
+	// socket).
+	if !r.UDPHairpin {
+		t.Error("loopback-to-self should deliver")
+	}
+}
+
+func TestNATCheckHairpinFilteredPessimism(t *testing.T) {
+	// §6.3: NAT Check under-reports hairpin on NATs that filter
+	// hairpin traffic like inbound traffic, even though full two-way
+	// punches would work. Our reproduction shows the same pessimism.
+	b := nat.WellBehaved()
+	b.HairpinFiltered = true
+	r := check(t, bp(b))
+	if r.UDPHairpin {
+		t.Error("hairpin-filtering NAT should fail NAT Check's one-way hairpin probe")
+	}
+}
+
+func TestNATCheckBehaviorMatrix(t *testing.T) {
+	// Every mapping/filtering/refusal combination must classify
+	// according to the paper's criteria: punch support == consistent
+	// mapping (UDP) plus non-RST refusal (TCP).
+	for _, mapping := range []nat.MappingPolicy{
+		nat.MappingEndpointIndependent, nat.MappingAddressDependent, nat.MappingAddressPortDependent,
+	} {
+		for _, filtering := range []nat.FilteringPolicy{
+			nat.FilterEndpointIndependent, nat.FilterAddressDependent, nat.FilterAddressPortDependent,
+		} {
+			for _, refusal := range []nat.TCPRefusal{nat.RefuseDrop, nat.RefuseRST} {
+				b := nat.Behavior{
+					Label: "matrix", Mapping: mapping, Filtering: filtering,
+					PortAlloc: nat.PortSequential, TCPRefusal: refusal,
+				}
+				r := check(t, &b)
+				if got, want := r.SupportsUDPPunch(), b.SupportsUDPPunch(); got != want {
+					t.Errorf("%v/%v/%v: UDP punch detected=%v want %v", mapping, filtering, refusal, got, want)
+				}
+				if got, want := r.SupportsTCPPunch(), b.SupportsTCPPunch(); got != want {
+					t.Errorf("%v/%v/%v: TCP punch detected=%v want %v", mapping, filtering, refusal, got, want)
+				}
+			}
+		}
+	}
+}

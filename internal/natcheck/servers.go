@@ -1,0 +1,182 @@
+package natcheck
+
+import (
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/tcp"
+)
+
+// Servers are NAT Check's three well-known hosts (§6.1: "three
+// well-known servers at different global IP addresses").
+type Servers struct {
+	S1, S2, S3 *host.Host
+
+	s1UDP, s2UDP *host.UDPSocket
+	s3Ctrl       *host.UDPSocket
+
+	// Server 2's delayed replies, keyed by token (§6.1.2).
+	pendingTCP map[uint32]*tcp.Conn
+}
+
+// NewServers wires the three server roles onto three public hosts.
+func NewServers(s1, s2, s3 *host.Host) (*Servers, error) {
+	sv := &Servers{S1: s1, S2: s2, S3: s3, pendingTCP: make(map[uint32]*tcp.Conn)}
+	var err error
+	if sv.s1UDP, err = s1.UDPBind(Port); err != nil {
+		return nil, err
+	}
+	if sv.s2UDP, err = s2.UDPBind(Port); err != nil {
+		return nil, err
+	}
+	if sv.s3Ctrl, err = s3.UDPBind(CtrlPort); err != nil {
+		return nil, err
+	}
+
+	sv.s1UDP.OnRecv(func(from inet.Endpoint, p []byte) { sv.serveUDP(sv.s1UDP, from, p, false) })
+	sv.s2UDP.OnRecv(sv.serveS2UDP)
+	sv.s3Ctrl.OnRecv(sv.serveS3Ctrl)
+
+	if err := sv.listenTCP(); err != nil {
+		return nil, err
+	}
+	return sv, nil
+}
+
+// Server1 and Server2 are the endpoints the client probes directly.
+func (sv *Servers) Server1() inet.Endpoint { return hostAddrEP(sv.S1, Port) }
+
+// Server2 returns server 2's endpoint.
+func (sv *Servers) Server2() inet.Endpoint { return hostAddrEP(sv.S2, Port) }
+
+// --- UDP side (Figure 8) ---
+
+// serveUDP answers a client ping with the observed endpoint; server 2
+// additionally forwards the request to server 3, whose reply to the
+// client is unsolicited by design (§6.1.1).
+func (sv *Servers) serveUDP(sock *host.UDPSocket, from inet.Endpoint, p []byte, isS2 bool) {
+	if len(p) < 5 {
+		return
+	}
+	tag, token := p[0], p[1:5]
+	if tag != tagQuery && tag != tagQueryFwd {
+		return
+	}
+	ans := append([]byte{tagAnswer}, token...)
+	ans = appendEP(ans, from)
+	sock.SendTo(from, ans)
+	if isS2 && tag == tagQueryFwd {
+		fwd := append([]byte{tagForward}, token...)
+		fwd = appendEP(fwd, from)
+		sock.SendTo(hostAddrEP(sv.S3, CtrlPort), fwd)
+	}
+}
+
+// serveS2UDP handles client pings and server 3's go-ahead signals,
+// which release delayed TCP replies (§6.1.2).
+func (sv *Servers) serveS2UDP(from inet.Endpoint, p []byte) {
+	if len(p) >= 11 && p[0] == tagGoAhead {
+		token := bigU32(p[1:5])
+		probeEP, _ := readEP(p[5:])
+		if cn := sv.pendingTCP[token]; cn != nil {
+			delete(sv.pendingTCP, token)
+			ans := append([]byte{tagTCPAnswer}, p[1:5]...)
+			ans = appendEP(ans, cn.Remote())
+			ans = appendEP(ans, probeEP)
+			cn.Write(ans)
+		}
+		return
+	}
+	sv.serveUDP(sv.s2UDP, from, p, true)
+}
+
+// serveS3Ctrl is server 3's control endpoint: UDP forwards trigger
+// the unsolicited UDP reply; TCP forwards trigger the inbound
+// connection probe.
+func (sv *Servers) serveS3Ctrl(from inet.Endpoint, p []byte) {
+	if len(p) < 11 {
+		return
+	}
+	token, rest := p[1:5], p[5:]
+	client, _ := readEP(rest)
+	switch p[0] {
+	case tagForward:
+		// §6.1.1: reply to the client from server 3's own address —
+		// filtered by any per-session-filtering NAT.
+		out := append([]byte{tagUnsol}, token...)
+		sv.s3Ctrl.SendTo(client, out)
+	case tagTCPForward:
+		sv.probeTCP(bigU32(token), client)
+	}
+}
+
+// --- TCP side (§6.1.2) ---
+
+func (sv *Servers) listenTCP() error {
+	// Server 1: plain observed-endpoint echo.
+	_, err := sv.S1.TCPListen(Port, false, func(conn *tcp.Conn) {
+		conn.OnData(func(cn *tcp.Conn, p []byte) {
+			if len(p) >= 5 && p[0] == tagTCPQuery {
+				ans := append([]byte{tagTCPAnswer}, p[1:5]...)
+				ans = appendEP(ans, cn.Remote())
+				cn.Write(ans)
+			}
+		})
+	})
+	if err != nil {
+		return err
+	}
+
+	// Server 2: records the connection and defers the answer until
+	// server 3's go-ahead.
+	_, err = sv.S2.TCPListen(Port, false, func(conn *tcp.Conn) {
+		conn.OnData(func(cn *tcp.Conn, p []byte) {
+			if len(p) >= 5 && p[0] == tagTCPQuery2 {
+				token := bigU32(p[1:5])
+				sv.pendingTCP[token] = cn
+				fwd := append([]byte{tagTCPForward}, p[1:5]...)
+				fwd = appendEP(fwd, cn.Remote())
+				sv.s2UDP.SendTo(hostAddrEP(sv.S3, CtrlPort), fwd)
+			}
+		})
+	})
+	return err
+}
+
+// probeTCP is server 3's inbound connection attempt: dial the
+// client's public TCP endpoint from ProbePort; after five seconds
+// send server 2 the go-ahead and keep trying up to twenty (§6.1.2).
+func (sv *Servers) probeTCP(token uint32, client inet.Endpoint) {
+	sched := sv.S3.Sched()
+	var conn *tcp.Conn
+	settled := false
+	conn, err := sv.S3.TCPDial(client, host.DialOpts{LocalPort: ProbePort, ReuseAddr: true}, tcp.Callbacks{
+		Established: func(cn *tcp.Conn) {
+			// The NAT let the unsolicited connection through.
+			settled = true
+			cn.Write([]byte{tagTCPProbe, byte(token >> 24), byte(token >> 16), byte(token >> 8), byte(token)})
+		},
+		Error: func(cn *tcp.Conn, err error) {
+			// RST or ICMP from the NAT: give up (§6.1.2: "server 3
+			// gives up").
+			settled = true
+		},
+	})
+	if err != nil {
+		return
+	}
+	probeEP := inet.Endpoint{Addr: sv.S3.Addr(), Port: ProbePort}
+	sched.After(goAheadDelay, func() {
+		go2 := append([]byte{tagGoAhead}, byte(token>>24), byte(token>>16), byte(token>>8), byte(token))
+		go2 = appendEP(go2, probeEP)
+		sv.s3Ctrl.SendTo(sv.s2UDP.Local(), go2)
+	})
+	sched.After(probeGiveUp, func() {
+		if !settled && conn.State() != tcp.Established {
+			conn.Abort()
+		}
+	})
+}
+
+func bigU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

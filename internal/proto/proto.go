@@ -1,0 +1,279 @@
+// Package proto defines the wire protocol spoken between punching
+// clients, the rendezvous server S, and relays: registration with
+// private-endpoint reporting (§3.1), connection-request forwarding
+// with public+private endpoint exchange (§3.2 steps 1-2), punch
+// probes carrying authentication nonces (§3.4 requires applications
+// to authenticate to filter stray traffic), keep-alives (§3.6),
+// relaying (§2.2), and connection reversal (§2.3).
+//
+// Messages use a fixed binary encoding (type byte, then fixed fields,
+// then length-prefixed strings). Endpoints can optionally be
+// obfuscated by one's-complementing the address (§3.1/§5.3), which
+// defeats NATs that blindly rewrite payload bytes resembling private
+// IP addresses.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"natpunch/internal/inet"
+)
+
+// Type identifies a protocol message.
+type Type uint8
+
+// Message types.
+const (
+	// TypeRegister: client -> S. Carries the client's ID and its
+	// private endpoint as the client itself observes it (§3.1).
+	TypeRegister Type = iota + 1
+	// TypeRegisterOK: S -> client. Echoes the client's public endpoint
+	// as observed by S (the translated endpoint), so the client learns
+	// its own public endpoint.
+	TypeRegisterOK
+	// TypeConnectRequest: client -> S. "A asks S for help establishing
+	// a session with B" (§3.2 step 1). Carries the target's ID and the
+	// session nonce A chose.
+	TypeConnectRequest
+	// TypeConnectDetails: S -> both clients (§3.2 step 2). Carries the
+	// peer's ID, public and private endpoints, the session nonce, and
+	// whether the receiver is the original requester.
+	TypeConnectDetails
+	// TypePunch: client -> peer candidate endpoint. The hole-punching
+	// probe, authenticated by the session nonce (§3.4).
+	TypePunch
+	// TypePunchAck: reply to a punch probe; locking in the responding
+	// endpoint (§3.2 step 3).
+	TypePunchAck
+	// TypeKeepAlive: client -> peer on an established session (§3.6).
+	TypeKeepAlive
+	// TypeRelayTo: client -> S, asking S to forward Data to Target
+	// (§2.2 relaying fallback).
+	TypeRelayTo
+	// TypeRelayed: S -> client, forwarded relay payload.
+	TypeRelayed
+	// TypeReverseRequest: client -> S -> peer. Asks an un-NATed (or
+	// already-reachable) peer to connect back (§2.3).
+	TypeReverseRequest
+	// TypeError: S -> client, request failed (unknown peer, ...).
+	TypeError
+	// TypeSeqRequest: sequential hole punching step 1 (§4.5, NatTrav):
+	// A informs B via S of its desire to communicate without
+	// simultaneously listening. Forwarded by S with A's endpoints.
+	TypeSeqRequest
+	// TypeSeqGo: sequential hole punching step 3->4: B has made its
+	// doomed connect() (opening the hole in its NAT) and is now
+	// listening; S signals A to connect. (NatTrav signals this by
+	// closing TCP connections to S; an explicit message is
+	// semantically equivalent and keeps the S connections reusable,
+	// which §4.5 notes the parallel procedure enjoys.)
+	TypeSeqGo
+	// TypeData: application payload on an established punched session.
+	TypeData
+)
+
+// String names the message type.
+func (t Type) String() string {
+	names := map[Type]string{
+		TypeRegister: "register", TypeRegisterOK: "register-ok",
+		TypeConnectRequest: "connect-request", TypeConnectDetails: "connect-details",
+		TypePunch: "punch", TypePunchAck: "punch-ack", TypeKeepAlive: "keep-alive",
+		TypeRelayTo: "relay-to", TypeRelayed: "relayed",
+		TypeReverseRequest: "reverse-request", TypeError: "error",
+		TypeSeqRequest: "seq-request", TypeSeqGo: "seq-go", TypeData: "data",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Message is the decoded form of every protocol message; unused
+// fields are zero. One concrete struct keeps encode/decode total and
+// easily property-testable.
+type Message struct {
+	Type Type
+	// From and Target are client identities (names registered with S).
+	From, Target string
+	// Public and Private are the endpoint pair exchanged through S
+	// (§3.2). In TypeRegister, Private is the sender's own view;
+	// in TypeRegisterOK, Public is S's view of the sender.
+	Public, Private inet.Endpoint
+	// Nonce authenticates punch traffic for one session (§3.4).
+	Nonce uint64
+	// Requester marks the ConnectDetails copy sent to the original
+	// requester (it dials; the other side also dials — both punch).
+	Requester bool
+	// Seq sequences keep-alives and data for loss accounting.
+	Seq uint32
+	// Data is relay or application payload.
+	Data []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrShort   = errors.New("proto: message truncated")
+	ErrBadType = errors.New("proto: unknown message type")
+)
+
+const magic = 0xF0 // version/magic nibble guarding against stray traffic
+
+// Obfuscator transforms endpoints on the wire. The paper suggests
+// one's-complementing addresses so NATs cannot recognize them (§3.1).
+type Obfuscator uint8
+
+// Obfuscation modes.
+const (
+	// PlainEndpoints transmits addresses verbatim (vulnerable to
+	// mangler NATs, §5.3).
+	PlainEndpoints Obfuscator = iota
+	// ObfuscatedEndpoints transmits the one's complement of each
+	// address.
+	ObfuscatedEndpoints
+)
+
+func (o Obfuscator) addr(a inet.Addr) inet.Addr {
+	if o == ObfuscatedEndpoints {
+		return a.Complement()
+	}
+	return a
+}
+
+// Encode serializes m. Obfuscation applies to both endpoint fields
+// (it is its own inverse, so Decode uses the same Obfuscator).
+func Encode(m *Message, obf Obfuscator) []byte {
+	buf := make([]byte, 0, 64+len(m.Data))
+	buf = append(buf, magic, byte(m.Type), byte(obf))
+	buf = appendString(buf, m.From)
+	buf = appendString(buf, m.Target)
+	buf = appendEndpoint(buf, m.Public, obf)
+	buf = appendEndpoint(buf, m.Private, obf)
+	buf = binary.BigEndian.AppendUint64(buf, m.Nonce)
+	if m.Requester {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
+	buf = append(buf, m.Data...)
+	return buf
+}
+
+// Decode parses a message. The obfuscation mode is carried in the
+// header, so peers interoperate regardless of their local setting.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 3 || b[0] != magic {
+		return nil, ErrShort
+	}
+	m := &Message{Type: Type(b[1])}
+	if m.Type == 0 || m.Type > TypeData {
+		return nil, ErrBadType
+	}
+	obf := Obfuscator(b[2])
+	b = b[3:]
+	var err error
+	if m.From, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.Target, b, err = readString(b); err != nil {
+		return nil, err
+	}
+	if m.Public, b, err = readEndpoint(b, obf); err != nil {
+		return nil, err
+	}
+	if m.Private, b, err = readEndpoint(b, obf); err != nil {
+		return nil, err
+	}
+	if len(b) < 8+1+4+4 {
+		return nil, ErrShort
+	}
+	m.Nonce = binary.BigEndian.Uint64(b)
+	m.Requester = b[8] == 1
+	m.Seq = binary.BigEndian.Uint32(b[9:])
+	n := binary.BigEndian.Uint32(b[13:])
+	b = b[17:]
+	if uint32(len(b)) < n {
+		return nil, ErrShort
+	}
+	if n > 0 {
+		m.Data = append([]byte(nil), b[:n]...)
+	}
+	return m, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, ErrShort
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendEndpoint(buf []byte, ep inet.Endpoint, obf Obfuscator) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(obf.addr(ep.Addr)))
+	return binary.BigEndian.AppendUint16(buf, uint16(ep.Port))
+}
+
+func readEndpoint(b []byte, obf Obfuscator) (inet.Endpoint, []byte, error) {
+	if len(b) < 6 {
+		return inet.Endpoint{}, nil, ErrShort
+	}
+	ep := inet.Endpoint{
+		Addr: obf.addr(inet.Addr(binary.BigEndian.Uint32(b))),
+		Port: inet.Port(binary.BigEndian.Uint16(b[4:])),
+	}
+	return ep, b[6:], nil
+}
+
+// --- stream framing for TCP transports ---
+
+// AppendFrame appends a length-prefixed encoding of m to dst,
+// suitable for a TCP byte stream.
+func AppendFrame(dst []byte, m *Message, obf Obfuscator) []byte {
+	body := Encode(m, obf)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// StreamDecoder incrementally decodes length-prefixed messages from a
+// TCP byte stream.
+type StreamDecoder struct {
+	buf []byte
+}
+
+// Feed appends stream bytes and returns all complete messages.
+// Malformed frames return an error and poison the decoder.
+func (d *StreamDecoder) Feed(p []byte) ([]*Message, error) {
+	d.buf = append(d.buf, p...)
+	var out []*Message
+	for {
+		if len(d.buf) < 4 {
+			return out, nil
+		}
+		n := binary.BigEndian.Uint32(d.buf)
+		if n > 1<<20 {
+			return out, fmt.Errorf("proto: oversized frame (%d bytes)", n)
+		}
+		if uint32(len(d.buf)-4) < n {
+			return out, nil
+		}
+		m, err := Decode(d.buf[4 : 4+n])
+		if err != nil {
+			return out, err
+		}
+		d.buf = d.buf[4+n:]
+		out = append(out, m)
+	}
+}

@@ -1,0 +1,167 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"natpunch/internal/inet"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Type:      TypeConnectDetails,
+		From:      "server",
+		Target:    "client-b",
+		Public:    inet.EP("155.99.25.11", 62000),
+		Private:   inet.EP("10.0.0.1", 4321),
+		Nonce:     0xDEADBEEFCAFE,
+		Requester: true,
+		Seq:       42,
+		Data:      []byte("payload"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, obf := range []Obfuscator{PlainEndpoints, ObfuscatedEndpoints} {
+		m := sampleMessage()
+		got, err := Decode(Encode(m, obf))
+		if err != nil {
+			t.Fatalf("obf=%d: %v", obf, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("obf=%d: round trip mismatch:\n in: %+v\nout: %+v", obf, m, got)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, from, target string, pubA, privA uint32, pubP, privP uint16,
+		nonce uint64, req bool, seq uint32, data []byte, obf bool) bool {
+		m := &Message{
+			Type: Type(typ%uint8(TypeData)) + 1,
+			From: from, Target: target,
+			Public:  inet.Endpoint{Addr: inet.Addr(pubA), Port: inet.Port(pubP)},
+			Private: inet.Endpoint{Addr: inet.Addr(privA), Port: inet.Port(privP)},
+			Nonce:   nonce, Requester: req, Seq: seq,
+		}
+		if len(data) > 0 {
+			m.Data = data
+		}
+		mode := PlainEndpoints
+		if obf {
+			mode = ObfuscatedEndpoints
+		}
+		got, err := Decode(Encode(m, mode))
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObfuscationHidesAddressBytes(t *testing.T) {
+	// The raw private address bytes must not appear in the obfuscated
+	// wire form — that is the whole point (§3.1: defeat NATs scanning
+	// for address-like byte sequences).
+	m := &Message{Type: TypeRegister, From: "a", Private: inet.EP("10.0.0.1", 4321)}
+	raw := inet.MustParseAddr("10.0.0.1").Octets()
+	plain := Encode(m, PlainEndpoints)
+	if !bytes.Contains(plain, raw[:]) {
+		t.Fatal("plain encoding should contain the address bytes")
+	}
+	obf := Encode(m, ObfuscatedEndpoints)
+	if bytes.Contains(obf, raw[:]) {
+		t.Error("obfuscated encoding leaks raw address bytes")
+	}
+}
+
+func TestCrossModeInterop(t *testing.T) {
+	// The header carries the mode, so a plain-mode receiver decodes an
+	// obfuscated message correctly.
+	m := sampleMessage()
+	got, err := Decode(Encode(m, ObfuscatedEndpoints))
+	if err != nil || got.Private != m.Private {
+		t.Fatalf("cross-mode decode: %+v, %v", got, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Decode([]byte{0x00, 1, 0}); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Decode([]byte{magic, 99, 0, 0, 0, 0, 0}); err != ErrBadType {
+		t.Error("unknown type should fail")
+	}
+	// Truncations at every length must error, never panic.
+	full := Encode(sampleMessage(), PlainEndpoints)
+	for i := 0; i < len(full)-1; i++ {
+		if _, err := Decode(full[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+}
+
+func TestStreamDecoder(t *testing.T) {
+	m1 := sampleMessage()
+	m2 := &Message{Type: TypeKeepAlive, From: "b", Seq: 7}
+	var wire []byte
+	wire = AppendFrame(wire, m1, PlainEndpoints)
+	wire = AppendFrame(wire, m2, ObfuscatedEndpoints)
+
+	// Feed in pathological 1-byte chunks.
+	var d StreamDecoder
+	var got []*Message
+	for _, b := range wire {
+		ms, err := d.Feed([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ms...)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d messages, want 2", len(got))
+	}
+	if !reflect.DeepEqual(got[0], m1) || got[1].Type != TypeKeepAlive || got[1].Seq != 7 {
+		t.Errorf("stream decode mismatch: %+v %+v", got[0], got[1])
+	}
+}
+
+func TestStreamDecoderOversizedFrame(t *testing.T) {
+	var d StreamDecoder
+	if _, err := d.Feed([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestStreamDecoderBatch(t *testing.T) {
+	var wire []byte
+	const n = 50
+	for i := 0; i < n; i++ {
+		wire = AppendFrame(wire, &Message{Type: TypeData, Seq: uint32(i)}, PlainEndpoints)
+	}
+	var d StreamDecoder
+	got, err := d.Feed(wire)
+	if err != nil || len(got) != n {
+		t.Fatalf("batch decode: %d msgs, err=%v", len(got), err)
+	}
+	for i, m := range got {
+		if m.Seq != uint32(i) {
+			t.Fatalf("order broken at %d: %d", i, m.Seq)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for typ := TypeRegister; typ <= TypeData; typ++ {
+		if typ.String() == "" {
+			t.Errorf("type %d has no name", typ)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package punch implements the paper's contribution: hole punching
+// for UDP (§3) and TCP (§4) with a rendezvous server, plus the
+// companion techniques — relaying (§2.2), connection reversal (§2.3),
+// and the sequential TCP variant (§4.5).
+//
+// A Client owns one UDP socket (enough for S and any number of peers,
+// §4.2) and one TCP local port shared — via SO_REUSEADDR semantics —
+// by the registration connection to S, a listener, and all outgoing
+// connection attempts (§4.1, Figure 7).
+//
+// All callbacks run inside the simulation event loop; the package is
+// deliberately lock-free and single-threaded, like the simulator.
+package punch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/proto"
+	"natpunch/internal/sim"
+)
+
+// Errors surfaced through session callbacks.
+var (
+	ErrPunchTimeout  = errors.New("punch: hole punching timed out")
+	ErrPeerUnknown   = errors.New("punch: peer not registered with rendezvous server")
+	ErrNotRegistered = errors.New("punch: client not registered")
+	ErrBusy          = errors.New("punch: attempt to this peer already in progress")
+	ErrRegisterFail  = errors.New("punch: registration with rendezvous server failed")
+)
+
+// Method classifies how a session was ultimately established. The
+// application cannot tell punched-through-NAT from hairpinned or
+// genuinely public paths (§3.5 notes apps need no topology knowledge),
+// so both are MethodPublic.
+type Method uint8
+
+// Session establishment methods.
+const (
+	MethodNone Method = iota
+	// MethodPrivate: the peer's private endpoint answered first —
+	// peers behind a common NAT (§3.3) or on one LAN.
+	MethodPrivate
+	// MethodPublic: the peer's public endpoint answered first — the
+	// canonical punched path (§3.4), a hairpinned path (§3.5), or a
+	// peer that was never behind a NAT.
+	MethodPublic
+	// MethodRelay: fell back to relaying through S (§2.2).
+	MethodRelay
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodPrivate:
+		return "private"
+	case MethodPublic:
+		return "public"
+	case MethodRelay:
+		return "relay"
+	default:
+		return "none"
+	}
+}
+
+// Config tunes the punching procedures. Zero values take defaults.
+type Config struct {
+	// PunchInterval is the UDP probe retransmission interval.
+	PunchInterval time.Duration // default 100ms
+	// PunchTimeout bounds the whole punching attempt (both
+	// protocols); §4.2 step 4's "application-defined maximum timeout
+	// period".
+	PunchTimeout time.Duration // default 10s
+	// ConnectRetryInterval is the delay before re-trying a failed TCP
+	// connect ("e.g., one second", §4.2 step 4).
+	ConnectRetryInterval time.Duration // default 1s
+	// AuthTimeout bounds how long an unauthenticated TCP stream may
+	// stay open before being discarded (§4.2 step 5).
+	AuthTimeout time.Duration // default 3s
+	// KeepAliveInterval paces session and registration keep-alives
+	// (§3.6).
+	KeepAliveInterval time.Duration // default 15s
+	// DeadAfter declares a UDP session dead when nothing has been
+	// received for this long, triggering the Dead callback so the
+	// application can re-punch on demand (§3.6).
+	DeadAfter time.Duration // default 60s
+	// Obfuscate one's-complements addresses inside message bodies
+	// (§3.1) to defeat mangler NATs (§5.3).
+	Obfuscate bool
+	// RelayFallback enables falling back to relaying through S when
+	// punching fails (§2.2: "a useful fall-back strategy if maximum
+	// robustness is desired").
+	RelayFallback bool
+	// DisableRegistrationKeepAlive turns off the periodic keep-alive
+	// to S (useful for tests that want the event queue to drain).
+	DisableRegistrationKeepAlive bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PunchInterval == 0 {
+		c.PunchInterval = 100 * time.Millisecond
+	}
+	if c.PunchTimeout == 0 {
+		c.PunchTimeout = 10 * time.Second
+	}
+	if c.ConnectRetryInterval == 0 {
+		c.ConnectRetryInterval = time.Second
+	}
+	if c.AuthTimeout == 0 {
+		c.AuthTimeout = 3 * time.Second
+	}
+	if c.KeepAliveInterval == 0 {
+		c.KeepAliveInterval = 15 * time.Second
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 60 * time.Second
+	}
+	return c
+}
+
+// Client is a hole-punching endpoint application.
+type Client struct {
+	h      *host.Host
+	name   string
+	server inet.Endpoint
+	cfg    Config
+	obf    proto.Obfuscator
+
+	// UDP state.
+	udp           *host.UDPSocket
+	udpPublic     inet.Endpoint
+	udpPrivate    inet.Endpoint
+	udpRegistered bool
+	udpRegDone    func(error)
+	udpRegRetry   *sim.Timer
+	udpRegTries   int
+	udpKeepAlive  *sim.Timer
+
+	udpAttempts map[uint64]*udpAttempt
+	udpSessions map[string]*UDPSession
+
+	// InboundUDP supplies callbacks for sessions initiated by peers
+	// (the forwarded connection request of §3.2 step 2 arrives without
+	// any local Connect call).
+	InboundUDP UDPCallbacks
+
+	// TCP state (tcp.go).
+	tcpState
+
+	// Trace, if set, receives one line per notable protocol event.
+	Trace func(format string, args ...any)
+
+	closed bool
+}
+
+// NewClient creates a punching client for host h, identified to the
+// rendezvous server at server by name.
+func NewClient(h *host.Host, name string, server inet.Endpoint, cfg Config) *Client {
+	c := &Client{
+		h:           h,
+		name:        name,
+		server:      server,
+		cfg:         cfg.withDefaults(),
+		udpAttempts: make(map[uint64]*udpAttempt),
+		udpSessions: make(map[string]*UDPSession),
+	}
+	if c.cfg.Obfuscate {
+		c.obf = proto.ObfuscatedEndpoints
+	}
+	c.tcpInit()
+	return c
+}
+
+// Name returns the client's rendezvous identity.
+func (c *Client) Name() string { return c.name }
+
+// Host returns the underlying simulated host.
+func (c *Client) Host() *host.Host { return c.h }
+
+// sched returns the simulation scheduler.
+func (c *Client) sched() *sim.Scheduler { return c.h.Sched() }
+
+func (c *Client) tracef(format string, args ...any) {
+	if c.Trace != nil {
+		c.Trace("%s: %s", c.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Close tears down sockets, sessions, and timers.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, s := range c.udpSessions {
+		s.Close()
+	}
+	for _, a := range c.udpAttempts {
+		a.stop()
+	}
+	if c.udpKeepAlive != nil {
+		c.udpKeepAlive.Stop()
+	}
+	if c.udpRegRetry != nil {
+		c.udpRegRetry.Stop()
+	}
+	if c.udp != nil {
+		c.udp.Close()
+	}
+	c.tcpClose()
+}
+
+// nonce draws a session authentication nonce (§3.4: "a random nonce
+// pre-arranged through S").
+func (c *Client) nonce() uint64 {
+	n := c.sched().Rand().Uint64()
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,449 @@
+package punch
+
+import (
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/proto"
+	"natpunch/internal/sim"
+)
+
+// UDPCallbacks are the application-visible events of a UDP session.
+type UDPCallbacks struct {
+	// Established fires once the session is usable.
+	Established func(*UDPSession)
+	// Failed fires when punching fails and no fallback is available.
+	Failed func(peer string, err error)
+	// Data fires per received datagram.
+	Data func(*UDPSession, []byte)
+	// Dead fires when the session stops receiving traffic (NAT state
+	// likely expired, §3.6); the application may re-punch on demand.
+	Dead func(*UDPSession)
+}
+
+// UDPSession is an established peer-to-peer UDP session.
+type UDPSession struct {
+	c    *Client
+	Peer string
+	// Remote is the locked-in endpoint (§3.2 step 3: "locks in
+	// whichever endpoint first elicits a valid response").
+	Remote inet.Endpoint
+	// Via classifies the path (private / public / relay).
+	Via Method
+	// Nonce authenticates the session's traffic (§3.4).
+	Nonce uint64
+
+	cb        UDPCallbacks
+	seq       uint32
+	lastRecvT time.Duration // virtual time of last inbound traffic
+	keepTimer *sim.Timer
+	closed    bool
+
+	// Stats.
+	SentDatagrams, RecvDatagrams uint64
+}
+
+// udpAttempt tracks one in-progress punching attempt (§3.2).
+type udpAttempt struct {
+	c         *Client
+	peer      string
+	nonce     uint64
+	requester bool
+	cb        UDPCallbacks
+	// Candidate endpoints from S: the peer's public and private
+	// endpoints (§3.2 step 2).
+	pub, priv  inet.Endpoint
+	gotDetails bool
+	probeTimer *sim.Timer
+	deadline   *sim.Timer
+	done       bool
+}
+
+func (a *udpAttempt) stop() {
+	a.done = true
+	if a.probeTimer != nil {
+		a.probeTimer.Stop()
+	}
+	if a.deadline != nil {
+		a.deadline.Stop()
+	}
+}
+
+// RegisterUDP binds the client's UDP socket to localPort and
+// registers with S, learning the public endpoint. done is invoked
+// with nil on success or an error after retries are exhausted.
+func (c *Client) RegisterUDP(localPort inet.Port, done func(error)) error {
+	s, err := c.h.UDPBind(localPort)
+	if err != nil {
+		return err
+	}
+	c.udp = s
+	c.udpPrivate = s.Local()
+	c.udpRegDone = done
+	s.OnRecv(c.handleUDPPacket)
+	c.sendRegisterUDP()
+	return nil
+}
+
+func (c *Client) sendRegisterUDP() {
+	if c.udpRegistered || c.closed {
+		return
+	}
+	c.udpRegTries++
+	if c.udpRegTries > 5 {
+		if c.udpRegDone != nil {
+			c.udpRegDone(ErrRegisterFail)
+		}
+		return
+	}
+	c.sendToServer(&proto.Message{
+		Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
+	})
+	c.udpRegRetry = c.sched().After(time.Second, c.sendRegisterUDP)
+}
+
+// sendToServer transmits a message to S over UDP.
+func (c *Client) sendToServer(m *proto.Message) {
+	c.udp.SendTo(c.server, proto.Encode(m, c.obf))
+}
+
+// UDPRegistered reports whether UDP registration completed.
+func (c *Client) UDPRegistered() bool { return c.udpRegistered }
+
+// PublicUDP returns the client's public UDP endpoint as observed by S
+// (§3.1).
+func (c *Client) PublicUDP() inet.Endpoint { return c.udpPublic }
+
+// PrivateUDP returns the client's own view of its UDP endpoint.
+func (c *Client) PrivateUDP() inet.Endpoint { return c.udpPrivate }
+
+// ConnectUDP starts hole punching toward peer (§3.2 step 1: "A asks S
+// for help establishing a UDP session with B"). The outcome arrives
+// via cb.
+func (c *Client) ConnectUDP(peer string, cb UDPCallbacks) {
+	if !c.udpRegistered {
+		if cb.Failed != nil {
+			cb.Failed(peer, ErrNotRegistered)
+		}
+		return
+	}
+	if _, busy := c.udpSessions[peer]; busy {
+		if cb.Failed != nil {
+			cb.Failed(peer, ErrBusy)
+		}
+		return
+	}
+	n := c.nonce()
+	a := &udpAttempt{c: c, peer: peer, nonce: n, requester: true, cb: cb}
+	c.udpAttempts[n] = a
+	a.deadline = c.sched().After(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
+	c.sendToServer(&proto.Message{
+		Type: proto.TypeConnectRequest, From: c.name, Target: peer, Nonce: n,
+	})
+	c.tracef("udp connect -> %s (nonce %d)", peer, n)
+}
+
+// handleUDPPacket is the single dispatch point for everything on the
+// client's one UDP socket: rendezvous replies, punch probes, session
+// data, and stray traffic (§3.4 requires robust filtering of the
+// latter).
+func (c *Client) handleUDPPacket(from inet.Endpoint, payload []byte) {
+	m, err := proto.Decode(payload)
+	if err != nil {
+		return // stray datagram (wrong host scenarios of §3.4)
+	}
+	switch m.Type {
+	case proto.TypeRegisterOK:
+		c.handleRegisterOK(m)
+	case proto.TypeConnectDetails:
+		c.handleConnectDetails(m)
+	case proto.TypePunch:
+		c.handlePunch(from, m)
+	case proto.TypePunchAck:
+		c.handlePunchAck(from, m)
+	case proto.TypeData:
+		c.handleSessionData(from, m)
+	case proto.TypeKeepAlive:
+		c.handleSessionKeepAlive(from, m)
+	case proto.TypeRelayed:
+		c.handleRelayed(m)
+	case proto.TypeError:
+		c.handleServerError(m)
+	}
+}
+
+func (c *Client) handleRegisterOK(m *proto.Message) {
+	if c.udpRegistered {
+		return
+	}
+	c.udpRegistered = true
+	c.udpPublic = m.Public
+	if c.udpRegRetry != nil {
+		c.udpRegRetry.Stop()
+	}
+	c.tracef("udp registered: private=%s public=%s", c.udpPrivate, c.udpPublic)
+	if !c.cfg.DisableRegistrationKeepAlive {
+		c.scheduleServerKeepAlive()
+	}
+	if c.udpRegDone != nil {
+		c.udpRegDone(nil)
+	}
+}
+
+// scheduleServerKeepAlive keeps the registration's NAT mapping alive
+// (§3.6).
+func (c *Client) scheduleServerKeepAlive() {
+	c.udpKeepAlive = c.sched().After(c.cfg.KeepAliveInterval, func() {
+		if c.closed {
+			return
+		}
+		c.sendToServer(&proto.Message{Type: proto.TypeKeepAlive, From: c.name})
+		c.scheduleServerKeepAlive()
+	})
+}
+
+// handleConnectDetails receives the endpoint exchange of §3.2 step 2
+// — as the requester (reply to ConnectRequest) or as the target (the
+// forwarded connection request). Both sides behave identically from
+// here: start punching (§3.2 step 3).
+func (c *Client) handleConnectDetails(m *proto.Message) {
+	a := c.udpAttempts[m.Nonce]
+	if a == nil {
+		// We are the target side: adopt the inbound-session callbacks.
+		a = &udpAttempt{c: c, peer: m.From, nonce: m.Nonce, cb: c.InboundUDP}
+		c.udpAttempts[m.Nonce] = a
+		a.deadline = c.sched().After(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
+	}
+	if a.gotDetails || a.done {
+		return
+	}
+	a.gotDetails = true
+	a.pub, a.priv = m.Public, m.Private
+	c.tracef("udp details for %s: public=%s private=%s", a.peer, a.pub, a.priv)
+	c.probe(a)
+}
+
+// probe sends punch datagrams to both candidate endpoints and
+// reschedules itself; "the order and timing of these messages are not
+// critical as long as they are asynchronous" (§3.2).
+func (c *Client) probe(a *udpAttempt) {
+	if a.done || c.closed {
+		return
+	}
+	msg := &proto.Message{Type: proto.TypePunch, From: c.name, Nonce: a.nonce}
+	wire := proto.Encode(msg, c.obf)
+	c.udp.SendTo(a.pub, wire)
+	if a.priv != a.pub && !a.priv.IsZero() {
+		c.udp.SendTo(a.priv, wire)
+	}
+	a.probeTimer = c.sched().After(c.cfg.PunchInterval, func() { c.probe(a) })
+}
+
+// handlePunch answers an authenticated probe (§3.2 step 3). Probes
+// carrying unknown nonces are stray traffic from the "wrong host"
+// scenarios of §3.4 and are silently ignored — as are our own probes
+// looping back, which happens when the peer's private address
+// coincides with ours (both sides of the session share the nonce, so
+// the name is the only self-detection signal).
+func (c *Client) handlePunch(from inet.Endpoint, m *proto.Message) {
+	if m.From == c.name {
+		return
+	}
+	if a := c.udpAttempts[m.Nonce]; a != nil && !a.done {
+		c.udp.SendTo(from, proto.Encode(&proto.Message{
+			Type: proto.TypePunchAck, From: c.name, Nonce: m.Nonce,
+		}, c.obf))
+		// Triggered probe at the observed source: when the peer is
+		// behind a symmetric NAT, its probes arrive from a mapping we
+		// were never told about, and only a probe aimed at *that*
+		// endpoint can elicit the ack that locks our side in.
+		c.udp.SendTo(from, proto.Encode(&proto.Message{
+			Type: proto.TypePunch, From: c.name, Nonce: m.Nonce,
+		}, c.obf))
+		return
+	}
+	// Re-ack probes for sessions already locked in, so a peer whose
+	// ack was lost can still converge.
+	for _, s := range c.udpSessions {
+		if s.Nonce == m.Nonce && !s.closed {
+			c.udp.SendTo(from, proto.Encode(&proto.Message{
+				Type: proto.TypePunchAck, From: c.name, Nonce: m.Nonce,
+			}, c.obf))
+			return
+		}
+	}
+}
+
+// handlePunchAck locks in the first endpoint that elicited a valid
+// response (§3.2 step 3).
+func (c *Client) handlePunchAck(from inet.Endpoint, m *proto.Message) {
+	if m.From == c.name {
+		return
+	}
+	a := c.udpAttempts[m.Nonce]
+	if a == nil || a.done {
+		return
+	}
+	a.stop()
+	delete(c.udpAttempts, m.Nonce)
+
+	// Classify the locked endpoint. For an un-NATed peer public and
+	// private coincide (§3.1); report that as public.
+	via := MethodPublic
+	if from == a.priv && a.priv != a.pub {
+		via = MethodPrivate
+	}
+	s := &UDPSession{
+		c: c, Peer: a.peer, Remote: from, Via: via, Nonce: m.Nonce, cb: a.cb,
+	}
+	s.lastRecvT = c.sched().Now()
+	c.udpSessions[a.peer] = s
+	s.scheduleKeepAlive()
+	c.tracef("udp session with %s locked in at %s (%s)", a.peer, from, via)
+	if a.cb.Established != nil {
+		a.cb.Established(s)
+	}
+}
+
+func (c *Client) udpAttemptTimeout(a *udpAttempt) {
+	if a.done {
+		return
+	}
+	a.stop()
+	delete(c.udpAttempts, a.nonce)
+	if c.cfg.RelayFallback {
+		// §2.2: relaying always works as long as both clients can
+		// reach S.
+		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
+		s.lastRecvT = c.sched().Now()
+		c.udpSessions[a.peer] = s
+		c.tracef("udp punch to %s failed; falling back to relay", a.peer)
+		if a.cb.Established != nil {
+			a.cb.Established(s)
+		}
+		return
+	}
+	c.tracef("udp punch to %s timed out", a.peer)
+	if a.cb.Failed != nil {
+		a.cb.Failed(a.peer, ErrPunchTimeout)
+	}
+}
+
+func (c *Client) handleServerError(m *proto.Message) {
+	// S reports failures against the requester; fail all attempts
+	// toward that peer.
+	for n, a := range c.udpAttempts {
+		if a.peer == m.From && a.requester && !a.gotDetails {
+			a.stop()
+			delete(c.udpAttempts, n)
+			if a.cb.Failed != nil {
+				a.cb.Failed(a.peer, ErrPeerUnknown)
+			}
+		}
+	}
+	c.tcpServerError(m)
+}
+
+// --- established session traffic ---
+
+func (c *Client) handleSessionData(from inet.Endpoint, m *proto.Message) {
+	s := c.udpSessions[m.From]
+	if s == nil || s.closed || s.Nonce != m.Nonce {
+		return // unauthenticated (§3.4)
+	}
+	s.touch()
+	s.RecvDatagrams++
+	if s.cb.Data != nil {
+		s.cb.Data(s, m.Data)
+	}
+}
+
+func (c *Client) handleSessionKeepAlive(from inet.Endpoint, m *proto.Message) {
+	if s := c.udpSessions[m.From]; s != nil && s.Nonce == m.Nonce {
+		s.touch()
+	}
+}
+
+func (c *Client) handleRelayed(m *proto.Message) {
+	s := c.udpSessions[m.From]
+	if s == nil || s.Via != MethodRelay {
+		// Relayed data can also arrive for TCP relay sessions.
+		c.tcpHandleRelayed(m)
+		return
+	}
+	s.touch()
+	s.RecvDatagrams++
+	if s.cb.Data != nil {
+		s.cb.Data(s, m.Data)
+	}
+}
+
+// OnData replaces the session's data callback (convenient when the
+// session object is first seen in the Established callback).
+func (s *UDPSession) OnData(fn func(*UDPSession, []byte)) { s.cb.Data = fn }
+
+// OnDead replaces the session's dead-session callback.
+func (s *UDPSession) OnDead(fn func(*UDPSession)) { s.cb.Dead = fn }
+
+// Send transmits a datagram on the session (directly, or via S for
+// relay sessions).
+func (s *UDPSession) Send(data []byte) error {
+	if s.closed {
+		return ErrNotRegistered
+	}
+	s.seq++
+	s.SentDatagrams++
+	if s.Via == MethodRelay {
+		s.c.sendToServer(&proto.Message{
+			Type: proto.TypeRelayTo, From: s.c.name, Target: s.Peer,
+			Seq: s.seq, Data: data,
+		})
+		return nil
+	}
+	return s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
+		Type: proto.TypeData, From: s.c.name, Nonce: s.Nonce,
+		Seq: s.seq, Data: data,
+	}, s.c.obf))
+}
+
+// Close tears the session down locally.
+func (s *UDPSession) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.keepTimer != nil {
+		s.keepTimer.Stop()
+	}
+	if s.c.udpSessions[s.Peer] == s {
+		delete(s.c.udpSessions, s.Peer)
+	}
+}
+
+func (s *UDPSession) touch() { s.lastRecvT = s.c.sched().Now() }
+
+// scheduleKeepAlive sends periodic keep-alives so the NATs' per-
+// session timers do not expire (§3.6), and watches for session death.
+func (s *UDPSession) scheduleKeepAlive() {
+	s.keepTimer = s.c.sched().After(s.c.cfg.KeepAliveInterval, func() {
+		if s.closed || s.c.closed {
+			return
+		}
+		idle := s.c.sched().Now() - s.lastRecvT
+		if idle > s.c.cfg.DeadAfter {
+			// §3.6: detect that the session no longer works; the
+			// application re-runs hole punching on demand.
+			s.Close()
+			if s.cb.Dead != nil {
+				s.cb.Dead(s)
+			}
+			return
+		}
+		if s.Via != MethodRelay {
+			s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
+				Type: proto.TypeKeepAlive, From: s.c.name, Nonce: s.Nonce,
+			}, s.c.obf))
+		}
+		s.scheduleKeepAlive()
+	})
+}

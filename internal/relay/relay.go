@@ -1,0 +1,251 @@
+// Package relay implements a TURN-style relay server (§2.2: "The
+// TURN protocol defines a method of implementing relaying in a
+// relatively secure fashion"), distinct from the rendezvous server's
+// built-in message forwarding: a client allocates a public relay
+// endpoint on the server, installs permissions for specific peers,
+// and peers exchange datagrams with the allocated endpoint as if it
+// were the client itself.
+//
+// Relaying is the always-works fallback whose costs the Figure 2
+// experiment quantifies: every datagram consumes relay bandwidth and
+// takes two trips across the core instead of one.
+package relay
+
+import (
+	"encoding/binary"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// Wire tags for the allocation protocol.
+const (
+	tagAllocate   = 'L' // client -> server: allocate a relay endpoint
+	tagAllocated  = 'O' // server -> client: allocated endpoint
+	tagPermit     = 'P' // client -> server: permit a peer endpoint
+	tagSendTo     = 'S' // client -> server: forward payload to peer
+	tagFromPeer   = 'D' // server -> client: payload a peer sent
+	tagPeerDirect = 0   // (peers send raw payloads to the allocation)
+	tagRefresh    = 'R' // client -> server: keep allocation alive
+)
+
+// AllocationTimeout reaps idle allocations.
+const AllocationTimeout = 5 * time.Minute
+
+// Stats counts relay load (the §2.2 costs).
+type Stats struct {
+	Allocations    uint64
+	ForwardedUp    uint64 // client -> peer datagrams
+	ForwardedDown  uint64 // peer -> client datagrams
+	BytesForwarded uint64
+	Denied         uint64 // no permission
+}
+
+// allocation is one client's relayed endpoint.
+type allocation struct {
+	server  *Server
+	client  inet.Endpoint // the client's public endpoint (as seen here)
+	sock    *host.UDPSocket
+	permits map[inet.Endpoint]bool
+	timer   *sim.Timer
+}
+
+// Server is the relay.
+type Server struct {
+	h    *host.Host
+	ctrl *host.UDPSocket
+	// byClient maps a client's observed public endpoint to its
+	// allocation.
+	byClient map[inet.Endpoint]*allocation
+	nextPort inet.Port
+	stats    Stats
+}
+
+// New starts a relay server on h at ctrlPort; allocations get
+// consecutive ports above it.
+func New(h *host.Host, ctrlPort inet.Port) (*Server, error) {
+	s := &Server{h: h, byClient: make(map[inet.Endpoint]*allocation), nextPort: ctrlPort + 1}
+	ctrl, err := h.UDPBind(ctrlPort)
+	if err != nil {
+		return nil, err
+	}
+	s.ctrl = ctrl
+	ctrl.OnRecv(s.handleCtrl)
+	return s, nil
+}
+
+// Endpoint returns the control endpoint clients talk to.
+func (s *Server) Endpoint() inet.Endpoint { return s.ctrl.Local() }
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Allocations returns the number of live allocations.
+func (s *Server) Allocations() int { return len(s.byClient) }
+
+func (s *Server) handleCtrl(from inet.Endpoint, p []byte) {
+	if len(p) < 1 {
+		return
+	}
+	switch p[0] {
+	case tagAllocate:
+		s.allocate(from)
+	case tagPermit:
+		if a := s.byClient[from]; a != nil && len(p) >= 7 {
+			ep, _ := readEP(p[1:])
+			a.permits[ep] = true
+			a.touch()
+		}
+	case tagSendTo:
+		if a := s.byClient[from]; a != nil && len(p) >= 7 {
+			ep, rest := readEP(p[1:])
+			if !a.permits[ep] {
+				s.stats.Denied++
+				return
+			}
+			s.stats.ForwardedUp++
+			s.stats.BytesForwarded += uint64(len(rest))
+			a.sock.SendTo(ep, rest)
+			a.touch()
+		}
+	case tagRefresh:
+		if a := s.byClient[from]; a != nil {
+			a.touch()
+		}
+	}
+}
+
+func (s *Server) allocate(client inet.Endpoint) {
+	a := s.byClient[client]
+	if a == nil {
+		sock, err := s.h.UDPBind(s.nextPort)
+		if err != nil {
+			return
+		}
+		s.nextPort++
+		a = &allocation{
+			server:  s,
+			client:  client,
+			sock:    sock,
+			permits: make(map[inet.Endpoint]bool),
+		}
+		sock.OnRecv(a.handlePeer)
+		s.byClient[client] = a
+		s.stats.Allocations++
+		a.touch()
+	}
+	out := []byte{tagAllocated}
+	out = appendEP(out, a.sock.Local())
+	s.ctrl.SendTo(client, out)
+}
+
+// handlePeer forwards a peer's datagram down to the client, if the
+// peer is permitted — TURN's permission model is what makes relaying
+// "relatively secure" (§2.2).
+func (a *allocation) handlePeer(from inet.Endpoint, p []byte) {
+	if !a.permits[from] {
+		a.server.stats.Denied++
+		return
+	}
+	a.server.stats.ForwardedDown++
+	a.server.stats.BytesForwarded += uint64(len(p))
+	out := []byte{tagFromPeer}
+	out = appendEP(out, from)
+	out = append(out, p...)
+	a.server.ctrl.SendTo(a.client, out)
+	a.touch()
+}
+
+func (a *allocation) touch() {
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	a.timer = a.server.h.Sched().After(AllocationTimeout, func() {
+		a.sock.Close()
+		if a.server.byClient[a.client] == a {
+			delete(a.server.byClient, a.client)
+		}
+	})
+}
+
+// --- client ---
+
+// Client drives an allocation on a relay server.
+type Client struct {
+	sock   *host.UDPSocket
+	server inet.Endpoint
+	// Relayed is the allocated public endpoint peers should send to.
+	Relayed inet.Endpoint
+	// OnAllocated fires when the allocation completes.
+	OnAllocated func(relayed inet.Endpoint)
+	// OnData fires for each relayed datagram with the true peer
+	// source.
+	OnData func(from inet.Endpoint, p []byte)
+}
+
+// NewClient allocates a relay endpoint using the given (already
+// bound) UDP socket; the socket's existing receive handler is
+// replaced.
+func NewClient(sock *host.UDPSocket, server inet.Endpoint) *Client {
+	c := &Client{sock: sock, server: server}
+	sock.OnRecv(c.handle)
+	sock.SendTo(server, []byte{tagAllocate})
+	return c
+}
+
+func (c *Client) handle(from inet.Endpoint, p []byte) {
+	if from != c.server || len(p) < 1 {
+		return
+	}
+	switch p[0] {
+	case tagAllocated:
+		ep, _ := readEP(p[1:])
+		first := c.Relayed.IsZero()
+		c.Relayed = ep
+		if first && c.OnAllocated != nil {
+			c.OnAllocated(ep)
+		}
+	case tagFromPeer:
+		if len(p) >= 7 {
+			ep, rest := readEP(p[1:])
+			if c.OnData != nil {
+				c.OnData(ep, rest)
+			}
+		}
+	}
+}
+
+// Permit authorizes a peer endpoint to reach the allocation.
+func (c *Client) Permit(peer inet.Endpoint) {
+	out := []byte{tagPermit}
+	out = appendEP(out, peer)
+	c.sock.SendTo(c.server, out)
+}
+
+// SendTo relays a payload to the peer via the server.
+func (c *Client) SendTo(peer inet.Endpoint, payload []byte) {
+	out := []byte{tagSendTo}
+	out = appendEP(out, peer)
+	out = append(out, payload...)
+	c.sock.SendTo(c.server, out)
+}
+
+// Refresh keeps the allocation alive.
+func (c *Client) Refresh() { c.sock.SendTo(c.server, []byte{tagRefresh}) }
+
+func appendEP(b []byte, ep inet.Endpoint) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(ep.Addr))
+	return binary.BigEndian.AppendUint16(b, uint16(ep.Port))
+}
+
+func readEP(b []byte) (inet.Endpoint, []byte) {
+	if len(b) < 6 {
+		return inet.Endpoint{}, nil
+	}
+	return inet.Endpoint{
+		Addr: inet.Addr(binary.BigEndian.Uint32(b)),
+		Port: inet.Port(binary.BigEndian.Uint16(b[4:])),
+	}, b[6:]
+}

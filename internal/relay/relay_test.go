@@ -1,0 +1,113 @@
+package relay_test
+
+import (
+	"testing"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/relay"
+	"natpunch/internal/topo"
+)
+
+// setup builds two NATed clients and a public relay; both allocate
+// and permit each other.
+func setup(t *testing.T) (*topo.Canonical, *relay.Server, *relay.Client, *relay.Client) {
+	t.Helper()
+	c := topo.NewCanonical(1, nat.Symmetric(), nat.Symmetric()) // worst case: punching impossible
+	srv, err := relay.New(c.S, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := c.A.UDPBind(4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := c.B.UDPBind(4321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := relay.NewClient(sa, srv.Endpoint())
+	rb := relay.NewClient(sb, srv.Endpoint())
+	c.RunFor(time.Second)
+	if ra.Relayed.IsZero() || rb.Relayed.IsZero() {
+		t.Fatal("allocations missing")
+	}
+	// Each permits the other's *relayed* endpoint: datagrams arrive at
+	// an allocation from the peer's allocation (both ends relayed).
+	ra.Permit(rb.Relayed)
+	rb.Permit(ra.Relayed)
+	c.RunFor(time.Second)
+	return c, srv, ra, rb
+}
+
+func TestRelayBetweenSymmetricNATs(t *testing.T) {
+	c, srv, ra, rb := setup(t)
+	var aGot, bGot string
+	var bFrom inet.Endpoint
+	ra.OnData = func(_ inet.Endpoint, p []byte) { aGot = string(p) }
+	rb.OnData = func(from inet.Endpoint, p []byte) { bGot, bFrom = string(p), from }
+
+	ra.SendTo(rb.Relayed, []byte("through the relay"))
+	rb.SendTo(ra.Relayed, []byte("and back"))
+	c.RunFor(2 * time.Second)
+
+	if bGot != "through the relay" || aGot != "and back" {
+		t.Fatalf("aGot=%q bGot=%q", aGot, bGot)
+	}
+	if bFrom != ra.Relayed {
+		t.Errorf("peer source = %v, want %v", bFrom, ra.Relayed)
+	}
+	st := srv.Stats()
+	if st.Allocations != 2 || st.ForwardedUp != 2 || st.ForwardedDown != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesForwarded == 0 {
+		t.Error("no bytes accounted")
+	}
+}
+
+func TestRelayPermissionDenied(t *testing.T) {
+	c, srv, ra, rb := setup(t)
+	// An interloper sends straight to A's allocation without any
+	// permission.
+	x := c.CoreRealm().AddHost("X", "99.99.99.99", host.BSDStyle)
+	sx, _ := x.UDPBind(777)
+	got := false
+	ra.OnData = func(inet.Endpoint, []byte) { got = true }
+	sx.SendTo(ra.Relayed, []byte("spam"))
+	c.RunFor(time.Second)
+	if got {
+		t.Error("unpermitted datagram delivered")
+	}
+	if srv.Stats().Denied == 0 {
+		t.Error("denial not counted")
+	}
+	_ = rb
+}
+
+func TestRelayAllocationExpiry(t *testing.T) {
+	c, srv, _, _ := setup(t)
+	if srv.Allocations() != 2 {
+		t.Fatalf("allocations = %d", srv.Allocations())
+	}
+	// Idle past the timeout: both reaped.
+	c.RunFor(relay.AllocationTimeout + time.Minute)
+	if srv.Allocations() != 0 {
+		t.Errorf("allocations after expiry = %d", srv.Allocations())
+	}
+}
+
+func TestRelayRefreshKeepsAllocationAlive(t *testing.T) {
+	c, srv, ra, _ := setup(t)
+	// Refresh A's allocation every minute for 12 minutes; B's idles
+	// out at 5 minutes.
+	for i := 0; i < 12; i++ {
+		ra.Refresh()
+		c.RunFor(time.Minute)
+	}
+	if srv.Allocations() != 1 {
+		t.Errorf("allocations after refresh cycle = %d, want 1 (B reaped, A alive)", srv.Allocations())
+	}
+}

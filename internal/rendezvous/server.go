@@ -1,0 +1,346 @@
+// Package rendezvous implements the well-known server S of the paper:
+// clients register over UDP and TCP, S records each client's private
+// endpoint (reported by the client in its registration body) and
+// public endpoint (observed from the packet/connection source, §3.1),
+// forwards connection requests carrying both endpoints to both peers
+// (§3.2 step 2), relays application data as the fallback of §2.2, and
+// forwards reversal (§2.3) and sequential-punch (§4.5) signals.
+package rendezvous
+
+import (
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/proto"
+	"natpunch/internal/tcp"
+)
+
+// Stats counts server activity, including the relay load that makes
+// pure relaying unattractive (§2.2: "consumes the server's processing
+// power and network bandwidth").
+type Stats struct {
+	RegistrationsUDP uint64
+	RegistrationsTCP uint64
+	ConnectRequests  uint64
+	RelayedMessages  uint64
+	RelayedBytes     uint64
+	ReversalRequests uint64
+	SeqSignals       uint64
+	Errors           uint64
+}
+
+// client is S's record of one registered client (§3.1: both endpoint
+// pairs).
+type client struct {
+	name string
+
+	udpSeen    bool
+	udpPublic  inet.Endpoint
+	udpPrivate inet.Endpoint
+
+	tcpConn    *tcp.Conn
+	tcpDec     proto.StreamDecoder
+	tcpPublic  inet.Endpoint
+	tcpPrivate inet.Endpoint
+}
+
+// Server is the rendezvous server S.
+type Server struct {
+	h    *host.Host
+	port inet.Port
+	obf  proto.Obfuscator
+
+	udp      *host.UDPSocket
+	listener *host.TCPListener
+	clients  map[string]*client
+	stats    Stats
+
+	// Trace, if set, receives one line per handled message.
+	Trace func(format string, args ...any)
+}
+
+// New starts a rendezvous server on h at port (UDP and TCP).
+func New(h *host.Host, port inet.Port, obf proto.Obfuscator) (*Server, error) {
+	s := &Server{h: h, port: port, obf: obf, clients: make(map[string]*client)}
+	u, err := h.UDPBind(port)
+	if err != nil {
+		return nil, err
+	}
+	s.udp = u
+	u.OnRecv(s.handleUDP)
+	l, err := h.TCPListen(port, false, s.handleAccept)
+	if err != nil {
+		u.Close()
+		return nil, err
+	}
+	s.listener = l
+	return s, nil
+}
+
+// Endpoint returns S's public endpoint (same port for UDP and TCP).
+func (s *Server) Endpoint() inet.Endpoint {
+	return inet.Endpoint{Addr: s.h.Addr(), Port: s.port}
+}
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Registered reports whether a client name is known (via either
+// transport).
+func (s *Server) Registered(name string) bool {
+	_, ok := s.clients[name]
+	return ok
+}
+
+func (s *Server) tracef(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace(format, args...)
+	}
+}
+
+func (s *Server) lookup(name string) *client {
+	c := s.clients[name]
+	if c == nil {
+		c = &client{name: name}
+		s.clients[name] = c
+	}
+	return c
+}
+
+// --- UDP transport ---
+
+func (s *Server) handleUDP(from inet.Endpoint, payload []byte) {
+	m, err := proto.Decode(payload)
+	if err != nil {
+		return // stray traffic; §3.4 says endpoints must expect it
+	}
+	s.tracef("S/udp <- %s from=%s(%s)", m.Type, m.From, from)
+	switch m.Type {
+	case proto.TypeRegister:
+		c := s.lookup(m.From)
+		c.udpSeen = true
+		c.udpPublic = from       // observed from the packet header (§3.1)
+		c.udpPrivate = m.Private // reported by the client itself
+		s.stats.RegistrationsUDP++
+		s.sendUDP(from, &proto.Message{
+			Type: proto.TypeRegisterOK, Target: m.From,
+			Public:  from,
+			Private: c.udpPrivate,
+		})
+
+	case proto.TypeConnectRequest:
+		s.stats.ConnectRequests++
+		s.forwardDetails(m, false)
+
+	case proto.TypeRelayTo:
+		s.relay(m)
+
+	case proto.TypeReverseRequest:
+		s.reverse(m)
+
+	case proto.TypeSeqRequest, proto.TypeSeqGo:
+		s.seqSignal(m)
+
+	case proto.TypeKeepAlive:
+		// Refresh the registration's public endpoint (it can change
+		// if the NAT expired the mapping).
+		if c, ok := s.clients[m.From]; ok && c.udpSeen {
+			c.udpPublic = from
+		}
+	}
+}
+
+func (s *Server) sendUDP(to inet.Endpoint, m *proto.Message) {
+	s.udp.SendTo(to, proto.Encode(m, s.obf))
+}
+
+// --- TCP transport ---
+
+func (s *Server) handleAccept(conn *tcp.Conn) {
+	// The client is identified once its Register frame arrives.
+	var dec proto.StreamDecoder
+	var owner *client
+	conn.OnData(func(cn *tcp.Conn, p []byte) {
+		msgs, err := dec.Feed(p)
+		if err != nil {
+			cn.Abort()
+			return
+		}
+		for _, m := range msgs {
+			owner = s.handleTCPMessage(cn, &dec, owner, m)
+		}
+	})
+	conn.OnClosed(func(cn *tcp.Conn) {
+		if owner != nil && owner.tcpConn == cn {
+			owner.tcpConn = nil
+		}
+	})
+}
+
+func (s *Server) handleTCPMessage(conn *tcp.Conn, dec *proto.StreamDecoder, owner *client, m *proto.Message) *client {
+	s.tracef("S/tcp <- %s from=%s(%s)", m.Type, m.From, conn.Remote())
+	switch m.Type {
+	case proto.TypeRegister:
+		c := s.lookup(m.From)
+		c.tcpConn = conn
+		c.tcpPublic = conn.Remote() // observed (§3.1)
+		c.tcpPrivate = m.Private
+		s.stats.RegistrationsTCP++
+		s.sendTCP(c, &proto.Message{
+			Type: proto.TypeRegisterOK, Target: m.From,
+			Public:  conn.Remote(),
+			Private: c.tcpPrivate,
+		})
+		return c
+
+	case proto.TypeConnectRequest:
+		s.stats.ConnectRequests++
+		s.forwardDetails(m, true)
+
+	case proto.TypeRelayTo:
+		s.relay(m)
+
+	case proto.TypeReverseRequest:
+		s.reverse(m)
+
+	case proto.TypeSeqRequest, proto.TypeSeqGo:
+		s.seqSignal(m)
+	}
+	return owner
+}
+
+func (s *Server) sendTCP(c *client, m *proto.Message) {
+	if c.tcpConn == nil {
+		return
+	}
+	c.tcpConn.Write(proto.AppendFrame(nil, m, s.obf))
+}
+
+// --- request handling common to both transports ---
+
+// forwardDetails implements §3.2 step 2: "S replies to A with a
+// message containing B's public and private endpoints. At the same
+// time, S uses its session with B to send B a connection request
+// message containing A's public and private endpoints."
+func (s *Server) forwardDetails(m *proto.Message, viaTCP bool) {
+	a, aok := s.clients[m.From]
+	b, bok := s.clients[m.Target]
+	if !aok || !bok || !s.reachable(b, viaTCP) || !s.reachable(a, viaTCP) {
+		s.fail(m, viaTCP)
+		return
+	}
+	toA := &proto.Message{
+		Type: proto.TypeConnectDetails, From: m.Target, Target: m.From,
+		Nonce: m.Nonce, Requester: true,
+	}
+	toB := &proto.Message{
+		Type: proto.TypeConnectDetails, From: m.From, Target: m.Target,
+		Nonce: m.Nonce, Requester: false,
+	}
+	if viaTCP {
+		toA.Public, toA.Private = b.tcpPublic, b.tcpPrivate
+		toB.Public, toB.Private = a.tcpPublic, a.tcpPrivate
+		s.sendTCP(a, toA)
+		s.sendTCP(b, toB)
+	} else {
+		toA.Public, toA.Private = b.udpPublic, b.udpPrivate
+		toB.Public, toB.Private = a.udpPublic, a.udpPrivate
+		s.sendUDP(a.udpPublic, toA)
+		s.sendUDP(b.udpPublic, toB)
+	}
+	s.tracef("S: introduced %s <-> %s (nonce %d)", m.From, m.Target, m.Nonce)
+}
+
+func (s *Server) reachable(c *client, viaTCP bool) bool {
+	if viaTCP {
+		return c.tcpConn != nil
+	}
+	return c.udpSeen
+}
+
+func (s *Server) fail(m *proto.Message, viaTCP bool) {
+	s.stats.Errors++
+	e := &proto.Message{Type: proto.TypeError, Target: m.From, From: m.Target}
+	if viaTCP {
+		if a, ok := s.clients[m.From]; ok {
+			s.sendTCP(a, e)
+		}
+		return
+	}
+	if a, ok := s.clients[m.From]; ok && a.udpSeen {
+		s.sendUDP(a.udpPublic, e)
+	}
+}
+
+// relay implements the §2.2 fallback: S forwards the payload to the
+// target over the target's registered session.
+func (s *Server) relay(m *proto.Message) {
+	b, ok := s.clients[m.Target]
+	if !ok {
+		s.stats.Errors++
+		return
+	}
+	s.stats.RelayedMessages++
+	s.stats.RelayedBytes += uint64(len(m.Data))
+	out := &proto.Message{
+		Type: proto.TypeRelayed, From: m.From, Target: m.Target,
+		Seq: m.Seq, Data: m.Data,
+	}
+	if b.tcpConn != nil && !b.udpSeen {
+		s.sendTCP(b, out)
+		return
+	}
+	if b.udpSeen {
+		s.sendUDP(b.udpPublic, out)
+	} else {
+		s.sendTCP(b, out)
+	}
+}
+
+// reverse implements §2.3: B (who cannot be reached directly) relays
+// a connection request through S asking the peer to attempt a
+// "reverse" connection back to B.
+func (s *Server) reverse(m *proto.Message) {
+	b, ok := s.clients[m.Target]
+	a, aok := s.clients[m.From]
+	if !ok || !aok {
+		s.stats.Errors++
+		return
+	}
+	s.stats.ReversalRequests++
+	out := &proto.Message{
+		Type: proto.TypeReverseRequest, From: m.From, Target: m.Target,
+		Nonce: m.Nonce,
+	}
+	if b.tcpConn != nil {
+		out.Public, out.Private = a.tcpPublic, a.tcpPrivate
+		s.sendTCP(b, out)
+		return
+	}
+	out.Public, out.Private = a.udpPublic, a.udpPrivate
+	if b.udpSeen {
+		s.sendUDP(b.udpPublic, out)
+	}
+}
+
+// seqSignal forwards sequential hole punching coordination (§4.5),
+// attaching the sender's registered TCP endpoints.
+func (s *Server) seqSignal(m *proto.Message) {
+	b, ok := s.clients[m.Target]
+	a, aok := s.clients[m.From]
+	if !ok || !aok || b.tcpConn == nil {
+		s.stats.Errors++
+		return
+	}
+	s.stats.SeqSignals++
+	out := &proto.Message{
+		Type: m.Type, From: m.From, Target: m.Target, Nonce: m.Nonce,
+		Public: a.tcpPublic, Private: a.tcpPrivate,
+	}
+	s.sendTCP(b, out)
+}
+
+// KeepAliveInterval is how often idle clients should ping S to keep
+// their registration's NAT mapping alive (§3.6).
+const KeepAliveInterval = 15 * time.Second

@@ -1,0 +1,190 @@
+// Package sim provides the deterministic discrete-event simulation
+// substrate on which the NAT traversal experiments run: a virtual
+// clock with cancellable timers, and a network fabric of segments
+// (broadcast domains with CIDR subnets), interfaces, and devices.
+//
+// All simulated work runs single-threaded inside event callbacks, so
+// every run with the same seed is bit-for-bit reproducible. That
+// determinism is what lets the test suite assert on packet-level
+// orderings (SYN races, idle timeouts) that in the paper's real-world
+// setting were matters of luck (§4.4's "lucky" simultaneous open).
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback. seq breaks ties so that events
+// scheduled for the same instant run in scheduling order (FIFO).
+type event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event loop: a virtual clock and a pending
+// event queue. The zero value is not usable; construct with
+// NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events executed, for budget checks in tests.
+	Processed uint64
+}
+
+// NewScheduler returns a scheduler with virtual time 0 and a
+// deterministic random source derived from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation
+// start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source. All
+// randomized behavior (loss, port randomization) must draw from it so
+// runs stay reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Timer is a handle to a scheduled event, allowing cancellation.
+type Timer struct {
+	s *Scheduler
+	e *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending (false if it already fired or was stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.queue, t.e.index)
+	t.e.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+
+// After schedules fn to run d from now. Negative d is treated as 0
+// (fn runs at the current instant, after already-queued events at
+// that instant).
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the
+// past are clamped to now.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{s: s, e: e}
+}
+
+// Stop aborts a Run in progress after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	if e.fn != nil {
+		fn := e.fn
+		e.fn = nil
+		s.Processed++
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the number of events executed by this call.
+func (s *Scheduler) Run() uint64 {
+	start := s.Processed
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+	return s.Processed - start
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to t. Events scheduled later remain queued.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// RunWhile executes events while cond stays true. It returns true if
+// cond became false (goal reached) and false if the event queue
+// drained or Stop was called first. cond is evaluated before each
+// event.
+func (s *Scheduler) RunWhile(cond func() bool) bool {
+	s.stopped = false
+	for {
+		if !cond() {
+			return true
+		}
+		if s.stopped || !s.step() {
+			return false
+		}
+	}
+}
+
+// Pending returns the number of queued events, for leak checks in
+// tests.
+func (s *Scheduler) Pending() int { return len(s.queue) }

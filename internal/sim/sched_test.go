@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() executed %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v", s.Now())
+	}
+}
+
+func TestSchedulerFIFOTies(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerRandomizedOrdering(t *testing.T) {
+	// Property: regardless of insertion order, execution is sorted by
+	// (time, insertion sequence).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := NewScheduler(1)
+		type stamp struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []stamp
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(20)) * time.Millisecond
+			i := i
+			s.At(at, func() { fired = append(fired, stamp{at, i}) })
+		}
+		s.Run()
+		if len(fired) != n {
+			t.Fatalf("fired %d of %d", len(fired), n)
+		}
+		sorted := sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].at != fired[b].at {
+				return fired[a].at < fired[b].at
+			}
+			return fired[a].seq < fired[b].seq
+		})
+		if !sorted {
+			t.Fatalf("events out of order: %v", fired)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active")
+	}
+	if !tm.Stop() {
+		t.Error("Stop should report true for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	if tm.Active() {
+		t.Error("stopped timer should be inactive")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() || nilTimer.Active() {
+		t.Error("nil timer should be inert")
+	}
+}
+
+func TestTimerStopMiddleOfHeap(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []int
+	var timers []*Timer
+	for i := 0; i < 20; i++ {
+		i := i
+		timers = append(timers, s.After(time.Duration(i)*time.Millisecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel the odd ones, including heap-internal nodes.
+	for i := 1; i < 20; i += 2 {
+		timers[i].Stop()
+	}
+	s.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for _, v := range fired {
+		if v%2 != 0 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	s.After(10*time.Millisecond, func() { fired++ })
+	s.After(50*time.Millisecond, func() { fired++ })
+	s.RunUntil(20 * time.Millisecond)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("Now() = %v, want 20ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d", s.Pending())
+	}
+	s.RunFor(40 * time.Millisecond)
+	if fired != 2 || s.Now() != 60*time.Millisecond {
+		t.Errorf("fired=%d now=%v", fired, s.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(time.Millisecond, tick)
+	if !s.RunWhile(func() bool { return count < 10 }) {
+		t.Error("RunWhile should reach goal")
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	// Goal never reached: queue drains.
+	if s.RunWhile(func() bool { return count < 1000 }) {
+		t.Error("RunWhile should report queue drained")
+	}
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	// Run resumes after Stop.
+	s.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from within events at the same instant run in
+	// the same Run, after already-queued same-instant events.
+	s := NewScheduler(1)
+	var got []string
+	s.After(0, func() {
+		got = append(got, "a")
+		s.After(0, func() { got = append(got, "c") })
+	})
+	s.After(0, func() { got = append(got, "b") })
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNegativeAndPastTimes(t *testing.T) {
+	s := NewScheduler(1)
+	s.After(10*time.Millisecond, func() {})
+	s.Run()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.At(0, func() {}) // in the past; clamped to now
+	s.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("clock went backwards: %v", s.Now())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewScheduler(7), NewScheduler(7)
+	for i := 0; i < 10; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed should give same sequence")
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package stun provides the STUN-style (RFC 3489) facilities the
+// paper references: simple endpoint discovery against echo servers,
+// NAT-type classification (open / full cone / restricted cone /
+// port-restricted cone / symmetric), and the symmetric-NAT port
+// prediction of §5.1 ("variants of hole punching algorithms can be
+// made to work much of the time over symmetric NATs by ... using the
+// resulting information to predict the public port number the NAT
+// will assign to a new session").
+//
+// The paper warns that prediction "amounts to chasing a moving
+// target"; the prediction experiments quantify exactly that fragility
+// under competing-session interference.
+package stun
+
+import (
+	"encoding/binary"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// NATType is the RFC 3489 classification.
+type NATType uint8
+
+// NAT classifications.
+const (
+	// TypeUnknown: probing incomplete or inconsistent.
+	TypeUnknown NATType = iota
+	// TypeOpen: no NAT; public and private endpoints coincide.
+	TypeOpen
+	// TypeFullCone: consistent mapping, no inbound filtering.
+	TypeFullCone
+	// TypeRestrictedCone: consistent mapping, address-restricted
+	// filtering.
+	TypeRestrictedCone
+	// TypePortRestrictedCone: consistent mapping, port-restricted
+	// filtering.
+	TypePortRestrictedCone
+	// TypeSymmetric: per-destination mappings — basic hole punching
+	// fails (§5.1).
+	TypeSymmetric
+)
+
+// String names the classification.
+func (t NATType) String() string {
+	switch t {
+	case TypeOpen:
+		return "open"
+	case TypeFullCone:
+		return "full-cone"
+	case TypeRestrictedCone:
+		return "restricted-cone"
+	case TypePortRestrictedCone:
+		return "port-restricted-cone"
+	case TypeSymmetric:
+		return "symmetric"
+	default:
+		return "unknown"
+	}
+}
+
+// SupportsPunching reports whether basic (prediction-free) UDP hole
+// punching is expected to work through a NAT of this type (§5.1).
+func (t NATType) SupportsPunching() bool {
+	switch t {
+	case TypeOpen, TypeFullCone, TypeRestrictedCone, TypePortRestrictedCone:
+		return true
+	}
+	return false
+}
+
+// --- wire format: a minimal binding protocol ---
+//
+// Request:  'B' kind(1) token(4)        kind: 0 = reply directly,
+//                                       1 = also reply from alt port,
+//                                       2 = also ask alt server to reply
+// Response: 'R' token(4) addr(4) port(2) via(1)
+//           via: 0 = same endpoint, 1 = alternate port, 2 = alternate server
+
+// Server is a STUN-style binding server: it echoes the observed
+// source endpoint, optionally from an alternate port or via a
+// companion server at a different address.
+type Server struct {
+	h       *host.Host
+	sock    *host.UDPSocket
+	altSock *host.UDPSocket
+	// Companion server at a different IP address, for filtering
+	// probes; may be nil.
+	companion *Server
+}
+
+// NewServer binds a STUN server on h at port and port+1 (alternate).
+func NewServer(h *host.Host, port inet.Port) (*Server, error) {
+	s := &Server{h: h}
+	sock, err := h.UDPBind(port)
+	if err != nil {
+		return nil, err
+	}
+	alt, err := h.UDPBind(port + 1)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
+	s.sock, s.altSock = sock, alt
+	sock.OnRecv(s.handle)
+	return s, nil
+}
+
+// SetCompanion wires the alternate-address server used for the
+// full-cone test.
+func (s *Server) SetCompanion(c *Server) { s.companion = c }
+
+// Endpoint returns the server's primary binding endpoint.
+func (s *Server) Endpoint() inet.Endpoint { return s.sock.Local() }
+
+func (s *Server) handle(from inet.Endpoint, p []byte) {
+	if len(p) < 6 || p[0] != 'B' {
+		return
+	}
+	kind := p[1]
+	token := binary.BigEndian.Uint32(p[2:6])
+	s.reply(s.sock, from, token, 0)
+	switch kind {
+	case 1:
+		s.reply(s.altSock, from, token, 1)
+	case 2:
+		if s.companion != nil {
+			s.companion.reply(s.companion.sock, from, token, 2)
+		}
+	}
+}
+
+func (s *Server) reply(sock *host.UDPSocket, to inet.Endpoint, token uint32, via byte) {
+	out := make([]byte, 12)
+	out[0] = 'R'
+	binary.BigEndian.PutUint32(out[1:5], token)
+	binary.BigEndian.PutUint32(out[5:9], uint32(to.Addr))
+	binary.BigEndian.PutUint16(out[9:11], uint16(to.Port))
+	out[11] = via
+	sock.SendTo(to, out)
+}
+
+// Result is the outcome of a classification probe.
+type Result struct {
+	Type NATType
+	// Mapped is the public endpoint observed by the primary server.
+	Mapped inet.Endpoint
+	// MappedAlt is the public endpoint observed for a second
+	// destination (differs under symmetric NATs).
+	MappedAlt inet.Endpoint
+	// PortDelta is the allocation stride inferred from consecutive
+	// mappings (meaningful for symmetric NATs with sequential
+	// allocation; 0 if unknown/random).
+	PortDelta int
+}
+
+// Classify probes the NAT in front of h and reports the RFC 3489
+// classification. srv1 and srv2 are binding servers at different
+// public addresses; srv1 must additionally have a companion server at
+// a third address that the client never contacts directly (like NAT
+// Check's server 3, §6.1.1) — its reply getting through is what
+// distinguishes a full cone from filtering NATs. done receives the
+// result; the probe runs asynchronously in the event loop.
+func Classify(h *host.Host, srv1, srv2 inet.Endpoint, localPort inet.Port, done func(Result)) error {
+	sock, err := h.UDPBind(localPort)
+	if err != nil {
+		return err
+	}
+	c := &classifier{h: h, sock: sock, srv1: srv1, srv2: srv2, done: done}
+	sock.OnRecv(c.handle)
+	c.start()
+	return nil
+}
+
+type classifier struct {
+	h          *host.Host
+	sock       *host.UDPSocket
+	srv1, srv2 inet.Endpoint
+	done       func(Result)
+
+	mapped1, mapped2 inet.Endpoint
+	got1, got2       bool
+	gotAltPort       bool // reply from srv1's alternate port arrived
+	gotAltAddr       bool // reply from companion (different address) arrived
+	finished         bool
+	timer            *sim.Timer
+}
+
+const probeWait = 2 * time.Second
+
+func (c *classifier) start() {
+	// Probe 1: ask srv1 to reply from its primary endpoint, its
+	// alternate port, and the companion address.
+	c.send(c.srv1, 2, 1)
+	c.send(c.srv1, 1, 2)
+	// Probe 2: a second destination to expose symmetric mapping.
+	c.send(c.srv2, 0, 3)
+	c.timer = c.h.Sched().After(probeWait, c.finish)
+}
+
+func (c *classifier) send(to inet.Endpoint, kind byte, token uint32) {
+	req := make([]byte, 6)
+	req[0] = 'B'
+	req[1] = kind
+	binary.BigEndian.PutUint32(req[2:6], token)
+	c.sock.SendTo(to, req)
+}
+
+func (c *classifier) handle(from inet.Endpoint, p []byte) {
+	if c.finished || len(p) < 12 || p[0] != 'R' {
+		return
+	}
+	mapped := inet.Endpoint{
+		Addr: inet.Addr(binary.BigEndian.Uint32(p[5:9])),
+		Port: inet.Port(binary.BigEndian.Uint16(p[9:11])),
+	}
+	via := p[11]
+	switch {
+	case via == 0 && from == c.srv1:
+		c.mapped1, c.got1 = mapped, true
+	case via == 0 && from == c.srv2:
+		c.mapped2, c.got2 = mapped, true
+	case via == 1:
+		c.gotAltPort = true
+	case via == 2:
+		c.gotAltAddr = true
+	}
+}
+
+func (c *classifier) finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.sock.Close()
+	r := Result{Type: TypeUnknown}
+	if c.got1 {
+		r.Mapped = c.mapped1
+	}
+	if c.got2 {
+		r.MappedAlt = c.mapped2
+	}
+	switch {
+	case !c.got1 || !c.got2:
+		// UDP blocked or probing failed.
+	case c.mapped1 != c.mapped2:
+		r.Type = TypeSymmetric
+		r.PortDelta = int(int32(c.mapped2.Port) - int32(c.mapped1.Port))
+	case c.mapped1 == c.sock.Local():
+		r.Type = TypeOpen
+	case c.gotAltAddr:
+		r.Type = TypeFullCone
+	case c.gotAltPort:
+		r.Type = TypeRestrictedCone
+	default:
+		r.Type = TypePortRestrictedCone
+	}
+	if c.done != nil {
+		c.done(r)
+	}
+}
+
+// PredictNext extrapolates the public endpoint a sequential-
+// allocating symmetric NAT will assign to the next outbound session
+// (§5.1). Given the last observed mapping and the allocation stride,
+// the k-th future session is expected at port last+stride*k.
+func PredictNext(last inet.Endpoint, stride, k int) inet.Endpoint {
+	return inet.Endpoint{
+		Addr: last.Addr,
+		Port: last.Port + inet.Port(stride*k),
+	}
+}

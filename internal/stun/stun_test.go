@@ -1,0 +1,128 @@
+package stun_test
+
+import (
+	"testing"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/stun"
+	"natpunch/internal/topo"
+)
+
+// classifyBehind builds a client behind the given NAT behavior (or no
+// NAT when behavior is nil) and runs classification.
+func classifyBehind(t *testing.T, behavior *nat.Behavior) stun.Result {
+	t.Helper()
+	in := topo.NewInternet(1)
+	core := in.CoreRealm()
+	s1h := core.AddHost("stun1", "18.181.0.31", host.BSDStyle)
+	s2h := core.AddHost("stun2", "18.181.0.32", host.BSDStyle)
+	s3h := core.AddHost("stun3", "18.181.0.33", host.BSDStyle)
+	s1, err := stun.NewServer(s1h, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := stun.NewServer(s2h, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The companion lives at a third address the client never probes
+	// directly — only its unsolicited reply tests the filter.
+	s3, err := stun.NewServer(s3h, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetCompanion(s3)
+
+	var client *host.Host
+	if behavior == nil {
+		client = core.AddHost("C", "155.99.25.80", host.BSDStyle)
+	} else {
+		realm := core.AddSite("NAT", *behavior, "155.99.25.11", "10.0.0.0/24")
+		client = realm.AddHost("C", "10.0.0.1", host.BSDStyle)
+	}
+
+	var res stun.Result
+	got := false
+	err = stun.Classify(client, s1.Endpoint(), s2.Endpoint(), 4321, func(r stun.Result) {
+		res, got = r, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := in.Net.Sched.Now() + 10*time.Second
+	in.Net.Sched.RunWhile(func() bool { return !got && in.Net.Sched.Now() < deadline })
+	if !got {
+		t.Fatal("classification did not complete")
+	}
+	return res
+}
+
+func behaviorPtr(b nat.Behavior) *nat.Behavior { return &b }
+
+func TestClassifyOpen(t *testing.T) {
+	r := classifyBehind(t, nil)
+	if r.Type != stun.TypeOpen {
+		t.Errorf("type = %v, want open", r.Type)
+	}
+	if r.Mapped != inet.EP("155.99.25.80", 4321) {
+		t.Errorf("mapped = %v", r.Mapped)
+	}
+}
+
+func TestClassifyFullCone(t *testing.T) {
+	if r := classifyBehind(t, behaviorPtr(nat.FullCone())); r.Type != stun.TypeFullCone {
+		t.Errorf("type = %v, want full-cone", r.Type)
+	}
+}
+
+func TestClassifyRestrictedCone(t *testing.T) {
+	if r := classifyBehind(t, behaviorPtr(nat.RestrictedCone())); r.Type != stun.TypeRestrictedCone {
+		t.Errorf("type = %v, want restricted-cone", r.Type)
+	}
+}
+
+func TestClassifyPortRestrictedCone(t *testing.T) {
+	if r := classifyBehind(t, behaviorPtr(nat.Cone())); r.Type != stun.TypePortRestrictedCone {
+		t.Errorf("type = %v, want port-restricted-cone", r.Type)
+	}
+}
+
+func TestClassifySymmetricWithStride(t *testing.T) {
+	r := classifyBehind(t, behaviorPtr(nat.Symmetric()))
+	if r.Type != stun.TypeSymmetric {
+		t.Fatalf("type = %v, want symmetric", r.Type)
+	}
+	if r.PortDelta != 1 {
+		t.Errorf("stride = %d, want 1 (sequential allocator)", r.PortDelta)
+	}
+	if r.Type.SupportsPunching() {
+		t.Error("symmetric must not support basic punching")
+	}
+	if !stun.TypePortRestrictedCone.SupportsPunching() {
+		t.Error("port-restricted cone supports punching")
+	}
+}
+
+func TestPredictNext(t *testing.T) {
+	last := inet.EP("155.99.25.11", 62005)
+	if got := stun.PredictNext(last, 1, 1); got.Port != 62006 {
+		t.Errorf("PredictNext = %v", got)
+	}
+	if got := stun.PredictNext(last, 2, 3); got.Port != 62011 {
+		t.Errorf("PredictNext = %v", got)
+	}
+	if got := stun.PredictNext(last, 1, 0); got != last {
+		t.Errorf("k=0 should return last: %v", got)
+	}
+}
+
+func TestNATTypeStrings(t *testing.T) {
+	for ty := stun.TypeUnknown; ty <= stun.TypeSymmetric; ty++ {
+		if ty.String() == "" {
+			t.Errorf("type %d unnamed", ty)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package tcp implements a TCP connection state machine for the
+// simulated network substrate, faithful to RFC 793 in the aspects
+// that matter for TCP hole punching (§4 of the paper):
+//
+//   - the full connection state diagram, including simultaneous open
+//     (SYN-SENT receiving a bare SYN moves to SYN-RCVD and replays the
+//     original SYN as part of a SYN-ACK, §4.4);
+//   - SYN retransmission with exponential backoff, so a first SYN
+//     dropped by the remote NAT is recovered by either a retransmit or
+//     the peer's crossing SYN;
+//   - RST and ICMP error propagation, so "connection reset" and "host
+//     unreachable" surface to the application, which the hole punching
+//     procedure treats as transient and retries (§4.2 step 4, §5.2);
+//   - a reliable byte stream (cumulative ACK, go-back-N
+//     retransmission) sufficient for the data-transfer experiments.
+//
+// Flow control and congestion control are deliberately simplified
+// (fixed large window): the paper's results do not depend on them.
+package tcp
+
+// Sequence-number arithmetic on the 32-bit circular space (RFC 793
+// §3.3). All comparisons must use these helpers, never < or >.
+
+// seqLT reports a < b in circular sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in circular sequence space.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in circular sequence space.
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqGEQ reports a >= b in circular sequence space.
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqDiff returns a-b as a signed distance.
+func seqDiff(a, b uint32) int32 { return int32(a - b) }

@@ -1,0 +1,75 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqArithmeticBasics(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		lt   bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0, 0, false},
+		{0xFFFFFFFF, 0, true},  // wraparound: MAX < 0
+		{0, 0xFFFFFFFF, false}, // and not the reverse
+		{0x7FFFFFFF, 0x80000000, true},
+		{1000, 1000 + 1<<30, true},
+	}
+	for _, c := range cases {
+		if got := seqLT(c.a, c.b); got != c.lt {
+			t.Errorf("seqLT(%d,%d) = %v, want %v", c.a, c.b, got, c.lt)
+		}
+	}
+}
+
+func TestSeqPropertyConsistency(t *testing.T) {
+	// For any a,b: exactly one of LT, GT, EQ holds; LEQ/GEQ agree.
+	f := func(a, b uint32) bool {
+		lt, gt, eq := seqLT(a, b), seqGT(a, b), a == b
+		oneOf := (lt && !gt && !eq) || (!lt && gt && !eq) || (!lt && !gt && eq) ||
+			// The antipodal point (diff == 2^31) is both-false for LT/GT
+			// by int32 convention: int32(2^31) is negative so LT holds.
+			false
+		if !oneOf {
+			return false
+		}
+		if seqLEQ(a, b) != (lt || eq) {
+			return false
+		}
+		if seqGEQ(a, b) != (gt || eq) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqShiftInvariance(t *testing.T) {
+	// Ordering is invariant under adding a common offset (as long as
+	// the distance is < 2^31), which is what makes wraparound safe.
+	f := func(a uint32, d uint16, off uint32) bool {
+		b := a + uint32(d) // small forward distance
+		if d == 0 {
+			return true
+		}
+		return seqLT(a, b) && seqLT(a+off, b+off)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqDiff(t *testing.T) {
+	if seqDiff(5, 3) != 2 || seqDiff(3, 5) != -2 {
+		t.Error("small diffs wrong")
+	}
+	if seqDiff(2, 0xFFFFFFFF) != 3 {
+		t.Error("wraparound diff wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package topo_test
+
+import (
+	"testing"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/topo"
+)
+
+func TestCanonicalAddresses(t *testing.T) {
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	if c.S.Addr() != inet.MustParseAddr("18.181.0.31") {
+		t.Errorf("S at %v", c.S.Addr())
+	}
+	if c.A.Addr() != inet.MustParseAddr("10.0.0.1") || c.B.Addr() != inet.MustParseAddr("10.1.1.3") {
+		t.Errorf("clients at %v / %v", c.A.Addr(), c.B.Addr())
+	}
+	if c.NATA.PublicAddr() != inet.MustParseAddr("155.99.25.11") {
+		t.Errorf("NAT A at %v", c.NATA.PublicAddr())
+	}
+	if c.NATB.PublicAddr() != inet.MustParseAddr("138.76.29.7") {
+		t.Errorf("NAT B at %v", c.NATB.PublicAddr())
+	}
+}
+
+func TestCommonNATSharedSegment(t *testing.T) {
+	c := topo.NewCommonNAT(1, nat.Cone())
+	// A and B share one private segment: direct delivery works.
+	sa, _ := c.A.UDPBind(100)
+	sb, _ := c.B.UDPBind(200)
+	var got string
+	sb.OnRecv(func(_ inet.Endpoint, p []byte) { got = string(p) })
+	sa.SendTo(sb.Local(), []byte("lan"))
+	c.RunFor(time.Second)
+	if got != "lan" {
+		t.Fatalf("direct LAN delivery failed: %q", got)
+	}
+}
+
+func TestMultiLevelNesting(t *testing.T) {
+	m := topo.NewMultiLevel(1, nat.Cone(), nat.Cone(), nat.Cone())
+	// A's traffic to a public host crosses NAT A then NAT C: the
+	// source seen publicly is NAT C's address.
+	srv, _ := m.S.UDPBind(9)
+	var from inet.Endpoint
+	srv.OnRecv(func(f inet.Endpoint, _ []byte) { from = f })
+	sa, _ := m.A.UDPBind(4321)
+	sa.SendTo(inet.EP("18.181.0.31", 9), []byte("x"))
+	m.RunFor(time.Second)
+	if from.Addr != inet.MustParseAddr("155.99.25.11") {
+		t.Errorf("public source = %v, want NAT C's address", from)
+	}
+	// Two translations happened: one at NAT A, one at NAT C.
+	if m.NATA.Stats().TranslatedOut != 1 || m.NATC.Stats().TranslatedOut != 1 {
+		t.Errorf("translations: A=%d C=%d", m.NATA.Stats().TranslatedOut, m.NATC.Stats().TranslatedOut)
+	}
+}
+
+func TestAddSiteGatewayInstalled(t *testing.T) {
+	in := topo.NewInternet(1)
+	realm := in.CoreRealm().AddSite("n", nat.Cone(), "155.99.25.11", "10.0.0.0/24")
+	if realm.Seg.Gateway() == nil {
+		t.Fatal("no gateway on site LAN")
+	}
+	if realm.NAT == nil || realm.Parent == nil {
+		t.Error("realm links missing")
+	}
+	h := realm.AddHost("h", "10.0.0.1", host.BSDStyle)
+	if h.Addr() != inet.MustParseAddr("10.0.0.1") {
+		t.Errorf("host at %v", h.Addr())
+	}
+}

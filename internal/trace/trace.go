@@ -1,0 +1,94 @@
+// Package trace collects fabric-level packet events for the
+// walk-through experiments (the Figure 8 methodology trace) and for
+// debugging topologies.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// Event is one recorded fabric event.
+type Event struct {
+	At      time.Duration
+	Kind    sim.HookKind
+	Segment string
+	Iface   string
+	Packet  string
+}
+
+// String renders "  12.5ms deliver internet S/18.181.0.31: UDP ...".
+func (e Event) String() string {
+	return fmt.Sprintf("%10s %-11s %-12s %-28s %s",
+		e.At, e.Kind, e.Segment, e.Iface, e.Packet)
+}
+
+// Recorder captures events from a network, optionally filtered.
+type Recorder struct {
+	// Filter, if set, keeps only events for which it returns true.
+	Filter func(kind sim.HookKind, seg *sim.Segment, ifc *sim.Iface, pkt *inet.Packet) bool
+	// Max bounds retained events (0 = unlimited).
+	Max    int
+	events []Event
+	net    *sim.Network
+}
+
+// Attach installs the recorder as the network's hook and returns it.
+func Attach(n *sim.Network, max int) *Recorder {
+	r := &Recorder{Max: max, net: n}
+	n.SetHook(r.hook)
+	return r
+}
+
+func (r *Recorder) hook(kind sim.HookKind, seg *sim.Segment, ifc *sim.Iface, pkt *inet.Packet) {
+	if r.Filter != nil && !r.Filter(kind, seg, ifc, pkt) {
+		return
+	}
+	if r.Max > 0 && len(r.events) >= r.Max {
+		return
+	}
+	r.events = append(r.events, Event{
+		At:      r.net.Sched.Now(),
+		Kind:    kind,
+		Segment: seg.Name(),
+		Iface:   ifc.String(),
+		Packet:  pkt.String(),
+	})
+}
+
+// Events returns the recorded events.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// Detach removes the recorder from the network.
+func (r *Recorder) Detach() { r.net.SetHook(nil) }
+
+// Dump renders all events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountKind tallies events of one kind.
+func (r *Recorder) CountKind(kind sim.HookKind) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

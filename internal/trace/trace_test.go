@@ -1,0 +1,87 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/sim"
+	"natpunch/internal/topo"
+	"natpunch/internal/trace"
+)
+
+func setup(t *testing.T) (*topo.Canonical, *trace.Recorder) {
+	t.Helper()
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	rec := trace.Attach(c.Net, 0)
+	return c, rec
+}
+
+func ping(t *testing.T, c *topo.Canonical) {
+	t.Helper()
+	srv, err := c.S.UDPBind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.OnRecv(func(from inet.Endpoint, p []byte) { srv.SendTo(from, p) })
+	sa, err := c.A.UDPBind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(srv.Local(), []byte("hi"))
+	c.RunFor(time.Second)
+	srv.Close()
+	sa.Close()
+}
+
+func TestRecorderCapturesBothDirections(t *testing.T) {
+	c, rec := setup(t)
+	ping(t, c)
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// Request and echo each cross the LAN and the core: sends and
+	// deliveries on both segments.
+	if rec.CountKind(sim.HookSend) < 4 || rec.CountKind(sim.HookDeliver) < 4 {
+		t.Errorf("sends=%d delivers=%d", rec.CountKind(sim.HookSend), rec.CountKind(sim.HookDeliver))
+	}
+	dump := rec.Dump()
+	for _, want := range []string{"UDP", "155.99.25.11:62000", "internet", "NAT-A-lan"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestRecorderFilterAndMax(t *testing.T) {
+	c, rec := setup(t)
+	rec.Filter = func(kind sim.HookKind, _ *sim.Segment, _ *sim.Iface, pkt *inet.Packet) bool {
+		return kind == sim.HookDeliver
+	}
+	rec.Max = 2
+	ping(t, c)
+	if rec.Len() != 2 {
+		t.Errorf("len = %d, want capped at 2", rec.Len())
+	}
+	for _, e := range rec.Events() {
+		if e.Kind != sim.HookDeliver {
+			t.Errorf("filter leaked %v", e.Kind)
+		}
+	}
+}
+
+func TestRecorderResetAndDetach(t *testing.T) {
+	c, rec := setup(t)
+	ping(t, c)
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	rec.Detach()
+	ping(t, c)
+	if rec.Len() != 0 {
+		t.Error("detached recorder still recording")
+	}
+}

@@ -1,0 +1,217 @@
+// Package vendors encodes Table 1 of the paper — per-vendor NAT
+// Check results — and generates deterministic simulated device
+// populations whose behavior marginals equal the printed cells, so
+// that running the reproduced NAT Check over the population
+// regenerates the table.
+//
+// Correlation caveat: the paper reports only marginal counts per
+// column (and different denominators per column, because hairpin and
+// TCP testing shipped in later NAT Check versions, §6.2). We assign
+// properties to devices in index order (device i supports a property
+// iff i < numerator), which maximizes cross-column correlation; the
+// true per-device joint distribution is unknowable from the paper.
+//
+// Known inconsistency in the printed table (documented in DESIGN.md):
+// the per-vendor TCP-hairpin numerators sum to 40, exceeding the
+// printed All-Vendors total of 37/286 — the Windows row's 28/31 (90%)
+// is the outlier. We reproduce every per-vendor row exactly; the
+// residual "Other" bucket's TCP-hairpin numerator is clamped at zero,
+// and the recomputed All-Vendors row therefore shows 40/286 against
+// the paper's 37/286.
+package vendors
+
+import (
+	"fmt"
+
+	"natpunch/internal/nat"
+)
+
+// Cell is one "n/N (pct%)" table entry.
+type Cell struct {
+	Num, Den int
+}
+
+// Pct returns the percentage the paper prints.
+func (c Cell) Pct() int {
+	if c.Den == 0 {
+		return 0
+	}
+	return int(float64(c.Num)/float64(c.Den)*100 + 0.5)
+}
+
+// String formats the cell as the paper does: "45/46 (98%)".
+func (c Cell) String() string {
+	return fmt.Sprintf("%d/%d (%d%%)", c.Num, c.Den, c.Pct())
+}
+
+// Row is one vendor's line in Table 1.
+type Row struct {
+	Name     string
+	Hardware bool // NAT hardware vs OS-based NAT
+	// The four measured columns. Denominators differ because hairpin
+	// and TCP tests were added in later NAT Check versions (§6.2).
+	UDPPunch   Cell
+	UDPHairpin Cell
+	TCPPunch   Cell
+	TCPHairpin Cell
+}
+
+// Table1 holds every per-vendor row the paper prints (vendors with at
+// least five data points), in the paper's order.
+var Table1 = []Row{
+	{"Linksys", true, Cell{45, 46}, Cell{5, 42}, Cell{33, 38}, Cell{3, 38}},
+	{"Netgear", true, Cell{31, 37}, Cell{3, 35}, Cell{19, 30}, Cell{0, 30}},
+	{"D-Link", true, Cell{16, 21}, Cell{11, 21}, Cell{9, 19}, Cell{2, 19}},
+	{"Draytek", true, Cell{2, 17}, Cell{3, 12}, Cell{2, 7}, Cell{0, 7}},
+	{"Belkin", true, Cell{14, 14}, Cell{1, 14}, Cell{11, 11}, Cell{0, 11}},
+	{"Cisco", true, Cell{12, 12}, Cell{3, 9}, Cell{6, 7}, Cell{2, 7}},
+	{"SMC", true, Cell{12, 12}, Cell{3, 10}, Cell{8, 9}, Cell{2, 9}},
+	{"ZyXEL", true, Cell{7, 9}, Cell{1, 8}, Cell{0, 7}, Cell{0, 7}},
+	{"3Com", true, Cell{7, 7}, Cell{1, 7}, Cell{5, 6}, Cell{0, 6}},
+	{"Windows", false, Cell{31, 33}, Cell{11, 32}, Cell{16, 31}, Cell{28, 31}},
+	{"Linux", false, Cell{26, 32}, Cell{3, 25}, Cell{16, 24}, Cell{2, 24}},
+	{"FreeBSD", false, Cell{7, 9}, Cell{3, 6}, Cell{2, 3}, Cell{1, 1}},
+}
+
+// PaperAllVendors is the All-Vendors row exactly as printed.
+var PaperAllVendors = Row{
+	Name:     "All Vendors",
+	UDPPunch: Cell{310, 380}, UDPHairpin: Cell{80, 335},
+	TCPPunch: Cell{184, 286}, TCPHairpin: Cell{37, 286},
+}
+
+// OtherRow is the residual bucket for vendors with fewer than five
+// data points, sized so column totals match the printed All-Vendors
+// row. Its TCP-hairpin numerator is clamped at zero (see the package
+// comment on the printed table's inconsistency).
+func OtherRow() Row {
+	other := Row{Name: "Other", Hardware: true}
+	other.UDPPunch = Cell{PaperAllVendors.UDPPunch.Num, PaperAllVendors.UDPPunch.Den}
+	other.UDPHairpin = Cell{PaperAllVendors.UDPHairpin.Num, PaperAllVendors.UDPHairpin.Den}
+	other.TCPPunch = Cell{PaperAllVendors.TCPPunch.Num, PaperAllVendors.TCPPunch.Den}
+	other.TCPHairpin = Cell{PaperAllVendors.TCPHairpin.Num, PaperAllVendors.TCPHairpin.Den}
+	for _, r := range Table1 {
+		other.UDPPunch.Num -= r.UDPPunch.Num
+		other.UDPPunch.Den -= r.UDPPunch.Den
+		other.UDPHairpin.Num -= r.UDPHairpin.Num
+		other.UDPHairpin.Den -= r.UDPHairpin.Den
+		other.TCPPunch.Num -= r.TCPPunch.Num
+		other.TCPPunch.Den -= r.TCPPunch.Den
+		other.TCPHairpin.Num -= r.TCPHairpin.Num
+		other.TCPHairpin.Den -= r.TCPHairpin.Den
+	}
+	if other.TCPHairpin.Num < 0 {
+		other.TCPHairpin.Num = 0
+	}
+	return other
+}
+
+// AllRows returns the per-vendor rows plus the Other bucket — the
+// full population of 380 UDP data points.
+func AllRows() []Row {
+	return append(append([]Row(nil), Table1...), OtherRow())
+}
+
+// Device is one simulated data point: a NAT behavior plus which
+// columns the paper's survey actually measured for it (later NAT
+// Check versions added hairpin and TCP testing, §6.2).
+type Device struct {
+	Vendor   string
+	Index    int
+	Behavior nat.Behavior
+	// The Measured flags report whether this data point contributes
+	// to each optional column's denominator (the survey added tests
+	// over time, so denominators differ per column, §6.2).
+	MeasuredHairpin    bool
+	MeasuredTCP        bool
+	MeasuredTCPHairpin bool
+}
+
+// Devices deterministically generates the row's population. Device i
+// supports a column's property iff i is below that column's
+// numerator, which reproduces every marginal exactly.
+func Devices(row Row) []Device {
+	n := row.UDPPunch.Den
+	devs := make([]Device, 0, n)
+	for i := 0; i < n; i++ {
+		b := nat.Behavior{
+			Label:     fmt.Sprintf("%s-%03d", row.Name, i),
+			PortAlloc: nat.PortSequential,
+			Filtering: nat.FilterAddressPortDependent,
+		}
+		if i < row.UDPPunch.Num {
+			b.Mapping = nat.MappingEndpointIndependent
+		} else {
+			b.Mapping = nat.MappingAddressPortDependent
+		}
+		if i < row.TCPPunch.Num {
+			b.TCPRefusal = nat.RefuseDrop
+		} else {
+			// Incompatible devices that still translate consistently
+			// fail TCP via active RSTs (§5.2); inconsistent
+			// (symmetric) devices fail via the consistency check
+			// either way.
+			b.TCPRefusal = nat.RefuseRST
+		}
+		b.HairpinUDP = i < row.UDPHairpin.Num
+		b.HairpinTCP = i < row.TCPHairpin.Num
+		devs = append(devs, Device{
+			Vendor:             row.Name,
+			Index:              i,
+			Behavior:           b,
+			MeasuredHairpin:    i < row.UDPHairpin.Den,
+			MeasuredTCP:        i < row.TCPPunch.Den,
+			MeasuredTCPHairpin: i < row.TCPHairpin.Den,
+		})
+	}
+	return devs
+}
+
+// Tally aggregates measured reports back into a Row; the survey
+// experiment uses it to rebuild Table 1 from NAT Check outputs.
+type Tally struct {
+	Row Row
+}
+
+// NewTally starts an empty tally for a vendor name.
+func NewTally(name string, hardware bool) *Tally {
+	return &Tally{Row: Row{Name: name, Hardware: hardware}}
+}
+
+// Add records one device's NAT Check outcome.
+func (t *Tally) Add(dev Device, udpPunch, udpHairpin, tcpPunch, tcpHairpin bool) {
+	t.Row.UDPPunch.Den++
+	if udpPunch {
+		t.Row.UDPPunch.Num++
+	}
+	if dev.MeasuredHairpin {
+		t.Row.UDPHairpin.Den++
+		if udpHairpin {
+			t.Row.UDPHairpin.Num++
+		}
+	}
+	if dev.MeasuredTCP {
+		t.Row.TCPPunch.Den++
+		if tcpPunch {
+			t.Row.TCPPunch.Num++
+		}
+	}
+	if dev.MeasuredTCPHairpin {
+		t.Row.TCPHairpin.Den++
+		if tcpHairpin {
+			t.Row.TCPHairpin.Num++
+		}
+	}
+}
+
+// Merge adds another row's counts into the tally (for All-Vendors).
+func (t *Tally) Merge(r Row) {
+	t.Row.UDPPunch.Num += r.UDPPunch.Num
+	t.Row.UDPPunch.Den += r.UDPPunch.Den
+	t.Row.UDPHairpin.Num += r.UDPHairpin.Num
+	t.Row.UDPHairpin.Den += r.UDPHairpin.Den
+	t.Row.TCPPunch.Num += r.TCPPunch.Num
+	t.Row.TCPPunch.Den += r.TCPPunch.Den
+	t.Row.TCPHairpin.Num += r.TCPHairpin.Num
+	t.Row.TCPHairpin.Den += r.TCPHairpin.Den
+}

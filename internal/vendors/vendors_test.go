@@ -1,0 +1,140 @@
+package vendors_test
+
+import (
+	"testing"
+
+	"natpunch/internal/vendors"
+)
+
+func TestOtherRowBalancesTotals(t *testing.T) {
+	other := vendors.OtherRow()
+	if other.UDPPunch != (vendors.Cell{Num: 100, Den: 131}) {
+		t.Errorf("Other UDP punch = %v", other.UDPPunch)
+	}
+	if other.UDPHairpin != (vendors.Cell{Num: 32, Den: 114}) {
+		t.Errorf("Other UDP hairpin = %v", other.UDPHairpin)
+	}
+	if other.TCPPunch != (vendors.Cell{Num: 57, Den: 94}) {
+		t.Errorf("Other TCP punch = %v", other.TCPPunch)
+	}
+	// TCP hairpin clamps at zero due to the printed table's
+	// inconsistency (per-vendor sum 40 > printed total 37). Its
+	// denominator is 96, not 94, because FreeBSD's hairpin column has
+	// denominator 1 against its TCP-punch denominator of 3.
+	if other.TCPHairpin.Num != 0 || other.TCPHairpin.Den != 96 {
+		t.Errorf("Other TCP hairpin = %v", other.TCPHairpin)
+	}
+}
+
+func TestDeviceMarginalsMatchCells(t *testing.T) {
+	for _, row := range vendors.AllRows() {
+		devs := vendors.Devices(row)
+		if len(devs) != row.UDPPunch.Den {
+			t.Fatalf("%s: %d devices, want %d", row.Name, len(devs), row.UDPPunch.Den)
+		}
+		var udp, udpH, udpHDen, tcp, tcpDen, tcpH, tcpHDen int
+		for _, d := range devs {
+			if d.Behavior.SupportsUDPPunch() {
+				udp++
+			}
+			if d.MeasuredHairpin {
+				udpHDen++
+				if d.Behavior.HairpinUDP {
+					udpH++
+				}
+			}
+			if d.MeasuredTCP {
+				tcpDen++
+				if d.Behavior.SupportsTCPPunch() {
+					tcp++
+				}
+			}
+			if d.MeasuredTCPHairpin {
+				tcpHDen++
+				if d.Behavior.HairpinTCP {
+					tcpH++
+				}
+			}
+		}
+		if udp != row.UDPPunch.Num {
+			t.Errorf("%s: UDP punch %d, want %d", row.Name, udp, row.UDPPunch.Num)
+		}
+		if udpH != row.UDPHairpin.Num || udpHDen != row.UDPHairpin.Den {
+			t.Errorf("%s: UDP hairpin %d/%d, want %v", row.Name, udpH, udpHDen, row.UDPHairpin)
+		}
+		if tcp != row.TCPPunch.Num || tcpDen != row.TCPPunch.Den {
+			t.Errorf("%s: TCP punch %d/%d, want %v", row.Name, tcp, tcpDen, row.TCPPunch)
+		}
+		if tcpH != row.TCPHairpin.Num || tcpHDen != row.TCPHairpin.Den {
+			t.Errorf("%s: TCP hairpin %d/%d, want %v", row.Name, tcpH, tcpHDen, row.TCPHairpin)
+		}
+	}
+}
+
+func TestTCPPunchNeverExceedsUDPPunchPerDevice(t *testing.T) {
+	// Sanity: a device that fails the UDP consistency test (symmetric
+	// mapping) cannot pass the TCP test either — the generator must
+	// not produce such devices (t <= u holds in every printed row).
+	for _, row := range vendors.AllRows() {
+		for _, d := range vendors.Devices(row) {
+			if d.Behavior.SupportsTCPPunch() && !d.Behavior.SupportsUDPPunch() {
+				t.Fatalf("%s device %d: TCP-punchable but not UDP-punchable", row.Name, d.Index)
+			}
+		}
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	c := vendors.Cell{Num: 45, Den: 46}
+	if c.String() != "45/46 (98%)" {
+		t.Errorf("String() = %q", c.String())
+	}
+	if (vendors.Cell{}).Pct() != 0 {
+		t.Error("zero cell pct")
+	}
+	// The paper's rounding: 310/380 = 82%.
+	if (vendors.Cell{Num: 310, Den: 380}).Pct() != 82 {
+		t.Error("82% expected")
+	}
+	if (vendors.Cell{Num: 184, Den: 286}).Pct() != 64 {
+		t.Error("64% expected")
+	}
+}
+
+func TestTallyRoundTrip(t *testing.T) {
+	row := vendors.Table1[0] // Linksys
+	tally := vendors.NewTally(row.Name, row.Hardware)
+	for _, d := range vendors.Devices(row) {
+		tally.Add(d,
+			d.Behavior.SupportsUDPPunch(),
+			d.Behavior.HairpinUDP,
+			d.Behavior.SupportsTCPPunch(),
+			d.Behavior.HairpinTCP)
+	}
+	got := tally.Row
+	if got.UDPPunch != row.UDPPunch || got.UDPHairpin != row.UDPHairpin ||
+		got.TCPPunch != row.TCPPunch || got.TCPHairpin != row.TCPHairpin {
+		t.Errorf("tally mismatch:\n got %+v\nwant %+v", got, row)
+	}
+}
+
+func TestMergeReproducesAllVendorsUDP(t *testing.T) {
+	all := vendors.NewTally("All Vendors", false)
+	for _, row := range vendors.AllRows() {
+		all.Merge(row)
+	}
+	if all.Row.UDPPunch != vendors.PaperAllVendors.UDPPunch {
+		t.Errorf("UDP punch total %v, want %v", all.Row.UDPPunch, vendors.PaperAllVendors.UDPPunch)
+	}
+	if all.Row.UDPHairpin != vendors.PaperAllVendors.UDPHairpin {
+		t.Errorf("UDP hairpin total %v", all.Row.UDPHairpin)
+	}
+	if all.Row.TCPPunch != vendors.PaperAllVendors.TCPPunch {
+		t.Errorf("TCP punch total %v", all.Row.TCPPunch)
+	}
+	// TCP hairpin recomputes to 40/286 against the printed 37/286
+	// (and the Other bucket's denominator arithmetic gives 286 back).
+	if all.Row.TCPHairpin.Num != 40 || all.Row.TCPHairpin.Den != 286 {
+		t.Errorf("TCP hairpin total %v, want 40/286 (documented discrepancy)", all.Row.TCPHairpin)
+	}
+}

@@ -1,0 +1,405 @@
+// Package realnet carries the repository's rendezvous and UDP hole
+// punching protocol over real network sockets (package net), so the
+// same message flow that the simulator validates can run between
+// actual hosts: a rendezvous server observing registrants' public
+// endpoints, clients exchanging candidate endpoints through it, and
+// simultaneous punch probes with nonce authentication.
+//
+// It also exposes the SO_REUSEADDR/SO_REUSEPORT socket helpers TCP
+// hole punching needs (§4.1): binding a listener and multiple
+// outgoing connections to one local TCP port.
+//
+// Unlike the simulator packages, this package is concurrent: sockets
+// are read on goroutines and all state is mutex-guarded.
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/proto"
+)
+
+// toInetEndpoint converts a real UDP address to the wire endpoint
+// representation shared with the simulator's protocol.
+func toInetEndpoint(a *net.UDPAddr) (inet.Endpoint, error) {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return inet.Endpoint{}, fmt.Errorf("realnet: not an IPv4 address: %v", a)
+	}
+	return inet.Endpoint{
+		Addr: inet.AddrFrom4(ip4[0], ip4[1], ip4[2], ip4[3]),
+		Port: inet.Port(a.Port),
+	}, nil
+}
+
+// toUDPAddr converts a wire endpoint back to a dialable address.
+func toUDPAddr(ep inet.Endpoint) *net.UDPAddr {
+	o := ep.Addr.Octets()
+	return &net.UDPAddr{IP: net.IPv4(o[0], o[1], o[2], o[3]), Port: int(ep.Port)}
+}
+
+// Server is a real-socket rendezvous server (UDP only): it records
+// each registrant's private endpoint (from the message body) and
+// public endpoint (from the datagram source), answers RegisterOK, and
+// forwards connection requests with both endpoint pairs (§3.1-3.2).
+type Server struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	clients map[string]serverClient
+	closed  bool
+}
+
+type serverClient struct {
+	public  inet.Endpoint
+	private inet.Endpoint
+	addr    *net.UDPAddr
+}
+
+// ListenServer starts a rendezvous server on the given UDP address
+// (e.g. "127.0.0.1:0").
+func ListenServer(addr string) (*Server, error) {
+	uaddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp4", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{conn: conn, clients: make(map[string]serverClient)}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+func (s *Server) loop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		m, err := proto.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		s.handle(m, from)
+	}
+}
+
+func (s *Server) handle(m *proto.Message, from *net.UDPAddr) {
+	pub, err := toInetEndpoint(from)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Type {
+	case proto.TypeRegister:
+		s.clients[m.From] = serverClient{public: pub, private: m.Private, addr: from}
+		s.send(from, &proto.Message{
+			Type: proto.TypeRegisterOK, Target: m.From,
+			Public: pub, Private: m.Private,
+		})
+	case proto.TypeKeepAlive:
+		if c, ok := s.clients[m.From]; ok {
+			c.public, c.addr = pub, from
+			s.clients[m.From] = c
+		}
+	case proto.TypeConnectRequest:
+		a, aok := s.clients[m.From]
+		b, bok := s.clients[m.Target]
+		if !aok || !bok {
+			s.send(from, &proto.Message{Type: proto.TypeError, From: m.Target, Target: m.From})
+			return
+		}
+		// §3.2 step 2: both sides learn both endpoint pairs.
+		s.send(a.addr, &proto.Message{
+			Type: proto.TypeConnectDetails, From: m.Target, Target: m.From,
+			Public: b.public, Private: b.private, Nonce: m.Nonce, Requester: true,
+		})
+		s.send(b.addr, &proto.Message{
+			Type: proto.TypeConnectDetails, From: m.From, Target: m.Target,
+			Public: a.public, Private: a.private, Nonce: m.Nonce,
+		})
+	case proto.TypeRelayTo:
+		if b, ok := s.clients[m.Target]; ok {
+			s.send(b.addr, &proto.Message{
+				Type: proto.TypeRelayed, From: m.From, Target: m.Target,
+				Seq: m.Seq, Data: m.Data,
+			})
+		}
+	}
+}
+
+func (s *Server) send(to *net.UDPAddr, m *proto.Message) {
+	s.conn.WriteToUDP(proto.Encode(m, 0), to)
+}
+
+// --- client ---
+
+// Session is an established real-network UDP session with a peer.
+type Session struct {
+	Peer   string
+	Remote *net.UDPAddr
+	Nonce  uint64
+	c      *Client
+}
+
+// Send transmits an authenticated datagram to the peer.
+func (s *Session) Send(data []byte) error {
+	m := &proto.Message{Type: proto.TypeData, From: s.c.name, Nonce: s.Nonce, Data: data}
+	_, err := s.c.conn.WriteToUDP(proto.Encode(m, 0), s.Remote)
+	return err
+}
+
+// Client is a real-socket punching client.
+type Client struct {
+	name   string
+	server *net.UDPAddr
+	conn   *net.UDPConn
+
+	mu         sync.Mutex
+	registered chan struct{}
+	regOnce    sync.Once
+	public     inet.Endpoint
+	private    inet.Endpoint
+	attempts   map[uint64]*attempt
+	sessions   map[string]*Session
+
+	// OnSession fires for sessions initiated by peers.
+	OnSession func(*Session)
+	// OnData fires for authenticated session datagrams.
+	OnData func(*Session, []byte)
+
+	closed bool
+}
+
+type attempt struct {
+	peer    string
+	nonce   uint64
+	passive bool // created by a forwarded connection request
+	result  chan *Session
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// stop halts the attempt's probing loop.
+func (a *attempt) stop() { a.once.Do(func() { close(a.stopped) }) }
+
+// NewClient binds a UDP socket on laddr (e.g. "127.0.0.1:0") and
+// prepares to talk to the rendezvous server at serverAddr.
+func NewClient(name, laddr, serverAddr string) (*Client, error) {
+	srv, err := net.ResolveUDPAddr("udp4", serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	local, err := net.ResolveUDPAddr("udp4", laddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp4", local)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		name:       name,
+		server:     srv,
+		conn:       conn,
+		registered: make(chan struct{}),
+		attempts:   make(map[uint64]*attempt),
+		sessions:   make(map[string]*Session),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Register sends registrations until the server acknowledges or the
+// timeout expires, then returns the observed public endpoint.
+func (c *Client) Register(timeout time.Duration) (public inet.Endpoint, err error) {
+	local, err := toInetEndpoint(c.conn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		return inet.Endpoint{}, err
+	}
+	c.mu.Lock()
+	c.private = local
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		c.sendToServer(&proto.Message{Type: proto.TypeRegister, From: c.name, Private: local})
+		select {
+		case <-c.registered:
+			c.mu.Lock()
+			pub := c.public
+			c.mu.Unlock()
+			return pub, nil
+		case <-time.After(250 * time.Millisecond):
+			if time.Now().After(deadline) {
+				return inet.Endpoint{}, fmt.Errorf("realnet: registration timed out")
+			}
+		}
+	}
+}
+
+// Connect punches a session to the named peer, blocking up to
+// timeout.
+func (c *Client) Connect(peer string, timeout time.Duration) (*Session, error) {
+	nonce := uint64(time.Now().UnixNano()) | 1
+	at := &attempt{peer: peer, nonce: nonce, result: make(chan *Session, 1), stopped: make(chan struct{})}
+	c.mu.Lock()
+	c.attempts[nonce] = at
+	c.mu.Unlock()
+	defer func() {
+		at.stop()
+		c.mu.Lock()
+		delete(c.attempts, nonce)
+		c.mu.Unlock()
+	}()
+
+	c.sendToServer(&proto.Message{Type: proto.TypeConnectRequest, From: c.name, Target: peer, Nonce: nonce})
+	select {
+	case s := <-at.result:
+		return s, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("realnet: punch to %s timed out", peer)
+	}
+}
+
+func (c *Client) sendToServer(m *proto.Message) {
+	c.conn.WriteToUDP(proto.Encode(m, 0), c.server)
+}
+
+func (c *Client) loop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		m, err := proto.Decode(buf[:n])
+		if err != nil {
+			continue // stray traffic (§3.4)
+		}
+		c.handle(m, from)
+	}
+}
+
+func (c *Client) handle(m *proto.Message, from *net.UDPAddr) {
+	switch m.Type {
+	case proto.TypeRegisterOK:
+		c.mu.Lock()
+		c.public = m.Public
+		c.mu.Unlock()
+		c.regOnce.Do(func() { close(c.registered) })
+
+	case proto.TypeConnectDetails:
+		// Both sides probe both candidate endpoints (§3.2 step 3).
+		go c.probe(m)
+
+	case proto.TypePunch:
+		c.mu.Lock()
+		_, known := c.attempts[m.Nonce]
+		if !known {
+			for _, s := range c.sessions {
+				if s.Nonce == m.Nonce {
+					known = true
+					break
+				}
+			}
+		}
+		c.mu.Unlock()
+		if known {
+			reply := &proto.Message{Type: proto.TypePunchAck, From: c.name, Nonce: m.Nonce}
+			c.conn.WriteToUDP(proto.Encode(reply, 0), from)
+		}
+
+	case proto.TypePunchAck:
+		c.mu.Lock()
+		at := c.attempts[m.Nonce]
+		var sess *Session
+		if at != nil {
+			delete(c.attempts, m.Nonce)
+			sess = &Session{Peer: at.peer, Remote: from, Nonce: m.Nonce, c: c}
+			c.sessions[at.peer] = sess
+		}
+		onSession := c.OnSession
+		c.mu.Unlock()
+		if at == nil {
+			return
+		}
+		at.stop()
+		if at.passive {
+			// Peer-initiated session: surface via the callback.
+			if onSession != nil {
+				onSession(sess)
+			}
+			return
+		}
+		at.result <- sess // buffered; Connect is waiting
+
+	case proto.TypeData, proto.TypeRelayed:
+		c.mu.Lock()
+		s := c.sessions[m.From]
+		onData := c.OnData
+		c.mu.Unlock()
+		if s != nil && (m.Type == proto.TypeRelayed || s.Nonce == m.Nonce) && onData != nil {
+			onData(s, m.Data)
+		}
+	}
+}
+
+// probe sends authenticated punch datagrams to the peer's public and
+// private endpoints until the attempt resolves.
+func (c *Client) probe(details *proto.Message) {
+	c.mu.Lock()
+	at := c.attempts[details.Nonce]
+	if at == nil {
+		// Passive side: create the attempt so acks resolve it.
+		at = &attempt{
+			peer: details.From, nonce: details.Nonce, passive: true,
+			result: make(chan *Session, 1), stopped: make(chan struct{}),
+		}
+		c.attempts[details.Nonce] = at
+	}
+	c.mu.Unlock()
+
+	msg := proto.Encode(&proto.Message{Type: proto.TypePunch, From: c.name, Nonce: details.Nonce}, 0)
+	pub, priv := toUDPAddr(details.Public), toUDPAddr(details.Private)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for i := 0; i < 100; i++ {
+		c.conn.WriteToUDP(msg, pub)
+		if details.Private != details.Public && !details.Private.IsZero() {
+			c.conn.WriteToUDP(msg, priv)
+		}
+		select {
+		case <-at.stopped:
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package realnet_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"natpunch/realnet"
+)
+
+// TestUDPPunchOverLoopback runs the full rendezvous + punch exchange
+// over real loopback sockets. There is no NAT on the path, but every
+// protocol step — registration with observed endpoints, connect
+// request forwarding, crossing punch probes, nonce authentication,
+// lock-in, data — is the real code path.
+func TestUDPPunchOverLoopback(t *testing.T) {
+	srv, err := realnet.ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	alice, err := realnet.NewClient("alice", "127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := realnet.NewClient("bob", "127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+
+	pubA, err := alice.Register(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Register(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// On loopback the observed public endpoint is the bound address.
+	if pubA.Port == 0 {
+		t.Fatalf("bad observed endpoint %v", pubA)
+	}
+
+	var mu sync.Mutex
+	var bobGot []byte
+	var bobSession *realnet.Session
+	gotData := make(chan struct{}, 1)
+	bob.OnSession = func(s *realnet.Session) {
+		mu.Lock()
+		bobSession = s
+		mu.Unlock()
+	}
+	bob.OnData = func(s *realnet.Session, p []byte) {
+		mu.Lock()
+		bobGot = append([]byte(nil), p...)
+		mu.Unlock()
+		select {
+		case gotData <- struct{}{}:
+		default:
+		}
+	}
+
+	sess, err := alice.Connect("bob", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Peer != "bob" {
+		t.Errorf("peer = %q", sess.Peer)
+	}
+	if err := sess.Send([]byte("over the real wire")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gotData:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bob never received data")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(bobGot) != "over the real wire" {
+		t.Errorf("bob got %q", bobGot)
+	}
+	if bobSession == nil {
+		t.Error("bob's OnSession never fired")
+	}
+}
+
+func TestConnectUnknownPeerTimesOut(t *testing.T) {
+	srv, err := realnet.ListenServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	alice, err := realnet.NewClient("alice", "127.0.0.1:0", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	if _, err := alice.Register(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Connect("ghost", 500*time.Millisecond); err == nil {
+		t.Fatal("connect to unregistered peer should time out")
+	}
+}
+
+// TestTCPPortReuse exercises the §4.1 socket arrangement on real
+// sockets: a listener and an outgoing connection sharing one local
+// port.
+func TestTCPPortReuse(t *testing.T) {
+	// A peer to dial: plain listener.
+	peer, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	go func() {
+		for {
+			c, err := peer.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+
+	l, err := realnet.ListenTCPReuse("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	local := l.Addr().String()
+
+	// Outgoing connection from the listener's own port.
+	conn, err := realnet.DialTCPFromPort(local, peer.Addr().String())
+	if err != nil {
+		t.Fatalf("dial from listening port: %v", err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 2)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "hi" {
+		t.Errorf("got %q", buf)
+	}
+	// A second outgoing connection from the same port to a different
+	// destination also binds.
+	peer2, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer2.Close()
+	conn2, err := realnet.DialTCPFromPort(local, peer2.Addr().String())
+	if err != nil {
+		t.Fatalf("second dial from listening port: %v", err)
+	}
+	conn2.Close()
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package realnet
+
+import (
+	"context"
+	"syscall"
+)
+
+func setReuse(fd uintptr) error {
+	return syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+}
+
+func nil2ctx() context.Context { return context.Background() }

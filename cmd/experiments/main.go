@@ -4,22 +4,34 @@
 //
 // Usage:
 //
-//	go run ./cmd/experiments            # run everything
-//	go run ./cmd/experiments -run E1    # Table 1 survey only
-//	go run ./cmd/experiments -list      # list experiment IDs
+//	go run ./cmd/experiments                    # run everything
+//	go run ./cmd/experiments -run E1            # Table 1 survey only
+//	go run ./cmd/experiments -list              # list experiment IDs
+//	go run ./cmd/experiments -parallel 8        # 8-wide worker pool
+//	go run ./cmd/experiments -run E1 -runs 100  # 100-seed campaign
+//
+// Each experiment's workload fans out across -parallel workers;
+// tables are byte-identical at every width. -runs N repeats each
+// experiment over seeds seed..seed+N-1 and reports how many distinct
+// outputs the campaign produced (a quick stability read on the
+// paper's statistical claims).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"natpunch/internal/experiments"
 )
 
 func main() {
 	runID := flag.String("run", "", "run a single experiment by ID (e.g. E1)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	runs := flag.Int("runs", 1, "seeds per experiment (seed..seed+runs-1)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -29,17 +41,34 @@ func main() {
 		}
 		return
 	}
+	experiments.SetWorkers(*parallel)
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	todo := experiments.All()
 	if *runID != "" {
 		e, ok := experiments.Lookup(*runID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
 			os.Exit(1)
 		}
-		fmt.Println(e.Run(*seed))
-		return
+		todo = []experiments.Experiment{e}
 	}
-	for _, e := range experiments.All() {
-		fmt.Println(e.Run(*seed))
+
+	for _, e := range todo {
+		start := time.Now()
+		results := experiments.RunSeeds(e, experiments.Seeds(*seed, *runs))
+		elapsed := time.Since(start)
+		fmt.Println(results[0])
+		if *runs > 1 {
+			distinct := map[string]int{}
+			for _, r := range results {
+				distinct[r.String()]++
+			}
+			fmt.Printf("multi-seed: %d runs (seeds %d..%d), %d distinct outputs, %v wall clock at %d workers\n",
+				*runs, *seed, *seed+int64(*runs)-1, len(distinct), elapsed.Round(time.Millisecond), experiments.Workers())
+		}
 		fmt.Println()
 	}
 }

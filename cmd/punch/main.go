@@ -37,13 +37,13 @@ func main() {
 	}
 	defer c.Close()
 
-	c.OnData = func(s *realnet.Session, p []byte) {
+	c.SetOnData(func(s *realnet.Session, p []byte) {
 		fmt.Printf("[%s] %s\n", s.Peer, p)
-	}
-	c.OnSession = func(s *realnet.Session) {
+	})
+	c.SetOnSession(func(s *realnet.Session) {
 		fmt.Printf("inbound session from %s at %s\n", s.Peer, s.Remote)
 		s.Send([]byte("hello from " + *name))
-	}
+	})
 
 	pub, err := c.Register(10 * time.Second)
 	if err != nil {

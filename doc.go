@@ -5,7 +5,7 @@
 // deterministic discrete-event network simulator with a full NAT
 // behavior model and TCP state machine.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// See README.md for the quickstart, EXPERIMENTS.md for the
 // paper-vs-measured record, and bench_test.go for the per-table/
 // figure benchmark harness. The library lives under internal/; the
 // runnable entry points are cmd/experiments, cmd/natcheck,

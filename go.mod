@@ -1,0 +1,3 @@
+module natpunch
+
+go 1.24

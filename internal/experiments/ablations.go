@@ -25,8 +25,8 @@ func Sec43OSBehaviors(seed int64) Result {
 		{host.LinuxStyle, host.LinuxStyle},
 		{host.BSDStyle, host.LinuxStyle},
 	}
-	var rows [][]string
-	for _, cb := range combos {
+	rows := fanOut(len(combos), func(i int) []string {
+		cb := combos[i]
 		in := topo.NewInternet(seed)
 		core := in.CoreRealm()
 		s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
@@ -66,12 +66,12 @@ func Sec43OSBehaviors(seed int64) Result {
 			}
 			return "connect()"
 		}
-		rows = append(rows, []string{
+		return []string{
 			cb.a.String() + " / " + cb.b.String(),
 			outcome(sa), outcome(sb),
 			boolStr(sa != nil && sb != nil, "yes", "no"),
-		})
-	}
+		}
+	})
 	return Result{
 		ID:    "E10",
 		Title: "Sec 4.3 — application-visible TCP punching behavior by OS flavor",
@@ -93,8 +93,9 @@ func realmBLatencyHack(realm *topo.Realm) {
 // timing makes the SYNs cross between the NATs, and both TCP stacks
 // go through the simultaneous-open transition.
 func Sec44SimultaneousOpen(seed int64) Result {
-	var rows [][]string
-	for _, flavor := range []host.OSFlavor{host.BSDStyle, host.LinuxStyle} {
+	flavors := []host.OSFlavor{host.BSDStyle, host.LinuxStyle}
+	rows := fanOut(len(flavors), func(i int) []string {
+		flavor := flavors[i]
 		in := topo.NewInternet(seed)
 		core := in.CoreRealm()
 		s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
@@ -126,8 +127,8 @@ func Sec44SimultaneousOpen(seed int64) Result {
 				mode = "mixed connect()/accept()"
 			}
 		}
-		rows = append(rows, []string{flavor.String() + " both", mode})
-	}
+		return []string{flavor.String() + " both", mode}
+	})
 	return Result{
 		ID:      "E11",
 		Title:   "Sec 4.4 — simultaneous TCP open under symmetric timing",
@@ -139,23 +140,8 @@ func Sec44SimultaneousOpen(seed int64) Result {
 // Sec45SequentialVsParallel compares the two TCP punching procedures
 // for latency and loss robustness (§4.5).
 func Sec45SequentialVsParallel(seed int64) Result {
-	run := func(sequential bool, loss float64, trials int) (okCount int, totalTime time.Duration) {
-		for i := 0; i < trials; i++ {
-			p := newTCPPair(seed+int64(i), nat.Cone(), nat.Cone(), punch.Config{PunchTimeout: 25 * time.Second})
-			if loss > 0 {
-				p.Core.SetLoss(loss)
-			}
-			out := p.punchTCP(90*time.Second, sequential)
-			if out.ok && out.via == punch.MethodPublic {
-				okCount++
-				totalTime += out.elapsed
-			}
-		}
-		return
-	}
 	const trials = 5
-	var rows [][]string
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		name string
 		seq  bool
 		loss float64
@@ -164,8 +150,28 @@ func Sec45SequentialVsParallel(seed int64) Result {
 		{"sequential, clean", true, 0},
 		{"parallel, 10% loss", false, 0.10},
 		{"sequential, 10% loss", true, 0.10},
-	} {
-		ok, total := run(cfg.seq, cfg.loss, trials)
+	}
+	// Every (procedure, loss, trial-seed) combination is an isolated
+	// run; fan all 20 out and fold per-config afterwards.
+	outs := fanOut(len(cfgs)*trials, func(i int) tcpOutcome {
+		cfg := cfgs[i/trials]
+		p := newTCPPair(seed+int64(i%trials), nat.Cone(), nat.Cone(), punch.Config{PunchTimeout: 25 * time.Second})
+		if cfg.loss > 0 {
+			p.Core.SetLoss(cfg.loss)
+		}
+		return p.punchTCP(90*time.Second, cfg.seq)
+	})
+	var rows [][]string
+	for ci, cfg := range cfgs {
+		ok := 0
+		var total time.Duration
+		for t := 0; t < trials; t++ {
+			out := outs[ci*trials+t]
+			if out.ok && out.via == punch.MethodPublic {
+				ok++
+				total += out.elapsed
+			}
+		}
 		avg := "-"
 		if ok > 0 {
 			avg = ms(total / time.Duration(ok))
@@ -190,8 +196,8 @@ func Sec45SequentialVsParallel(seed int64) Result {
 func Sec36KeepAlives(seed int64) Result {
 	const natTimeout = 20 * time.Second
 	intervals := []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second, 25 * time.Second, 45 * time.Second}
-	var rows [][]string
-	for _, iv := range intervals {
+	rows := fanOut(len(intervals), func(i int) []string {
+		iv := intervals[i]
 		behA := nat.Cone()
 		behA.UDPTimeout = natTimeout
 		behB := nat.Cone()
@@ -202,8 +208,7 @@ func Sec36KeepAlives(seed int64) Result {
 		})
 		out := p.punchUDP(30 * time.Second)
 		if !out.ok {
-			rows = append(rows, []string{iv.String(), "punch failed", "-"})
-			continue
+			return []string{iv.String(), "punch failed", "-"}
 		}
 		pubBefore, _ := p.NATA.PublicEndpointFor(inet.UDP, p.a.PrivateUDP(), p.b.PublicUDP())
 		// Idle for five minutes with only keep-alives flowing.
@@ -219,12 +224,12 @@ func Sec36KeepAlives(seed int64) Result {
 		} else if alive {
 			natState = "re-created at " + pubAfter.String()
 		}
-		rows = append(rows, []string{
+		return []string{
 			iv.String(),
 			natState,
 			boolStr(preserved, "usable", "dead (re-punch needed)"),
-		})
-	}
+		}
+	})
 	return Result{
 		ID:    "E13",
 		Title: "Sec 3.6 — keep-alive interval vs a 20s NAT idle timeout",
@@ -349,17 +354,33 @@ func Sec51PortPrediction(seed int64) Result {
 		return established
 	}
 
-	var rows [][]string
-	for _, window := range []int{1, 3} {
-		for _, interference := range []int{0, 1, 2, 5} {
-			ok := run(interference, window)
-			rows = append(rows, []string{
-				fmt.Sprint(interference), fmt.Sprint(window), boolStr(ok, "established", "failed"),
-			})
-		}
+	windows := []int{1, 3}
+	interferences := []int{0, 1, 2, 5}
+	// The prediction grid plus the no-prediction baseline are all
+	// independent runs; the baseline rides along as the last slot.
+	type predRun struct {
+		ok       bool
+		baseline udpOutcome
 	}
-	basic := newUDPPair(seed, nat.Symmetric(), nat.Cone(), punch.Config{PunchTimeout: 5 * time.Second})
-	basicOut := basic.punchUDP(20 * time.Second)
+	grid := len(windows) * len(interferences)
+	outs := fanOut(grid+1, func(i int) predRun {
+		if i == grid {
+			basic := newUDPPair(seed, nat.Symmetric(), nat.Cone(), punch.Config{PunchTimeout: 5 * time.Second})
+			return predRun{baseline: basic.punchUDP(20 * time.Second)}
+		}
+		window := windows[i/len(interferences)]
+		interference := interferences[i%len(interferences)]
+		return predRun{ok: run(interference, window)}
+	})
+	var rows [][]string
+	for i := 0; i < grid; i++ {
+		window := windows[i/len(interferences)]
+		interference := interferences[i%len(interferences)]
+		rows = append(rows, []string{
+			fmt.Sprint(interference), fmt.Sprint(window), boolStr(outs[i].ok, "established", "failed"),
+		})
+	}
+	basicOut := outs[grid].baseline
 	return Result{
 		ID:    "E14",
 		Title: "Sec 5.1 — port prediction against a sequential symmetric NAT",
@@ -375,8 +396,7 @@ func Sec51PortPrediction(seed int64) Result {
 // Sec52RSTvsDrop measures TCP punch latency and success under the
 // three unsolicited-SYN refusal modes (§5.2).
 func Sec52RSTvsDrop(seed int64) Result {
-	var rows [][]string
-	for _, mode := range []struct {
+	modes := []struct {
 		name string
 		beh  func() nat.Behavior
 	}{
@@ -388,7 +408,9 @@ func Sec52RSTvsDrop(seed int64) Result {
 			return b
 		}},
 		{"rst / drop (mixed)", nat.RSTCone},
-	} {
+	}
+	rows := fanOut(len(modes), func(i int) []string {
+		mode := modes[i]
 		behB := mode.beh()
 		if mode.name == "rst / drop (mixed)" {
 			behB = nat.Cone()
@@ -400,13 +422,13 @@ func Sec52RSTvsDrop(seed int64) Result {
 		// and no NAT ever sees an unsolicited SYN.
 		p.RealmB.Seg.SetLatency(120 * time.Millisecond)
 		out := p.punchTCP(90*time.Second, false)
-		rows = append(rows, []string{
+		return []string{
 			mode.name,
 			boolStr(out.ok, "established", "failed"),
 			ms(out.elapsed),
 			fmt.Sprint(p.NATA.Stats().RSTsSent + p.NATB.Stats().RSTsSent),
-		})
-	}
+		}
+	})
 	return Result{
 		ID:    "E15",
 		Title: "Sec 5.2 — unsolicited-SYN refusal mode vs TCP punch latency",
@@ -457,8 +479,15 @@ func Sec53Mangling(seed int64) Result {
 		}
 		return recordedPrivate, false, punch.MethodNone
 	}
-	_, plainOK, _ := run(false)
-	_, obfOK, obfVia := run(true)
+	type mangleRun struct {
+		punched bool
+		via     punch.Method
+	}
+	outs := fanOut(2, func(i int) mangleRun {
+		_, ok, via := run(i == 1)
+		return mangleRun{ok, via}
+	})
+	plainOK, obfOK, obfVia := outs[0].punched, outs[1].punched, outs[1].via
 	mangled := mangledEndpointDemo(seed)
 	rows := [][]string{
 		{"plain encoding", boolStr(plainOK, "established", "failed"), "S recorded private EP as " + mangled},
@@ -493,20 +522,28 @@ func ConnectorAggregate(seed int64) Result {
 		// take a spread: first, middle, last device of each vendor
 		devices = append(devices, devs[0], devs[len(devs)/2], devs[len(devs)-1])
 	}
-	counts := map[punch.Method]int{}
-	total := 0
+	// Each sampled device pair punches in its own isolated sim.
+	var pairs [][2]vendors.Device
+	var pairSeeds []int64
 	for i := 0; i+1 < len(devices); i += 2 {
-		p := newUDPPair(seed+int64(i), devices[i].Behavior, devices[i+1].Behavior, punch.Config{
+		pairs = append(pairs, [2]vendors.Device{devices[i], devices[i+1]})
+		pairSeeds = append(pairSeeds, seed+int64(i))
+	}
+	outs := fanOut(len(pairs), func(i int) udpOutcome {
+		p := newUDPPair(pairSeeds[i], pairs[i][0].Behavior, pairs[i][1].Behavior, punch.Config{
 			PunchTimeout:  5 * time.Second,
 			RelayFallback: true,
 		})
-		out := p.punchUDP(30 * time.Second)
+		return p.punchUDP(30 * time.Second)
+	})
+	counts := map[punch.Method]int{}
+	total := len(outs)
+	for _, out := range outs {
 		if out.ok {
 			counts[out.via]++
 		} else {
 			counts[punch.MethodNone]++
 		}
-		total++
 	}
 	var rows [][]string
 	for _, m := range []punch.Method{punch.MethodPublic, punch.MethodPrivate, punch.MethodRelay, punch.MethodNone} {

@@ -1,8 +1,11 @@
 // Package experiments contains one driver per table and figure in the
-// paper (plus the ablations DESIGN.md calls out). Each driver builds
-// its topology from scratch, runs the workload under the simulator,
-// and renders a paper-style text table; EXPERIMENTS.md records the
-// outputs against the paper's published values.
+// paper, plus the section-level ablations. Each driver expresses its
+// workload as a slice of independent (seed, scenario) runs — every
+// run builds its own topology and simulator from scratch — and fans
+// them out across a worker pool (see runner.go), rendering a
+// paper-style text table that is byte-identical at any worker count;
+// EXPERIMENTS.md records the outputs against the paper's published
+// values.
 package experiments
 
 import (

@@ -244,8 +244,16 @@ func Fig4CommonNAT(seed int64) Result {
 		return out, c.NAT.Stats()
 	}
 
-	noHp, statsNo := run(false)
-	hp, statsHp := run(true)
+	type hpRun struct {
+		out   udpOutcome
+		stats nat.Stats
+	}
+	outs := fanOut(2, func(i int) hpRun {
+		o, s := run(i == 1)
+		return hpRun{o, s}
+	})
+	noHp, statsNo := outs[0].out, outs[0].stats
+	hp, statsHp := outs[1].out, outs[1].stats
 	rows := [][]string{
 		{"no hairpin", boolStr(noHp.ok, "established", "failed"), noHp.via.String(), ms(noHp.elapsed), fmt.Sprint(statsNo.Hairpins)},
 		{"hairpin", boolStr(hp.ok, "established", "failed"), hp.via.String(), ms(hp.elapsed), fmt.Sprint(statsHp.Hairpins)},
@@ -271,13 +279,18 @@ func Fig4CommonNAT(seed int64) Result {
 func Fig5DifferentNATs(seed int64) Result {
 	kinds := []string{"full-cone", "restricted", "port-restricted", "symmetric"}
 	header := append([]string{"A \\ B"}, kinds...)
+	// Each matrix cell is an isolated run; fan the 16 cells out.
+	outs := fanOut(len(kinds)*len(kinds), func(i int) udpOutcome {
+		ka, kb := kinds[i/len(kinds)], kinds[i%len(kinds)]
+		p := newUDPPair(seed, behaviorByName(ka), behaviorByName(kb), punch.Config{PunchTimeout: 8 * time.Second})
+		return p.punchUDP(30 * time.Second)
+	})
 	var rows [][]string
 	successes := 0
-	for _, ka := range kinds {
+	for a, ka := range kinds {
 		row := []string{ka}
-		for _, kb := range kinds {
-			p := newUDPPair(seed, behaviorByName(ka), behaviorByName(kb), punch.Config{PunchTimeout: 8 * time.Second})
-			out := p.punchUDP(30 * time.Second)
+		for b := range kinds {
+			out := outs[a*len(kinds)+b]
 			cell := "fail"
 			if out.ok {
 				successes++
@@ -329,8 +342,16 @@ func Fig6MultiLevel(seed int64) Result {
 		}
 		return out, m.NATC.Stats().Hairpins
 	}
-	no, hairpinsNo := run(false)
-	yes, hairpinsYes := run(true)
+	type hpRun struct {
+		out      udpOutcome
+		hairpins uint64
+	}
+	outs := fanOut(2, func(i int) hpRun {
+		o, h := run(i == 1)
+		return hpRun{o, h}
+	})
+	no, hairpinsNo := outs[0].out, outs[0].hairpins
+	yes, hairpinsYes := outs[1].out, outs[1].hairpins
 	rows := [][]string{
 		{"NAT C without hairpin", boolStr(no.ok, "established", "failed"), fmt.Sprint(hairpinsNo)},
 		{"NAT C with hairpin", boolStr(yes.ok, "established via "+yes.via.String(), "failed"), fmt.Sprint(hairpinsYes)},

@@ -132,6 +132,17 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// ShallowClone returns a copy of the packet that shares the payload
+// slice with the original. It is the right clone for forwarders that
+// rewrite only header fields (NAT translation, hairpinning, ICMP
+// rewriting): trace consumers still see the original header, and the
+// per-packet payload copy is avoided. Callers that mutate Payload
+// must deep-copy it first (see Packet.Clone).
+func (p *Packet) ShallowClone() *Packet {
+	q := *p
+	return &q
+}
+
 // Session returns the packet's transport session from the sender's
 // perspective.
 func (p *Packet) Session() Session {

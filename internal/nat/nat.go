@@ -2,6 +2,7 @@ package nat
 
 import (
 	"encoding/binary"
+	"math"
 	"time"
 
 	"natpunch/internal/inet"
@@ -165,14 +166,20 @@ func (nat *NAT) handleOutbound(pkt *inet.Packet) {
 	if m == nil {
 		return // Basic NAT pool exhausted
 	}
-	s := m.sessionFor(pkt.Dst, true)
+	s, created := m.sessionFor(pkt.Dst, true)
 	s.lastOut = nat.now()
-	nat.trackTCPOut(pkt, s)
+	nat.trackTCPOut(m, pkt, s)
+	if created {
+		nat.coverSession(m, s)
+	}
 
-	out := pkt.Clone()
+	// Header-only rewrite: share the payload bytes unless this NAT
+	// mangles payloads (in which case it needs a private copy).
+	out := pkt.ShallowClone()
 	out.Src = m.pub
 	out.TTL--
 	if nat.b.Mangle {
+		out.Payload = append([]byte(nil), out.Payload...)
 		nat.mangle(out, pkt.Src.Addr, m.pub.Addr)
 	}
 	nat.stats.TranslatedOut++
@@ -272,15 +279,18 @@ func (nat *NAT) handleInbound(pkt *inet.Packet) {
 		nat.refuse(pkt, false)
 		return
 	}
-	s := m.sessionFor(pkt.Src, nat.b.Filtering != FilterAddressPortDependent)
+	s, created := m.sessionFor(pkt.Src, nat.b.Filtering != FilterAddressPortDependent)
 	if s != nil {
 		if s.lastOut == 0 {
 			s.inbound = true
 		}
 		s.lastIn = nat.now()
-		nat.trackTCPIn(pkt, s)
+		nat.trackTCPIn(m, pkt, s)
+		if created {
+			nat.coverSession(m, s)
+		}
 	}
-	out := pkt.Clone()
+	out := pkt.ShallowClone()
 	out.Dst = m.priv
 	out.TTL--
 	nat.stats.TranslatedIn++
@@ -341,9 +351,12 @@ func (nat *NAT) handleHairpin(pkt *inet.Packet) {
 	if sender == nil {
 		return
 	}
-	ss := sender.sessionFor(pkt.Dst, true)
+	ss, ssCreated := sender.sessionFor(pkt.Dst, true)
 	ss.lastOut = nat.now()
-	nat.trackTCPOut(pkt, ss)
+	nat.trackTCPOut(sender, pkt, ss)
+	if ssCreated {
+		nat.coverSession(sender, ss)
+	}
 
 	if nat.b.HairpinFiltered && !target.allows(nat.b.Filtering, sender.pub) {
 		// §6.3: a NAT may treat all traffic to its public ports as
@@ -354,19 +367,22 @@ func (nat *NAT) handleHairpin(pkt *inet.Packet) {
 		return
 	}
 
-	ts := target.sessionFor(sender.pub, nat.b.Filtering != FilterAddressPortDependent)
+	ts, tsCreated := target.sessionFor(sender.pub, nat.b.Filtering != FilterAddressPortDependent)
 	if ts != nil {
 		if ts.lastOut == 0 {
 			ts.inbound = true
 		}
 		ts.lastIn = nat.now()
-		nat.trackTCPIn(pkt, ts)
+		nat.trackTCPIn(target, pkt, ts)
+		if tsCreated {
+			nat.coverSession(target, ts)
+		}
 	}
 
 	// §3.5: "it then translates both the source and destination
 	// addresses in the datagram and loops the datagram back onto the
 	// private network".
-	out := pkt.Clone()
+	out := pkt.ShallowClone()
 	out.Src = sender.pub
 	out.Dst = target.priv
 	out.TTL--
@@ -383,7 +399,7 @@ func (nat *NAT) forwardICMPOut(pkt *inet.Packet) {
 	t := nat.tableFor(pkt.OrigProto)
 	for _, m := range t.byKey {
 		if m.priv == pkt.Orig.Remote {
-			out := pkt.Clone()
+			out := pkt.ShallowClone()
 			out.Orig.Remote = m.pub
 			out.Src = inet.Endpoint{Addr: nat.PublicAddr()}
 			out.TTL--
@@ -403,7 +419,7 @@ func (nat *NAT) forwardICMPIn(pkt *inet.Packet) {
 		nat.stats.DroppedUnsolicited++
 		return
 	}
-	out := pkt.Clone()
+	out := pkt.ShallowClone()
 	out.Orig.Local = m.priv
 	out.Dst = inet.Endpoint{Addr: m.priv.Addr}
 	out.TTL--
@@ -412,29 +428,35 @@ func (nat *NAT) forwardICMPIn(pkt *inet.Packet) {
 
 // --- TCP session tracking ---
 
-func (nat *NAT) trackTCPOut(pkt *inet.Packet, s *session) {
+func (nat *NAT) trackTCPOut(m *mapping, pkt *inet.Packet, s *session) {
 	if pkt.Proto != inet.TCP {
 		return
 	}
 	if pkt.Flags.Has(inet.FlagSYN) {
 		s.sawSynOut = true
 	}
-	nat.trackTCPCommon(pkt, s)
+	nat.trackTCPCommon(m, pkt, s)
 }
 
-func (nat *NAT) trackTCPIn(pkt *inet.Packet, s *session) {
+func (nat *NAT) trackTCPIn(m *mapping, pkt *inet.Packet, s *session) {
 	if pkt.Proto != inet.TCP {
 		return
 	}
 	if pkt.Flags.Has(inet.FlagSYN) {
 		s.sawSynIn = true
 	}
-	nat.trackTCPCommon(pkt, s)
+	nat.trackTCPCommon(m, pkt, s)
 }
 
-func (nat *NAT) trackTCPCommon(pkt *inet.Packet, s *session) {
+func (nat *NAT) trackTCPCommon(m *mapping, pkt *inet.Packet, s *session) {
 	if pkt.Flags.Has(inet.FlagRST) || pkt.Flags.Has(inet.FlagFIN) {
-		s.tcp = tcpClosing
+		if s.tcp != tcpClosing {
+			// Closing shortens the idle limit to the transitory
+			// timeout, so the cached expiry bound may now be too
+			// optimistic; force the next purge to recompute it.
+			s.tcp = tcpClosing
+			m.nextExpiry = 0
+		}
 		return
 	}
 	if s.tcp != tcpEstablished && s.sawSynOut && s.sawSynIn &&
@@ -452,14 +474,34 @@ func (nat *NAT) now() time.Duration { return nat.net.Sched.Now() }
 
 // purge drops expired sessions from m and removes m entirely when no
 // sessions remain. It reports whether the mapping survived.
+//
+// The full session walk runs only once the mapping's cached expiry
+// bound has passed: refreshes only ever push a session's expiry
+// later, so while now <= nextExpiry no session can have expired and
+// the per-packet cost is O(1) regardless of session count. (The one
+// transition that shortens a limit — TCP moving to closing — resets
+// the bound; see trackTCPCommon.)
 func (nat *NAT) purge(t *table, m *mapping) bool {
 	now := nat.now()
-	for remote, s := range m.sessions {
-		if nat.sessionExpired(m.proto, s, now) {
-			delete(m.sessions, remote)
+	if len(m.sessions) > 0 {
+		if now <= m.nextExpiry {
+			return true
+		}
+		next := time.Duration(math.MaxInt64)
+		for _, s := range m.sessions {
+			exp := nat.sessionExpiry(m.proto, s)
+			if now > exp {
+				m.dropSession(s)
+			} else if exp < next {
+				next = exp
+			}
+		}
+		if len(m.sessions) > 0 {
+			m.nextExpiry = next
+			return true
 		}
 	}
-	if len(m.sessions) == 0 && now-m.created > 0 {
+	if now-m.created > 0 {
 		t.remove(m)
 		nat.stats.Expired++
 		return false
@@ -467,7 +509,21 @@ func (nat *NAT) purge(t *table, m *mapping) bool {
 	return true
 }
 
-func (nat *NAT) sessionExpired(proto inet.Proto, s *session, now time.Duration) bool {
+// coverSession folds a newly created (and freshly stamped) session
+// into the mapping's cached expiry bound: set it for the mapping's
+// first session, lower it if the new session expires sooner.
+// Lowering never needs the full walk a recompute would, so a stream
+// of new remotes on a busy mapping stays O(1) per packet.
+func (nat *NAT) coverSession(m *mapping, s *session) {
+	exp := nat.sessionExpiry(m.proto, s)
+	if len(m.sessions) == 1 || exp < m.nextExpiry {
+		m.nextExpiry = exp
+	}
+}
+
+// sessionExpiry returns the virtual instant after which the session
+// counts as expired: its last applicable refresh plus the idle limit.
+func (nat *NAT) sessionExpiry(proto inet.Proto, s *session) time.Duration {
 	last := s.lastOut
 	if (nat.b.InboundRefresh || s.inbound) && s.lastIn > last {
 		last = s.lastIn
@@ -480,7 +536,7 @@ func (nat *NAT) sessionExpired(proto inet.Proto, s *session, now time.Duration) 
 	} else {
 		limit = nat.b.TCPTransitory
 	}
-	return now-last > limit
+	return last + limit
 }
 
 // isOwnPublicAddr reports whether addr is the NAT's public address or

@@ -45,13 +45,23 @@ type session struct {
 
 // mapping is one NAT translation: a private endpoint (plus, for
 // non-cone policies, a remote qualifier) bound to a public endpoint.
+//
+// remoteAddrs counts live sessions per remote address so that
+// address-dependent filtering is a map lookup instead of a scan over
+// every session — the filter decision sits on the per-packet inbound
+// path, and busy mappings (a relay server's, say) can hold thousands
+// of sessions. nextExpiry caches a conservative lower bound on the
+// earliest instant any session can expire, letting purge skip its
+// session walk entirely while the bound holds.
 type mapping struct {
-	key      mapKey
-	priv     inet.Endpoint
-	pub      inet.Endpoint
-	proto    inet.Proto
-	sessions map[inet.Endpoint]*session
-	created  time.Duration
+	key         mapKey
+	priv        inet.Endpoint
+	pub         inet.Endpoint
+	proto       inet.Proto
+	sessions    map[inet.Endpoint]*session
+	remoteAddrs map[inet.Addr]int
+	nextExpiry  time.Duration
+	created     time.Duration
 }
 
 // table holds one protocol's mappings with both lookup directions.
@@ -97,30 +107,47 @@ func keyFor(policy MappingPolicy, proto inet.Proto, priv, remote inet.Endpoint) 
 	return k
 }
 
-// sessionFor returns (creating if requested) the per-remote session.
-func (m *mapping) sessionFor(remote inet.Endpoint, create bool) *session {
+// sessionFor returns the per-remote session, creating it (and
+// keeping the remote-address index in step) when create is set. The
+// second result reports whether a session was created this call: the
+// caller must stamp the new session's refresh time and then fold it
+// into the mapping's expiry bound via NAT.coverSession, so that a
+// stream of new remotes never forces full purge walks.
+func (m *mapping) sessionFor(remote inet.Endpoint, create bool) (*session, bool) {
 	s := m.sessions[remote]
 	if s == nil && create {
 		s = &session{remote: remote}
 		m.sessions[remote] = s
+		if m.remoteAddrs == nil {
+			m.remoteAddrs = make(map[inet.Addr]int)
+		}
+		m.remoteAddrs[remote.Addr]++
+		return s, true
 	}
-	return s
+	return s, false
+}
+
+// dropSession removes a session and its remote-address index entry.
+func (m *mapping) dropSession(s *session) {
+	delete(m.sessions, s.remote)
+	if n := m.remoteAddrs[s.remote.Addr]; n <= 1 {
+		delete(m.remoteAddrs, s.remote.Addr)
+	} else {
+		m.remoteAddrs[s.remote.Addr] = n - 1
+	}
 }
 
 // allows applies the filtering policy to an inbound packet from
 // remote. A session must exist that matches per the policy and has
-// not expired (expiry is handled by the caller's purge).
+// not expired (expiry is handled by the caller's purge). Both
+// non-trivial policies are indexed lookups; nothing here scales with
+// the mapping's session count.
 func (m *mapping) allows(policy FilteringPolicy, remote inet.Endpoint) bool {
 	switch policy {
 	case FilterEndpointIndependent:
 		return true
 	case FilterAddressDependent:
-		for _, s := range m.sessions {
-			if s.remote.Addr == remote.Addr {
-				return true
-			}
-		}
-		return false
+		return m.remoteAddrs[remote.Addr] > 0
 	default: // FilterAddressPortDependent
 		return m.sessions[remote] != nil
 	}

@@ -1,0 +1,99 @@
+package nat
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// Regression benchmarks for the packet-level mapping hot paths. Both
+// the filter decision (allows) and the per-touch expiry check (purge)
+// used to walk every session in the mapping; with the remote-address
+// index and the cached expiry bound they must stay flat as the
+// session count grows. A reintroduced linear scan shows up here as
+// ns/op scaling with sessions=N.
+
+// benchMapping builds a mapping holding n live sessions, each to a
+// distinct remote address.
+func benchMapping(n int) *mapping {
+	m := &mapping{
+		proto:    inet.UDP,
+		priv:     inet.Endpoint{Addr: inet.MustParseAddr("10.0.0.1"), Port: 4321},
+		pub:      inet.Endpoint{Addr: inet.MustParseAddr("155.99.25.11"), Port: 62000},
+		sessions: make(map[inet.Endpoint]*session),
+	}
+	for i := 0; i < n; i++ {
+		remote := inet.Endpoint{Addr: inet.AddrFrom4(99, byte(i>>16), byte(i>>8), byte(i)), Port: 7000}
+		s, _ := m.sessionFor(remote, true)
+		s.lastOut = time.Millisecond
+	}
+	return m
+}
+
+func BenchmarkFilterAddressDependent(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			m := benchMapping(n)
+			// A live remote address probed from a different port: the
+			// case the linear scan made expensive.
+			probe := inet.Endpoint{Addr: inet.AddrFrom4(99, 0, 0, 0), Port: 9}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !m.allows(FilterAddressDependent, probe) {
+					b.Fatal("filter rejected a live session address")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPurgeTouch(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			nw := sim.NewNetwork(1)
+			dev := New(nw, "bench", Cone())
+			m := benchMapping(n)
+			dev.udp.insert(m)
+			// Prime the expiry bound, then measure the per-packet
+			// touch cost while the bound holds.
+			dev.purge(dev.udp, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !dev.purge(dev.udp, m) {
+					b.Fatal("mapping unexpectedly expired")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPurgeNewRemoteStream is the reviewer-flagged workload: a
+// busy mapping receiving a steady stream of packets from remotes it
+// has never seen. Each new session must fold into the cached expiry
+// bound incrementally (coverSession); a forced recompute would make
+// this O(sessions) per packet and show up as ns/op growing with b.N.
+func BenchmarkPurgeNewRemoteStream(b *testing.B) {
+	nw := sim.NewNetwork(1)
+	dev := New(nw, "bench", Cone())
+	m := benchMapping(1)
+	dev.udp.insert(m)
+	dev.purge(dev.udp, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		remote := inet.Endpoint{Addr: inet.AddrFrom4(98, byte(i>>16), byte(i>>8), byte(i)), Port: inet.Port(7000 + i%512)}
+		if !dev.purge(dev.udp, m) {
+			b.Fatal("mapping unexpectedly expired")
+		}
+		s, created := m.sessionFor(remote, true)
+		s.lastOut = time.Millisecond
+		if created {
+			dev.coverSession(m, s)
+		}
+	}
+}

@@ -236,20 +236,26 @@ func (i *Iface) Send(pkt *inet.Packet) {
 }
 
 // deliver schedules the packet's arrival at target after the
-// segment's latency (plus jitter).
+// segment's latency (plus jitter), on the scheduler's allocation-free
+// delivery path.
 func (s *Segment) deliver(from, target *Iface, pkt *inet.Packet) {
 	n := s.net
 	d := s.latency
 	if s.jitter > 0 {
 		d += time.Duration(n.Sched.Rand().Int63n(int64(s.jitter)))
 	}
-	n.Sched.After(d, func() {
-		n.stats.Delivered++
-		if n.hook != nil {
-			n.hook(HookDeliver, s, target, pkt)
-		}
-		target.dev.Receive(target, pkt)
-	})
+	n.Sched.scheduleDelivery(d, target, pkt)
+}
+
+// deliverNow hands an arrived packet to the interface's device; the
+// scheduler invokes it when a delivery event fires.
+func (i *Iface) deliverNow(pkt *inet.Packet) {
+	n := i.seg.net
+	n.stats.Delivered++
+	if n.hook != nil {
+		n.hook(HookDeliver, i.seg, i, pkt)
+	}
+	i.dev.Receive(i, pkt)
 }
 
 // hostUnreachable builds the ICMP error returned to the sender of an

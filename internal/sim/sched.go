@@ -14,15 +14,28 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"natpunch/internal/inet"
 )
 
 // event is a scheduled callback. seq breaks ties so that events
 // scheduled for the same instant run in scheduling order (FIFO).
+// Events are pooled on the scheduler's free list: gen increments on
+// every recycle so stale Timer handles cannot cancel a reused slot.
+//
+// Packet deliveries — by far the most common event in a run — are
+// carried inline in target/pkt instead of a heap-allocated closure;
+// fn is nil for those events.
 type event struct {
 	at    time.Duration
 	seq   uint64
+	gen   uint32
 	fn    func()
 	index int // heap index; -1 once popped or cancelled
+
+	// Inline packet delivery, used when fn == nil.
+	target *Iface
+	pkt    *inet.Packet
 }
 
 type eventHeap []*event
@@ -63,6 +76,7 @@ type Scheduler struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	free    []*event // recycled events (see event.gen)
 	// Processed counts events executed, for budget checks in tests.
 	Processed uint64
 }
@@ -82,25 +96,57 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // runs stay reproducible.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled event, allowing cancellation.
+// Timer is a handle to a scheduled event, allowing cancellation. The
+// generation snapshot guards against the underlying pooled event slot
+// being recycled for a later, unrelated event.
 type Timer struct {
-	s *Scheduler
-	e *event
+	s   *Scheduler
+	e   *event
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the timer was still
 // pending (false if it already fired or was stopped).
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.index < 0 {
+	if !t.Active() {
 		return false
 	}
 	heap.Remove(&t.s.queue, t.e.index)
-	t.e.fn = nil
+	t.s.release(t.e)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+func (t *Timer) Active() bool {
+	return t != nil && t.e != nil && t.e.gen == t.gen && t.e.index >= 0
+}
+
+// acquire returns a blank event at time t, reusing a recycled slot
+// when one is available.
+func (s *Scheduler) acquire(t time.Duration) *event {
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	return e
+}
+
+// release recycles a fired or cancelled event. Bumping gen
+// invalidates any outstanding Timer handles to the slot.
+func (s *Scheduler) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.target = nil
+	e.pkt = nil
+	s.free = append(s.free, e)
+}
 
 // After schedules fn to run d from now. Negative d is treated as 0
 // (fn runs at the current instant, after already-queued events at
@@ -118,28 +164,46 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
-	e := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
+	e := s.acquire(t)
+	e.fn = fn
 	heap.Push(&s.queue, e)
-	return &Timer{s: s, e: e}
+	return &Timer{s: s, e: e, gen: e.gen}
+}
+
+// scheduleDelivery enqueues a packet arrival at target after d,
+// without allocating a closure or a Timer handle — the fabric's
+// per-packet fast path.
+func (s *Scheduler) scheduleDelivery(d time.Duration, target *Iface, pkt *inet.Packet) {
+	if d < 0 {
+		d = 0
+	}
+	e := s.acquire(s.now + d)
+	e.target = target
+	e.pkt = pkt
+	heap.Push(&s.queue, e)
 }
 
 // Stop aborts a Run in progress after the current event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // step executes the earliest pending event. It reports false when the
-// queue is empty.
+// queue is empty. The event slot is recycled before the callback runs
+// so it is immediately reusable by anything the callback schedules.
 func (s *Scheduler) step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
 	e := heap.Pop(&s.queue).(*event)
 	s.now = e.at
-	if e.fn != nil {
-		fn := e.fn
-		e.fn = nil
+	fn, target, pkt := e.fn, e.target, e.pkt
+	s.release(e)
+	switch {
+	case fn != nil:
 		s.Processed++
 		fn()
+	case target != nil:
+		s.Processed++
+		target.deliverNow(pkt)
 	}
 	return true
 }

@@ -11,7 +11,7 @@
 // iff i < numerator), which maximizes cross-column correlation; the
 // true per-device joint distribution is unknowable from the paper.
 //
-// Known inconsistency in the printed table (documented in DESIGN.md):
+// Known inconsistency in the printed table (see EXPERIMENTS.md):
 // the per-vendor TCP-hairpin numerators sum to 40, exceeding the
 // printed All-Vendors total of 37/286 — the Windows row's 28/31 (90%)
 // is the outlier. We reproduce every per-vendor row exactly; the

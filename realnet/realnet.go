@@ -182,12 +182,29 @@ type Client struct {
 	attempts   map[uint64]*attempt
 	sessions   map[string]*Session
 
-	// OnSession fires for sessions initiated by peers.
-	OnSession func(*Session)
-	// OnData fires for authenticated session datagrams.
-	OnData func(*Session, []byte)
+	// onSession fires for sessions initiated by peers; onData for
+	// authenticated session datagrams. Both are set via SetOnSession/
+	// SetOnData so registration synchronizes with the read loop.
+	onSession func(*Session)
+	onData    func(*Session, []byte)
 
 	closed bool
+}
+
+// SetOnSession installs the callback fired for sessions initiated by
+// peers. Safe to call while the client is running.
+func (c *Client) SetOnSession(fn func(*Session)) {
+	c.mu.Lock()
+	c.onSession = fn
+	c.mu.Unlock()
+}
+
+// SetOnData installs the callback fired for each authenticated
+// session datagram. Safe to call while the client is running.
+func (c *Client) SetOnData(fn func(*Session, []byte)) {
+	c.mu.Lock()
+	c.onData = fn
+	c.mu.Unlock()
 }
 
 type attempt struct {
@@ -346,7 +363,7 @@ func (c *Client) handle(m *proto.Message, from *net.UDPAddr) {
 			sess = &Session{Peer: at.peer, Remote: from, Nonce: m.Nonce, c: c}
 			c.sessions[at.peer] = sess
 		}
-		onSession := c.OnSession
+		onSession := c.onSession
 		c.mu.Unlock()
 		if at == nil {
 			return
@@ -364,8 +381,36 @@ func (c *Client) handle(m *proto.Message, from *net.UDPAddr) {
 	case proto.TypeData, proto.TypeRelayed:
 		c.mu.Lock()
 		s := c.sessions[m.From]
-		onData := c.OnData
+		var at *attempt
+		var onSession func(*Session)
+		if s == nil && m.Type == proto.TypeData {
+			// With both sides punching, the peer's first data
+			// datagram can overtake the punch-ack that would lock in
+			// our side of the session (UDP preserves no ordering
+			// across the crossing probes). A correctly-nonced payload
+			// from the expected peer is at least as strong evidence
+			// as an ack, so resolve the attempt with it instead of
+			// dropping the data.
+			if a := c.attempts[m.Nonce]; a != nil && a.peer == m.From {
+				at = a
+				delete(c.attempts, m.Nonce)
+				s = &Session{Peer: a.peer, Remote: from, Nonce: m.Nonce, c: c}
+				c.sessions[a.peer] = s
+				onSession = c.onSession
+			}
+		}
+		onData := c.onData
 		c.mu.Unlock()
+		if at != nil {
+			at.stop()
+			if at.passive {
+				if onSession != nil {
+					onSession(s)
+				}
+			} else {
+				at.result <- s // buffered; Connect is waiting
+			}
+		}
 		if s != nil && (m.Type == proto.TypeRelayed || s.Nonce == m.Nonce) && onData != nil {
 			onData(s, m.Data)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"natpunch/internal/proto"
 	"natpunch/realnet"
 )
 
@@ -48,12 +49,12 @@ func TestUDPPunchOverLoopback(t *testing.T) {
 	var bobGot []byte
 	var bobSession *realnet.Session
 	gotData := make(chan struct{}, 1)
-	bob.OnSession = func(s *realnet.Session) {
+	bob.SetOnSession(func(s *realnet.Session) {
 		mu.Lock()
 		bobSession = s
 		mu.Unlock()
-	}
-	bob.OnData = func(s *realnet.Session, p []byte) {
+	})
+	bob.SetOnData(func(s *realnet.Session, p []byte) {
 		mu.Lock()
 		bobGot = append([]byte(nil), p...)
 		mu.Unlock()
@@ -61,7 +62,7 @@ func TestUDPPunchOverLoopback(t *testing.T) {
 		case gotData <- struct{}{}:
 		default:
 		}
-	}
+	})
 
 	sess, err := alice.Connect("bob", 10*time.Second)
 	if err != nil {
@@ -161,4 +162,87 @@ func TestTCPPortReuse(t *testing.T) {
 		t.Fatalf("second dial from listening port: %v", err)
 	}
 	conn2.Close()
+}
+
+// TestDataBeforePunchAckLocksIn covers the UDP reordering case where
+// the peer's first data datagram overtakes the punch-ack: with both
+// sides punching, the side whose ack is still in flight must accept
+// correctly-nonced data as session lock-in instead of dropping it.
+func TestDataBeforePunchAckLocksIn(t *testing.T) {
+	// A bare socket plays both the rendezvous server and the peer.
+	fake, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+
+	alice, err := realnet.NewClient("alice", "127.0.0.1:0", fake.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+
+	var mu sync.Mutex
+	var got []byte
+	gotData := make(chan struct{}, 1)
+	alice.SetOnData(func(s *realnet.Session, p []byte) {
+		mu.Lock()
+		got = append([]byte(nil), p...)
+		mu.Unlock()
+		select {
+		case gotData <- struct{}{}:
+		default:
+		}
+	})
+
+	type connectResult struct {
+		sess *realnet.Session
+		err  error
+	}
+	res := make(chan connectResult, 1)
+	go func() {
+		s, err := alice.Connect("bob", 5*time.Second)
+		res <- connectResult{s, err}
+	}()
+
+	// Read alice's ConnectRequest to learn the session nonce and her
+	// address, then — without ever sending a punch-ack — deliver a
+	// data datagram from "bob" carrying that nonce.
+	buf := make([]byte, 64<<10)
+	fake.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, aliceAddr, err := fake.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := proto.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Type != proto.TypeConnectRequest || req.Target != "bob" {
+		t.Fatalf("unexpected first message %v to %q", req.Type, req.Target)
+	}
+	data := proto.Encode(&proto.Message{
+		Type: proto.TypeData, From: "bob", Nonce: req.Nonce, Data: []byte("early bird"),
+	}, 0)
+	if _, err := fake.WriteToUDP(data, aliceAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-res
+	if r.err != nil {
+		t.Fatalf("Connect did not resolve on early data: %v", r.err)
+	}
+	if r.sess.Peer != "bob" {
+		t.Errorf("peer = %q", r.sess.Peer)
+	}
+	select {
+	case <-gotData:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnData never fired for the early datagram")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if string(got) != "early bird" {
+		t.Errorf("got %q", got)
+	}
 }

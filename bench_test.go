@@ -33,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"testing"
+	"time"
 
 	"natpunch/internal/experiments"
+	"natpunch/internal/fleet"
 )
 
 var (
@@ -137,3 +139,37 @@ func BenchmarkSec53PayloadMangling(b *testing.B) { benchExperiment(b, "E16") }
 // BenchmarkConnectorAggregate measures the population-level connector
 // sweep.
 func BenchmarkConnectorAggregate(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkFleetChurn measures the full E-FLEET driver (three churn
+// scenarios fanned over the worker pool).
+func BenchmarkFleetChurn(b *testing.B) { benchExperiment(b, "E-FLEET") }
+
+// BenchmarkFleet is the standing scale-regression workload: one churn
+// simulation per iteration at growing population sizes, all on a
+// single deterministic scheduler. ns/op growing faster than the
+// population means a hot path (NAT table, scheduler queue, punch
+// dispatch) regressed from linear.
+func BenchmarkFleet(b *testing.B) {
+	for _, n := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			cfg := fleet.Config{
+				Peers:            n,
+				Duration:         5 * time.Minute,
+				MeanArrival:      50 * time.Millisecond,
+				MeanLifetime:     2 * time.Minute,
+				MeanRejoin:       time.Minute,
+				MeanConnectEvery: 25 * time.Second,
+			}
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				rep := fleet.Run(int64(i+1), cfg)
+				if rep.Attempts == 0 {
+					b.Fatal("fleet made no punch attempts")
+				}
+				events += rep.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
+}

@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"E15", "Sec 5.2: RST vs drop refusal and punch latency", Sec52RSTvsDrop},
 		{"E16", "Sec 5.3: payload mangling and obfuscation", Sec53Mangling},
 		{"E17", "Aggregate: connector method distribution over population", ConnectorAggregate},
+		{"E-FLEET", "Fleet: population-scale churn over the Table 1 NAT mix", FleetChurn},
 	}
 }
 

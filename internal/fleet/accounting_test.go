@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSessionAccountingConsistent pins the concurrency counter
+// against ground truth: after a churn-heavy run (crossing punches,
+// replacements, departures mid-attempt, relay deaths), sessionsOpen
+// must equal a recount of live initiated sessions (regression: an
+// inbound session replacing an initiated one used to leave a stale
+// initiated flag behind, double-decrementing on its death).
+func TestSessionAccountingConsistent(t *testing.T) {
+	cfg := Config{
+		Peers:            50,
+		Duration:         10 * time.Minute,
+		MeanArrival:      time.Second,
+		MeanLifetime:     90 * time.Second,
+		MeanRejoin:       30 * time.Second,
+		MeanConnectEvery: 10 * time.Second,
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		f := build(seed, cfg)
+		f.in.Net.Sched.RunUntil(f.cfg.Duration)
+		want := 0
+		for _, p := range f.peers {
+			for q := range p.initiated {
+				if p.connected[q] != nil {
+					want++
+				}
+			}
+		}
+		if f.sessionsOpen != want {
+			t.Errorf("seed %d: sessionsOpen=%d but recount says %d", seed, f.sessionsOpen, want)
+		}
+		f.finish()
+		if f.rep.PeakSessions < want {
+			t.Errorf("seed %d: peak %d below final live count %d", seed, f.rep.PeakSessions, want)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+// Package fleet is the population-scale churn simulator: it spawns N
+// sites whose NAT behaviors are drawn from a seeded weighted mix
+// (defaulting to the Table 1 vendor survey marginals), registers every
+// peer with one rendezvous server, and drives a churn process —
+// exponential arrivals and departures, random pairwise hole punches,
+// §3.6 keep-alive traffic, idle session death with on-demand
+// re-punching, and §2.2 relay fallback for pairs that cannot punch.
+//
+// Everything runs on a single sim.Scheduler/sim.Network, so a run is
+// bit-for-bit reproducible from its seed: the large-scale DCUtR-style
+// measurement campaigns that followed the paper (see PAPERS.md) become
+// deterministic regression workloads here. One Report aggregates
+// fleet-level metrics: punch success by NAT-pair class,
+// time-to-establish quantiles, rendezvous/relay server load, and the
+// concurrent-session high-water mark.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"natpunch/internal/host"
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/topo"
+)
+
+// Config shapes a fleet run. Zero values take defaults.
+type Config struct {
+	// Peers is the total population (sites built at setup; each joins
+	// the overlay at its arrival time). Default 100.
+	Peers int
+	// PublicFraction is the probability that a peer is un-NATed
+	// (attached directly to the public core). Default 0.
+	PublicFraction float64
+	// Mix is the weighted NAT behavior mix for NATed peers. Default
+	// Table1Mix().
+	Mix []Weighted
+
+	// Duration is the simulated run length. Default 10 minutes.
+	Duration time.Duration
+	// MeanArrival is the mean inter-arrival gap of the Poisson-style
+	// arrival process. Default Duration/(4*Peers), so the population
+	// ramps up over roughly the first quarter of the run.
+	MeanArrival time.Duration
+	// MeanLifetime is the mean online time before a peer departs.
+	// Default Duration/2.
+	MeanLifetime time.Duration
+	// MeanRejoin is the mean offline time before a departed peer
+	// re-registers. Zero means departures are permanent.
+	MeanRejoin time.Duration
+	// MeanConnectEvery is the mean gap between one peer's punch
+	// attempts toward random online peers. Default 30 seconds.
+	MeanConnectEvery time.Duration
+	// AppDataEvery paces application ping/pong traffic on established
+	// sessions (this is what keeps relay sessions alive and loads the
+	// relay path of §2.2). Default 20 seconds.
+	AppDataEvery time.Duration
+
+	// Punch tunes the punching clients. RelayFallback is forced on
+	// unless NoRelay is set; other zero fields take punch defaults
+	// (100ms probes, 10s punch timeout, 15s keep-alives, 60s idle
+	// death).
+	Punch   punch.Config
+	NoRelay bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers == 0 {
+		c.Peers = 100
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.MeanArrival == 0 {
+		c.MeanArrival = c.Duration / time.Duration(4*c.Peers)
+	}
+	if c.MeanLifetime == 0 {
+		c.MeanLifetime = c.Duration / 2
+	}
+	if c.MeanConnectEvery == 0 {
+		c.MeanConnectEvery = 30 * time.Second
+	}
+	if c.AppDataEvery == 0 {
+		c.AppDataEvery = 20 * time.Second
+	}
+	if c.Mix == nil {
+		c.Mix = Table1Mix()
+	}
+	c.Punch.RelayFallback = !c.NoRelay
+	return c
+}
+
+// serverPort is the rendezvous server's well-known port.
+const serverPort inet.Port = 1234
+
+// clientPort is every peer's local UDP port (distinct sites, so no
+// conflicts; matching the paper's 4321 examples).
+const clientPort inet.Port = 4321
+
+// peer is one fleet member: a site (host plus optional NAT) and its
+// churn state.
+type peer struct {
+	f     *Fleet
+	name  string
+	class Class
+	label string // behavior label for traces
+	host  *host.Host
+
+	client     *punch.Client
+	online     bool
+	everJoined bool
+	onlinePos  int // index into Fleet.online while online
+	gen        int // bumped on every departure; stale timers check it
+
+	// connected tracks live sessions by peer name (both directions);
+	// initiated marks the ones this peer dialed (the metrics side).
+	connected map[string]*punch.UDPSession
+	initiated map[string]bool
+	// inflight maps target name -> pair key for outstanding attempts.
+	inflight map[string]string
+}
+
+// Fleet owns one run. Construct with Run.
+type Fleet struct {
+	cfg Config
+	in  *topo.Internet
+	srv *rendezvous.Server
+	rng *rand.Rand
+
+	peers  []*peer
+	byName map[string]*peer
+	online []*peer
+
+	pairs        map[string]*PairStat
+	rep          Report
+	sessionsOpen int
+}
+
+// Run executes one fleet simulation and returns its aggregate report.
+// The same (seed, cfg) always produces an identical Report.
+func Run(seed int64, cfg Config) Report {
+	f := build(seed, cfg)
+	f.in.Net.Sched.RunUntil(f.cfg.Duration)
+	f.finish()
+	return f.rep
+}
+
+// build constructs the topology (core, rendezvous server, every
+// site) and schedules the arrival process.
+func build(seed int64, cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	in := topo.NewInternet(seed)
+	core := in.CoreRealm()
+	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
+	srv, err := rendezvous.New(s, serverPort, 0)
+	if err != nil {
+		panic(err)
+	}
+	f := &Fleet{
+		cfg:    cfg,
+		in:     in,
+		srv:    srv,
+		rng:    in.Net.Sched.Rand(),
+		byName: make(map[string]*peer),
+		pairs:  make(map[string]*PairStat),
+	}
+	f.rep.Seed = seed
+
+	total := 0
+	for _, w := range cfg.Mix {
+		total += w.Weight
+	}
+	base := inet.AddrFrom4(20, 0, 0, 0)
+	for i := 0; i < cfg.Peers; i++ {
+		p := &peer{
+			f:         f,
+			name:      fmt.Sprintf("p%d", i),
+			connected: make(map[string]*punch.UDPSession),
+			initiated: make(map[string]bool),
+			inflight:  make(map[string]string),
+		}
+		pub := base + inet.Addr(i+1)
+		if f.rng.Float64() < cfg.PublicFraction {
+			p.class = ClassPublic
+			p.label = "public"
+			p.host = core.AddHost(p.name, pub.String(), host.BSDStyle)
+		} else {
+			b := drawMix(f.rng, cfg.Mix, total)
+			p.class = Classify(b)
+			p.label = b.Label
+			realm := core.AddSite("nat-"+p.name, b, pub.String(), "10.0.0.0/24")
+			p.host = realm.AddHost(p.name, "10.0.0.1", host.BSDStyle)
+		}
+		f.peers = append(f.peers, p)
+		f.byName[p.name] = p
+	}
+
+	// Poisson-style arrival schedule: exponential inter-arrival gaps.
+	t := time.Duration(0)
+	for _, p := range f.peers {
+		t += f.expDur(cfg.MeanArrival)
+		p := p
+		f.in.Net.Sched.At(t, func() { f.arrive(p) })
+	}
+	return f
+}
+
+// drawMix picks a behavior by cumulative weight.
+func drawMix(rng *rand.Rand, mix []Weighted, total int) nat.Behavior {
+	n := rng.Intn(total)
+	for _, w := range mix {
+		if n < w.Weight {
+			return w.Behavior
+		}
+		n -= w.Weight
+	}
+	return mix[len(mix)-1].Behavior
+}
+
+// expDur draws an exponentially distributed duration with the given
+// mean from the simulation's deterministic source.
+func (f *Fleet) expDur(mean time.Duration) time.Duration {
+	return time.Duration(f.rng.ExpFloat64() * float64(mean))
+}
+
+// --- lifecycle ---
+
+// arrive brings a peer online: a fresh punching client registers with
+// S; on success the peer starts its connect/departure clocks.
+func (f *Fleet) arrive(p *peer) {
+	if p.online || p.client != nil {
+		return
+	}
+	if p.everJoined {
+		f.rep.Rejoins++
+	} else {
+		f.rep.Arrivals++
+		p.everJoined = true
+	}
+	c := punch.NewClient(p.host, p.name, f.srv.Endpoint(), f.cfg.Punch)
+	c.InboundUDP = punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { f.adopt(p, s, false) },
+		Data:        func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
+	}
+	p.client = c
+	if err := c.RegisterUDP(clientPort, func(err error) {
+		if err != nil {
+			c.Close()
+			p.client = nil
+			return
+		}
+		f.registered(p)
+	}); err != nil {
+		panic(err)
+	}
+}
+
+func (f *Fleet) registered(p *peer) {
+	p.online = true
+	p.onlinePos = len(f.online)
+	f.online = append(f.online, p)
+	if len(f.online) > f.rep.PeakOnline {
+		f.rep.PeakOnline = len(f.online)
+	}
+	gen := p.gen
+	f.in.Net.Sched.After(f.expDur(f.cfg.MeanLifetime), func() { f.depart(p, gen) })
+	f.in.Net.Sched.After(f.expDur(f.cfg.MeanConnectEvery), func() { f.tick(p, gen) })
+}
+
+// depart takes a peer offline: its client (sessions, timers, socket)
+// closes, in-flight attempts are abandoned, and — when the config
+// allows — a rejoin is scheduled.
+func (f *Fleet) depart(p *peer, gen int) {
+	if !p.online || p.gen != gen {
+		return
+	}
+	p.online = false
+	p.gen++
+	f.rep.Departures++
+
+	// Swap-delete from the online list.
+	last := len(f.online) - 1
+	f.online[p.onlinePos] = f.online[last]
+	f.online[p.onlinePos].onlinePos = p.onlinePos
+	f.online = f.online[:last]
+
+	// Abandoned attempts get no outcome callback once the client
+	// closes; account for them now (pure commutative increments, so
+	// map order does not matter).
+	for q, key := range p.inflight {
+		f.pair(key).Abandoned++
+		f.rep.Abandoned++
+		delete(p.inflight, q)
+	}
+	for q := range p.initiated {
+		if p.connected[q] != nil {
+			f.sessionsOpen--
+		}
+		delete(p.initiated, q)
+	}
+	for q := range p.connected {
+		delete(p.connected, q)
+	}
+	p.client.Close()
+	p.client = nil
+
+	if f.cfg.MeanRejoin > 0 {
+		f.in.Net.Sched.After(f.expDur(f.cfg.MeanRejoin), func() { f.arrive(p) })
+	}
+}
+
+// tick is one beat of a peer's connect clock: pick a random online
+// peer and punch toward it, then reschedule.
+func (f *Fleet) tick(p *peer, gen int) {
+	if !p.online || p.gen != gen {
+		return
+	}
+	f.in.Net.Sched.After(f.expDur(f.cfg.MeanConnectEvery), func() { f.tick(p, gen) })
+	if len(f.online) < 2 {
+		return
+	}
+	q := f.online[f.rng.Intn(len(f.online))]
+	if q == p || p.connected[q.name] != nil || p.inflight[q.name] != "" {
+		return
+	}
+	f.attempt(p, q)
+}
+
+// attempt starts one hole punch from p toward q and wires the outcome
+// into the pair-class stats.
+func (f *Fleet) attempt(p, q *peer) {
+	key := PairKey(p.class, q.class)
+	ps := f.pair(key)
+	ps.Attempts++
+	f.rep.Attempts++
+	p.inflight[q.name] = key
+	start := f.in.Net.Sched.Now()
+	p.client.ConnectUDP(q.name, punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) {
+			delete(p.inflight, q.name)
+			elapsed := f.in.Net.Sched.Now() - start
+			switch s.Via {
+			case punch.MethodRelay:
+				ps.Relay++
+				f.rep.Relay++
+			case punch.MethodPrivate:
+				ps.Private++
+				f.rep.Private++
+				ps.Times = append(ps.Times, elapsed)
+				f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
+			default:
+				ps.Public++
+				f.rep.Public++
+				ps.Times = append(ps.Times, elapsed)
+				f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
+			}
+			f.adopt(p, s, true)
+		},
+		Failed: func(peerName string, err error) {
+			delete(p.inflight, q.name)
+			ps.Failed++
+			f.rep.Failed++
+		},
+		Data: func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
+	})
+}
+
+// adopt registers a live session with its local peer: concurrency
+// accounting, idle-death watching, and — for the initiating side —
+// the application ping clock.
+func (f *Fleet) adopt(p *peer, s *punch.UDPSession, initiated bool) {
+	if prev := p.connected[s.Peer]; prev != nil && p.initiated[s.Peer] {
+		// A crossing punch replaced an existing initiated session; undo
+		// its accounting so the replacement (whichever direction it
+		// came from) starts from a clean slate.
+		f.sessionsOpen--
+		delete(p.initiated, s.Peer)
+	}
+	p.connected[s.Peer] = s
+	if initiated {
+		p.initiated[s.Peer] = true
+		f.sessionsOpen++
+		if f.sessionsOpen > f.rep.PeakSessions {
+			f.rep.PeakSessions = f.sessionsOpen
+		}
+		f.schedulePing(p, s)
+	}
+	s.OnDead(func(ds *punch.UDPSession) { f.sessionDead(p, ds) })
+}
+
+// sessionDead handles §3.6 idle death: accounting, then an on-demand
+// re-punch when both ends are still online.
+func (f *Fleet) sessionDead(p *peer, s *punch.UDPSession) {
+	if p.connected[s.Peer] != s {
+		return
+	}
+	delete(p.connected, s.Peer)
+	if !p.initiated[s.Peer] {
+		return
+	}
+	delete(p.initiated, s.Peer)
+	f.sessionsOpen--
+	f.rep.DeadSessions++
+	q := f.byName[s.Peer]
+	if p.online && q != nil && q.online && p.inflight[q.name] == "" {
+		f.rep.Repunches++
+		f.attempt(p, q)
+	}
+}
+
+// --- application traffic ---
+
+// pingPayload/pongPayload are the session application traffic; pings
+// elicit pongs, which keeps both directions (and both NAT timers,
+// §3.6) refreshed — including relayed sessions, whose traffic loads S.
+var (
+	pingPayload = []byte("ping?")
+	pongPayload = []byte("pong!")
+)
+
+// schedulePing runs the initiator's application clock for one
+// session: a ping every AppDataEvery while the session stays current.
+func (f *Fleet) schedulePing(p *peer, s *punch.UDPSession) {
+	f.in.Net.Sched.After(f.expDur(f.cfg.AppDataEvery), func() {
+		if !p.online || p.connected[s.Peer] != s {
+			return
+		}
+		s.Send(pingPayload)
+		f.schedulePing(p, s)
+	})
+}
+
+// appData echoes pings so the responder side generates return traffic.
+func (f *Fleet) appData(p *peer, s *punch.UDPSession, payload []byte) {
+	if len(payload) > 0 && payload[len(payload)-1] == '?' {
+		s.Send(pongPayload)
+	}
+}
+
+// --- aggregation ---
+
+func (f *Fleet) pair(key string) *PairStat {
+	ps := f.pairs[key]
+	if ps == nil {
+		ps = &PairStat{Pair: key}
+		f.pairs[key] = ps
+	}
+	return ps
+}
+
+func (f *Fleet) finish() {
+	// Outstanding attempts at the horizon never resolved.
+	for _, p := range f.peers {
+		for _, key := range p.inflight {
+			f.pair(key).Abandoned++
+			f.rep.Abandoned++
+		}
+	}
+	for _, ps := range f.pairs {
+		f.rep.Pairs = append(f.rep.Pairs, *ps)
+	}
+	f.rep.Server = f.srv.Stats()
+	f.rep.Fabric = f.in.Net.Stats()
+	f.rep.VirtualTime = f.in.Net.Sched.Now()
+	f.rep.Events = f.in.Net.Sched.Processed
+	f.rep.finalize()
+}

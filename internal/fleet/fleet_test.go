@@ -1,0 +1,179 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"natpunch/internal/fleet"
+	"natpunch/internal/nat"
+)
+
+// halfSymmetricMix is a two-entry mix that makes pair-class outcomes
+// easy to assert: half the population punches (cone), half cannot
+// (symmetric behind port-restricted filtering).
+func halfSymmetricMix() []fleet.Weighted {
+	return []fleet.Weighted{
+		{Label: "cone", Behavior: nat.Cone(), Weight: 1},
+		{Label: "symmetric", Behavior: nat.Symmetric(), Weight: 1},
+	}
+}
+
+// stable returns a config with no churn: everyone arrives early and
+// stays online for the whole run.
+func stable(peers int) fleet.Config {
+	return fleet.Config{
+		Peers:            peers,
+		Duration:         5 * time.Minute,
+		MeanArrival:      500 * time.Millisecond,
+		MeanLifetime:     24 * time.Hour,
+		MeanConnectEvery: 20 * time.Second,
+	}
+}
+
+func TestFleetSameSeedBitForBit(t *testing.T) {
+	cfg := stable(40)
+	cfg.MeanLifetime = 90 * time.Second // include churn in the determinism surface
+	cfg.MeanRejoin = 30 * time.Second
+	a := fleet.Run(11, cfg)
+	b := fleet.Run(11, cfg)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("same seed produced different reports:\n--- a ---\n%+v\n--- b ---\n%+v", a, b)
+	}
+	c := fleet.Run(12, cfg)
+	if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", c) {
+		t.Error("different seeds produced identical reports (rng unused?)")
+	}
+}
+
+func TestFleetPairClassOutcomes(t *testing.T) {
+	cfg := stable(40)
+	cfg.Mix = halfSymmetricMix()
+	rep := fleet.Run(3, cfg)
+
+	if rep.Attempts == 0 {
+		t.Fatal("no punch attempts were made")
+	}
+	if rep.Failed != 0 {
+		t.Errorf("with relay fallback enabled no attempt may hard-fail; got %d", rep.Failed)
+	}
+	cc := rep.Pair("cone<->cone")
+	if cc == nil || cc.Attempts == 0 {
+		t.Fatal("no cone<->cone attempts")
+	}
+	// §5.1: endpoint-independent mappings punch; cone pairs must be
+	// near-universal direct successes (all, in the clean simulator).
+	if cc.Direct() != cc.Completed() {
+		t.Errorf("cone<->cone: %d direct of %d completed; want all", cc.Direct(), cc.Completed())
+	}
+	// Symmetric pairs (port-restricted filtering on every Table-1-style
+	// device) cannot punch and must fall back to relaying (§2.2).
+	for _, key := range []string{"cone<->symmetric", "symmetric<->symmetric"} {
+		ps := rep.Pair(key)
+		if ps == nil || ps.Attempts == 0 {
+			t.Fatalf("no %s attempts", key)
+		}
+		if ps.Direct() != 0 {
+			t.Errorf("%s: %d direct punches; want 0", key, ps.Direct())
+		}
+		if ps.Relay != ps.Completed() {
+			t.Errorf("%s: %d relay of %d completed; want all", key, ps.Relay, ps.Completed())
+		}
+	}
+	// Direct establishment should be fast (two core RTTs, well under a
+	// second); relay fallback takes the punch timeout first.
+	if p90 := rep.Quantile(0.9); p90 <= 0 || p90 > time.Second {
+		t.Errorf("p90 time-to-establish %v out of range", p90)
+	}
+	if rep.Server.ConnectRequests == 0 || rep.Server.RelayedMessages == 0 {
+		t.Errorf("server saw no load: %+v", rep.Server)
+	}
+	if rep.PeakSessions == 0 || rep.PeakOnline == 0 {
+		t.Errorf("peaks not tracked: online=%d sessions=%d", rep.PeakOnline, rep.PeakSessions)
+	}
+}
+
+func TestFleetNoRelayHardFails(t *testing.T) {
+	cfg := stable(24)
+	cfg.Mix = halfSymmetricMix()
+	cfg.NoRelay = true
+	rep := fleet.Run(4, cfg)
+	if rep.Relay != 0 {
+		t.Errorf("relay disabled but %d relayed sessions", rep.Relay)
+	}
+	if rep.Failed == 0 {
+		t.Error("symmetric pairs should hard-fail without relay fallback")
+	}
+	if cc := rep.Pair("cone<->cone"); cc == nil || cc.Failed != 0 {
+		t.Errorf("cone<->cone should still punch: %+v", cc)
+	}
+}
+
+func TestFleetChurnLifecycle(t *testing.T) {
+	rep := fleet.Run(5, fleet.Config{
+		Peers:            60,
+		Duration:         12 * time.Minute,
+		MeanArrival:      time.Second,
+		MeanLifetime:     100 * time.Second,
+		MeanRejoin:       40 * time.Second,
+		MeanConnectEvery: 15 * time.Second,
+	})
+	if rep.Arrivals != 60 {
+		t.Errorf("arrivals = %d, want 60", rep.Arrivals)
+	}
+	if rep.Departures == 0 || rep.Rejoins == 0 {
+		t.Errorf("no churn: departures=%d rejoins=%d", rep.Departures, rep.Rejoins)
+	}
+	// Departed peers stop answering; their sessions must be detected
+	// dead (§3.6) and re-punched on demand when both ends return.
+	if rep.DeadSessions == 0 {
+		t.Error("no idle session deaths despite churn")
+	}
+	if rep.PeakOnline >= 60 {
+		t.Errorf("peak online %d should stay below the population under churn", rep.PeakOnline)
+	}
+	if rep.VirtualTime != 12*time.Minute {
+		t.Errorf("virtual time %v, want full duration", rep.VirtualTime)
+	}
+}
+
+func TestFleetPublicPeers(t *testing.T) {
+	cfg := stable(16)
+	cfg.PublicFraction = 1.0
+	rep := fleet.Run(6, cfg)
+	pp := rep.Pair("public<->public")
+	if pp == nil || pp.Attempts == 0 {
+		t.Fatal("no public<->public attempts")
+	}
+	if pp.Direct() != pp.Completed() || rep.Relay != 0 {
+		t.Errorf("un-NATed peers must connect directly: %+v", pp)
+	}
+	for _, ps := range rep.Pairs {
+		if ps.Pair != "public<->public" {
+			t.Errorf("unexpected pair class %q with PublicFraction=1", ps.Pair)
+		}
+	}
+}
+
+// TestFleetTable1MixMarginals checks the default mix reproduces the
+// survey's cone fraction: 310/380 of weighted draws are cone.
+func TestFleetTable1MixMarginals(t *testing.T) {
+	cone, total := 0, 0
+	for _, w := range fleet.Table1Mix() {
+		total += w.Weight
+		if fleet.Classify(w.Behavior) == fleet.ClassCone {
+			cone += w.Weight
+		}
+	}
+	if total != 380 || cone != 310 {
+		t.Errorf("Table1Mix marginals %d/%d, want 310/380", cone, total)
+	}
+}
+
+func TestPairKeyUnordered(t *testing.T) {
+	a := fleet.PairKey(fleet.ClassCone, fleet.ClassSymmetric)
+	b := fleet.PairKey(fleet.ClassSymmetric, fleet.ClassCone)
+	if a != b || a != "cone<->symmetric" {
+		t.Errorf("PairKey not canonical: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"natpunch/internal/nat"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/sim"
+	"natpunch/internal/vendors"
+)
+
+// Class buckets a peer's NAT behavior into the coarse taxonomy that
+// predicts hole punching outcomes (§5.1): un-NATed public hosts, cone
+// NATs (endpoint-independent mapping, the paper's precondition), and
+// symmetric NATs (per-destination mappings that defeat basic
+// punching).
+type Class uint8
+
+// Peer classes.
+const (
+	ClassPublic Class = iota
+	ClassCone
+	ClassSymmetric
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassPublic:
+		return "public"
+	case ClassCone:
+		return "cone"
+	case ClassSymmetric:
+		return "symmetric"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classify buckets a NAT behavior. Endpoint-independent mapping is
+// the cone precondition of §5.1; everything else acts symmetric for
+// punching purposes.
+func Classify(b nat.Behavior) Class {
+	if b.Mapping == nat.MappingEndpointIndependent {
+		return ClassCone
+	}
+	return ClassSymmetric
+}
+
+// PairKey renders the unordered NAT-pair class of a punch attempt,
+// e.g. "cone<->symmetric". Order-insensitive so A->B and B->A
+// attempts aggregate together.
+func PairKey(a, b Class) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a.String() + "<->" + b.String()
+}
+
+// Weighted is one entry of an arrival mix: a NAT behavior drawn with
+// probability Weight / sum(Weights).
+type Weighted struct {
+	Label    string
+	Behavior nat.Behavior
+	Weight   int
+}
+
+// Table1Mix derives the default arrival mix from the paper's vendor
+// survey (internal/vendors): one cone and one symmetric entry per
+// Table 1 row, weighted by the row's UDP-punch cell, so the fleet's
+// marginal cone fraction equals the survey's 310/380 (82%).
+func Table1Mix() []Weighted {
+	var mix []Weighted
+	for _, row := range vendors.AllRows() {
+		devs := vendors.Devices(row)
+		if n := row.UDPPunch.Num; n > 0 {
+			b := devs[0].Behavior // device 0 is always a cone exemplar
+			b.Label = row.Name + "-cone"
+			mix = append(mix, Weighted{b.Label, b, n})
+		}
+		if n := row.UDPPunch.Den - row.UDPPunch.Num; n > 0 {
+			b := devs[len(devs)-1].Behavior // last device is symmetric
+			b.Label = row.Name + "-symmetric"
+			mix = append(mix, Weighted{b.Label, b, n})
+		}
+	}
+	return mix
+}
+
+// PairStat aggregates punch outcomes for one NAT-pair class.
+// Outcomes are counted on the initiating side only, so each logical
+// attempt is counted once.
+type PairStat struct {
+	Pair string
+	// Attempts = Public + Private + Relay + Failed + Abandoned once
+	// the run has drained (abandoned attempts are those whose
+	// initiator departed before any outcome).
+	Attempts  int
+	Public    int // punched: locked the peer's public endpoint
+	Private   int // locked the peer's private endpoint (same realm)
+	Relay     int // §2.2 fallback after punch timeout
+	Failed    int // hard failure (no relay fallback configured)
+	Abandoned int
+	// Times holds time-to-establish for direct (non-relay) sessions.
+	Times []time.Duration
+}
+
+// Direct is the number of attempts that established without relaying.
+func (p *PairStat) Direct() int { return p.Public + p.Private }
+
+// Completed is the number of attempts with a definite outcome.
+func (p *PairStat) Completed() int { return p.Direct() + p.Relay + p.Failed }
+
+// DirectPct is the percentage of completed attempts that punched
+// through directly.
+func (p *PairStat) DirectPct() float64 {
+	c := p.Completed()
+	if c == 0 {
+		return 0
+	}
+	return float64(p.Direct()) / float64(c) * 100
+}
+
+// Report is the aggregate outcome of one fleet run.
+type Report struct {
+	Seed int64
+
+	// Population churn.
+	Arrivals   int // first-time registrations
+	Rejoins    int // re-registrations after a departure
+	Departures int
+	PeakOnline int
+
+	// Punch attempt outcomes (initiator side).
+	Attempts  int
+	Public    int
+	Private   int
+	Relay     int
+	Failed    int
+	Abandoned int
+
+	// Session lifecycle.
+	PeakSessions int // high-water mark of concurrent initiated sessions
+	DeadSessions int // §3.6 idle-death detections on initiated sessions
+	Repunches    int // on-demand re-punches triggered by session death
+
+	// Pairs holds per NAT-pair-class outcome rows, sorted by pair key.
+	Pairs []PairStat
+
+	// EstTimes holds every direct time-to-establish, sorted ascending.
+	EstTimes []time.Duration
+
+	// Server and fabric load.
+	Server      rendezvous.Stats
+	Fabric      sim.Stats
+	VirtualTime time.Duration
+	Events      uint64
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the direct
+// time-to-establish distribution, or 0 when no direct session was
+// established.
+func (r *Report) Quantile(q float64) time.Duration {
+	if len(r.EstTimes) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.EstTimes)-1))
+	return r.EstTimes[i]
+}
+
+// Pair returns the stats row for a pair key, or nil.
+func (r *Report) Pair(key string) *PairStat {
+	for i := range r.Pairs {
+		if r.Pairs[i].Pair == key {
+			return &r.Pairs[i]
+		}
+	}
+	return nil
+}
+
+// finalize sorts the aggregate views so reports render and compare
+// deterministically.
+func (r *Report) finalize() {
+	sort.Slice(r.Pairs, func(i, j int) bool { return r.Pairs[i].Pair < r.Pairs[j].Pair })
+	sort.Slice(r.EstTimes, func(i, j int) bool { return r.EstTimes[i] < r.EstTimes[j] })
+	for i := range r.Pairs {
+		times := r.Pairs[i].Times
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	}
+}

@@ -1,0 +1,312 @@
+package nat
+
+// Property-style invariant tests for the NAT translation table under
+// random Touch/Purge interleavings. The table carries two auxiliary
+// indexes on the per-packet hot path — the remote-address session
+// count (filtering) and the cached expiry lower bound (purge) — and
+// each must stay consistent with the ground truth a linear scan over
+// the sessions would compute. Randomized op sequences from fixed
+// seeds explore orderings that the scenario tests never produce
+// (inbound-created sessions expiring before outbound ones, TCP
+// transitions shrinking idle limits, hairpin self-traffic, ...).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/sim"
+)
+
+// sink is a device that swallows every delivered packet, standing in
+// for hosts on both sides of the NAT.
+type sink struct{ name string }
+
+func (s *sink) Name() string                     { return s.name }
+func (s *sink) Receive(*sim.Iface, *inet.Packet) {}
+
+// propHarness is one NAT under test with candidate endpoint pools.
+type propHarness struct {
+	net     *sim.Network
+	nat     *NAT
+	privs   []inet.Endpoint // inside endpoints
+	remotes []inet.Endpoint // outside endpoints (sinks attached)
+}
+
+func newPropHarness(seed int64, b Behavior) *propHarness {
+	n := sim.NewNetwork(seed)
+	wan := n.NewSegment("wan", "0.0.0.0/0", time.Millisecond)
+	lan := n.NewSegment("lan", "10.0.0.0/24", time.Millisecond)
+	d := New(n, "nat", b)
+	d.AttachInside(lan, inet.MustParseAddr("10.0.0.254"))
+	d.AttachOutside(wan, inet.MustParseAddr("155.99.25.11"))
+
+	h := &propHarness{net: n, nat: d}
+	for i := 1; i <= 3; i++ {
+		addr := inet.AddrFrom4(10, 0, 0, byte(i))
+		lan.Attach(&sink{fmt.Sprintf("in%d", i)}, addr)
+		for _, port := range []inet.Port{4321, 5555} {
+			h.privs = append(h.privs, inet.Endpoint{Addr: addr, Port: port})
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		addr := inet.AddrFrom4(99, 0, 0, byte(i))
+		wan.Attach(&sink{fmt.Sprintf("out%d", i)}, addr)
+		for _, port := range []inet.Port{7000, 7001} {
+			h.remotes = append(h.remotes, inet.Endpoint{Addr: addr, Port: port})
+		}
+	}
+	return h
+}
+
+// step applies one random operation: outbound touch, inbound packet
+// (to a live or bogus public endpoint), TCP traffic with random
+// flags, a time advance, or an explicit sweep.
+func (h *propHarness) step(rng *rand.Rand) {
+	priv := h.privs[rng.Intn(len(h.privs))]
+	remote := h.remotes[rng.Intn(len(h.remotes))]
+	switch rng.Intn(10) {
+	case 0, 1, 2: // outbound UDP (creates or touches)
+		h.nat.Receive(h.nat.inside, &inet.Packet{
+			Proto: inet.UDP, Src: priv, Dst: remote, TTL: inet.DefaultTTL,
+		})
+	case 3, 4: // inbound UDP to a mapped public endpoint
+		if pub, ok := h.randomPub(rng, h.nat.udp); ok {
+			h.nat.Receive(h.nat.outside, &inet.Packet{
+				Proto: inet.UDP, Src: remote, Dst: pub, TTL: inet.DefaultTTL,
+			})
+		}
+	case 5: // inbound UDP to an unmapped endpoint (refusal path)
+		h.nat.Receive(h.nat.outside, &inet.Packet{
+			Proto: inet.UDP, Src: remote,
+			Dst: inet.Endpoint{Addr: h.nat.PublicAddr(), Port: inet.Port(40000 + rng.Intn(100))},
+			TTL: inet.DefaultTTL,
+		})
+	case 6: // outbound TCP with random flags (tracks session state)
+		h.nat.Receive(h.nat.inside, &inet.Packet{
+			Proto: inet.TCP, Src: priv, Dst: remote, TTL: inet.DefaultTTL,
+			Flags: randFlags(rng),
+		})
+	case 7: // inbound TCP to a mapped endpoint
+		if pub, ok := h.randomPub(rng, h.nat.tcp); ok {
+			h.nat.Receive(h.nat.outside, &inet.Packet{
+				Proto: inet.TCP, Src: remote, Dst: pub, TTL: inet.DefaultTTL,
+				Flags: randFlags(rng),
+			})
+		}
+	case 8: // advance virtual time (lets idle expiry fire lazily)
+		h.net.Sched.RunFor(time.Duration(rng.Intn(45000)) * time.Millisecond)
+	case 9: // explicit purge of everything
+		h.nat.Sweep()
+	}
+}
+
+func randFlags(rng *rand.Rand) inet.TCPFlags {
+	all := []inet.TCPFlags{
+		inet.FlagSYN, inet.FlagSYN | inet.FlagACK, inet.FlagACK,
+		inet.FlagFIN | inet.FlagACK, inet.FlagRST,
+	}
+	return all[rng.Intn(len(all))]
+}
+
+// randomPub picks a live public endpoint deterministically: sorted
+// snapshot, then an rng index.
+func (h *propHarness) randomPub(rng *rand.Rand, t *table) (inet.Endpoint, bool) {
+	if len(t.byPub) == 0 {
+		return inet.Endpoint{}, false
+	}
+	pubs := make([]inet.Endpoint, 0, len(t.byPub))
+	for pub := range t.byPub {
+		pubs = append(pubs, pub)
+	}
+	sort.Slice(pubs, func(i, j int) bool {
+		if pubs[i].Addr != pubs[j].Addr {
+			return pubs[i].Addr < pubs[j].Addr
+		}
+		return pubs[i].Port < pubs[j].Port
+	})
+	return pubs[rng.Intn(len(pubs))], true
+}
+
+// checkInvariants verifies every indexed structure against a linear
+// scan of the authoritative session maps.
+func (h *propHarness) checkInvariants(t *testing.T, op int) {
+	t.Helper()
+	now := h.net.Sched.Now()
+	for proto, tbl := range map[string]*table{"udp": h.nat.udp, "tcp": h.nat.tcp} {
+		// Invariant 1: no two live mappings share an external (public)
+		// endpoint, and both lookup directions agree.
+		if len(tbl.byKey) != len(tbl.byPub) {
+			t.Fatalf("op %d %s: byKey has %d mappings, byPub %d", op, proto, len(tbl.byKey), len(tbl.byPub))
+		}
+		seenPub := make(map[inet.Endpoint]bool)
+		for key, m := range tbl.byKey {
+			if m.key != key {
+				t.Fatalf("op %d %s: mapping indexed under foreign key", op, proto)
+			}
+			if seenPub[m.pub] {
+				t.Fatalf("op %d %s: two live mappings share external endpoint %s", op, proto, m.pub)
+			}
+			seenPub[m.pub] = true
+			if tbl.byPub[m.pub] != m {
+				t.Fatalf("op %d %s: byPub[%s] does not point back at its mapping", op, proto, m.pub)
+			}
+
+			// Invariant 2: the cached expiry bound is conservative —
+			// never later than the true earliest session expiry, so
+			// purge's fast path can never skip a due expiry.
+			if len(m.sessions) > 0 {
+				min := time.Duration(1<<62 - 1)
+				for _, s := range m.sessions {
+					if exp := h.nat.sessionExpiry(m.proto, s); exp < min {
+						min = exp
+					}
+				}
+				if m.nextExpiry > min {
+					t.Fatalf("op %d %s: cached expiry bound %v passes true earliest expiry %v (now %v)",
+						op, proto, m.nextExpiry, min, now)
+				}
+			}
+
+			// Invariant 3: the remote-address index equals a recount.
+			counts := make(map[inet.Addr]int)
+			for _, s := range m.sessions {
+				counts[s.remote.Addr]++
+			}
+			if len(counts) != len(m.remoteAddrs) {
+				t.Fatalf("op %d %s: remoteAddrs tracks %d addrs, scan found %d", op, proto, len(m.remoteAddrs), len(counts))
+			}
+			for addr, want := range counts {
+				if got := m.remoteAddrs[addr]; got != want {
+					t.Fatalf("op %d %s: remoteAddrs[%s]=%d, scan found %d", op, proto, addr, got, want)
+				}
+			}
+
+			// Invariant 4 (differential oracle): indexed filtering
+			// agrees with a linear scan for every policy and probe.
+			for _, probe := range h.oracleProbes() {
+				for _, policy := range []FilteringPolicy{
+					FilterEndpointIndependent, FilterAddressDependent, FilterAddressPortDependent,
+				} {
+					if got, want := m.allows(policy, probe), scanAllows(m, policy, probe); got != want {
+						t.Fatalf("op %d %s: allows(%s, %s)=%v but linear scan says %v",
+							op, proto, policy, probe, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// oracleProbes returns the filtering probe set: every candidate
+// remote, same addresses on a fresh port, and a never-seen host.
+func (h *propHarness) oracleProbes() []inet.Endpoint {
+	probes := append([]inet.Endpoint(nil), h.remotes...)
+	for _, r := range h.remotes[:2] {
+		probes = append(probes, inet.Endpoint{Addr: r.Addr, Port: 9999})
+	}
+	return append(probes, inet.EP("203.0.113.7", 7000))
+}
+
+// scanAllows is the trusted linear-scan reference for mapping.allows.
+func scanAllows(m *mapping, policy FilteringPolicy, remote inet.Endpoint) bool {
+	switch policy {
+	case FilterEndpointIndependent:
+		return true
+	case FilterAddressDependent:
+		for _, s := range m.sessions {
+			if s.remote.Addr == remote.Addr {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, s := range m.sessions {
+			if s.remote == remote {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// propBehaviors is the behavior matrix the random walks run under:
+// every mapping policy, every filtering policy, inbound refresh, and
+// timeouts short enough that expiry interleaves with traffic.
+func propBehaviors() []Behavior {
+	short := func(b Behavior) Behavior {
+		b.UDPTimeout = 40 * time.Second
+		b.TCPTransitory = 10 * time.Second
+		b.TCPEstablished = 90 * time.Second
+		return b
+	}
+	inbound := short(Cone())
+	inbound.Label = "cone-inbound-refresh"
+	inbound.InboundRefresh = true
+	addrDep := short(Cone())
+	addrDep.Label = "address-dependent-mapping"
+	addrDep.Mapping = MappingAddressDependent
+	random := short(SymmetricRandom())
+	return []Behavior{
+		short(Cone()), short(FullCone()), short(RestrictedCone()),
+		short(Symmetric()), random, inbound, addrDep,
+	}
+}
+
+// TestTableInvariantsUnderRandomInterleavings is the main property
+// test: 6 seeds x 7 behaviors x 250 random operations, with the full
+// invariant suite checked after every operation.
+func TestTableInvariantsUnderRandomInterleavings(t *testing.T) {
+	for _, b := range propBehaviors() {
+		b := b
+		t.Run(b.Label, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				h := newPropHarness(seed, b)
+				for op := 0; op < 250; op++ {
+					h.step(rng)
+					h.checkInvariants(t, op)
+				}
+			}
+		})
+	}
+}
+
+// TestExpiryBoundMonotoneUnderTouch pins the touch direction of the
+// bound: refreshing a session only ever pushes its true expiry later,
+// so a cached bound that was conservative before a touch must remain
+// conservative after it (no touch may require an immediate recompute).
+func TestExpiryBoundMonotoneUnderTouch(t *testing.T) {
+	h := newPropHarness(1, Cone())
+	priv, r1, r2 := h.privs[0], h.remotes[0], h.remotes[2]
+	out := func(remote inet.Endpoint) {
+		h.nat.Receive(h.nat.inside, &inet.Packet{Proto: inet.UDP, Src: priv, Dst: remote, TTL: inet.DefaultTTL})
+	}
+	out(r1)
+	m := h.nat.udp.byPub[mustPub(t, h, priv, r1)]
+	bound0 := m.nextExpiry
+	h.net.Sched.RunFor(30 * time.Second)
+	out(r1) // touch: true expiry moves later, bound must not move earlier
+	if m.nextExpiry < bound0 {
+		t.Fatalf("touch lowered the expiry bound: %v -> %v", bound0, m.nextExpiry)
+	}
+	out(r2) // second session starts its own clock; bound stays <= min
+	h.checkInvariants(t, -1)
+	// After a full purge the bound is recomputed exactly.
+	h.net.Sched.RunFor(50 * time.Second)
+	out(r2)
+	h.nat.Sweep()
+	h.checkInvariants(t, -2)
+}
+
+func mustPub(t *testing.T, h *propHarness, priv, remote inet.Endpoint) inet.Endpoint {
+	t.Helper()
+	pub, ok := h.nat.PublicEndpointFor(inet.UDP, priv, remote)
+	if !ok {
+		t.Fatal("expected a live mapping")
+	}
+	return pub
+}

@@ -1,0 +1,160 @@
+package proto_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/proto"
+	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/sim"
+	"natpunch/internal/topo"
+)
+
+// capturedCorpus runs a complete UDP hole punch on the simulator —
+// registration, connect-request forwarding, crossing probes, ack,
+// application data, keep-alives, plus a relay fallback — with a
+// fabric hook recording every distinct UDP payload. The fuzz seeds
+// are therefore real captured protocol messages, not hand-built
+// approximations.
+func capturedCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	seen := make(map[string]bool)
+	var wires [][]byte
+	capture := func(c *topo.Canonical, cfg punch.Config) {
+		srv, err := rendezvous.New(c.S, 1234, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		c.Net.SetHook(func(kind sim.HookKind, _ *sim.Segment, _ *sim.Iface, pkt *inet.Packet) {
+			if kind != sim.HookSend || pkt.Proto != inet.UDP || len(pkt.Payload) == 0 {
+				return
+			}
+			if !seen[string(pkt.Payload)] {
+				seen[string(pkt.Payload)] = true
+				wires = append(wires, append([]byte(nil), pkt.Payload...))
+			}
+		})
+		a := punch.NewClient(c.A, "alice", srv.Endpoint(), cfg)
+		b := punch.NewClient(c.B, "bob", srv.Endpoint(), cfg)
+		if err := a.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		if err := b.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		c.RunFor(2 * time.Second)
+		b.InboundUDP = punch.UDPCallbacks{
+			Data: func(s *punch.UDPSession, p []byte) { s.Send([]byte("pong")) },
+		}
+		a.ConnectUDP("bob", punch.UDPCallbacks{
+			Established: func(s *punch.UDPSession) { s.Send([]byte("ping")) },
+		})
+		c.RunFor(30 * time.Second) // punch + data + a keep-alive round
+	}
+	// Cone pair: registration, details, probes, ack, data, keep-alive.
+	capture(topo.NewCanonical(1, nat.Cone(), nat.Cone()), punch.Config{})
+	// Obfuscated endpoints exercise the complemented-address wire form.
+	capture(topo.NewCanonical(2, nat.Mangler(), nat.Cone()), punch.Config{Obfuscate: true})
+	// Symmetric pair with relay fallback: error/relay message shapes.
+	capture(topo.NewCanonical(3, nat.Symmetric(), nat.Symmetric()), punch.Config{RelayFallback: true})
+	if len(wires) < 8 {
+		tb.Fatalf("capture produced only %d distinct messages", len(wires))
+	}
+	return wires
+}
+
+// FuzzMessageParse asserts Decode is total (never panics, never
+// reads out of bounds) and canonical: any accepted input re-encodes
+// to a wire form that decodes to the identical message, and that
+// canonical form is a fixed point of encode∘decode.
+func FuzzMessageParse(f *testing.F) {
+	for _, wire := range capturedCorpus(f) {
+		f.Add(wire)
+	}
+	// Adversarial shapes: empty, bad magic, truncated header, huge
+	// declared lengths.
+	f.Add([]byte{})
+	f.Add([]byte{0xF0})
+	f.Add([]byte{0x00, 0x01, 0x00})
+	f.Add([]byte{0xF0, 0x05, 0x01, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := proto.Decode(data)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		canonical := proto.Encode(m, proto.PlainEndpoints)
+		m2, err := proto.Decode(canonical)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded message failed to decode: %v\nmsg: %+v", err, m)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("encode/decode round trip drifted:\n in: %+v\nout: %+v", m, m2)
+		}
+		if again := proto.Encode(m2, proto.PlainEndpoints); !bytes.Equal(canonical, again) {
+			t.Fatalf("canonical form is not a fixed point:\n first: %x\nsecond: %x", canonical, again)
+		}
+	})
+}
+
+// FuzzStreamDecoder asserts the TCP stream framing layer never
+// panics and is chunking-invariant: feeding a byte stream all at once
+// and one byte at a time must yield the same messages up to the first
+// error, and an error must poison both the same way.
+func FuzzStreamDecoder(f *testing.F) {
+	var framed []byte
+	for _, wire := range capturedCorpus(f) {
+		framed = binaryAppendFrame(framed, wire)
+	}
+	f.Add(framed)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0xF0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var whole proto.StreamDecoder
+		batch, batchErr := whole.Feed(data)
+
+		var drip proto.StreamDecoder
+		var dripped []*proto.Message
+		var dripErr error
+		for _, b := range data {
+			ms, err := drip.Feed([]byte{b})
+			dripped = append(dripped, ms...)
+			if err != nil {
+				dripErr = err
+				break
+			}
+		}
+
+		if (batchErr == nil) != (dripErr == nil) {
+			t.Fatalf("error disagreement: batch=%v drip=%v", batchErr, dripErr)
+		}
+		if batchErr != nil {
+			// Both failed; the drip feed may have yielded a prefix of
+			// the batch messages before hitting the poison frame.
+			if len(dripped) > len(batch) {
+				t.Fatalf("drip decoded %d messages past batch's %d before erroring", len(dripped), len(batch))
+			}
+			return
+		}
+		if len(batch) != len(dripped) {
+			t.Fatalf("chunking changed message count: batch=%d drip=%d", len(batch), len(dripped))
+		}
+		for i := range batch {
+			if !reflect.DeepEqual(batch[i], dripped[i]) {
+				t.Fatalf("message %d differs between feeds:\nbatch: %+v\n drip: %+v", i, batch[i], dripped[i])
+			}
+		}
+	})
+}
+
+// binaryAppendFrame length-prefixes raw bytes the way AppendFrame
+// does for encoded messages.
+func binaryAppendFrame(dst, body []byte) []byte {
+	n := uint32(len(body))
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(dst, body...)
+}

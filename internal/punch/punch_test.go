@@ -225,6 +225,36 @@ func TestUDPPunchSymmetricFailsThenRelayRescues(t *testing.T) {
 	_ = sb
 }
 
+// TestRelaySessionIdleDeath pins the §3.6 death watch on *relayed*
+// sessions: when the peer goes away, the idle timer must fire Dead
+// exactly as it does for punched sessions (regression: the relay
+// fallback path used to skip scheduling the watch, leaving relay
+// sessions immortal and their applications re-punch-blind).
+func TestRelaySessionIdleDeath(t *testing.T) {
+	d := newDuo(t, 3, nat.Symmetric(), nat.Symmetric(), punch.Config{
+		PunchTimeout: 5 * time.Second, RelayFallback: true,
+		KeepAliveInterval: 5 * time.Second, DeadAfter: 20 * time.Second,
+	})
+	d.registerUDP(t)
+	var sa *punch.UDPSession
+	d.a.ConnectUDP("bob", punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sa = s },
+	})
+	d.runUntil(t, 30*time.Second, func() bool { return sa != nil })
+	if sa.Via != punch.MethodRelay {
+		t.Fatalf("via = %v, want relay", sa.Via)
+	}
+	dead := false
+	sa.OnDead(func(*punch.UDPSession) { dead = true })
+	// Bob disappears; nothing ever touches alice's relay session
+	// again, so the idle watch must declare it dead.
+	d.b.Close()
+	d.runUntil(t, 2*time.Minute, func() bool { return dead })
+	if !dead {
+		t.Fatal("relay session never detected peer death (§3.6 watch missing)")
+	}
+}
+
 func TestUDPPunchOnePeerPublic(t *testing.T) {
 	// Connection-reversal topology (Figure 3) for UDP: punching
 	// handles it with no special casing — B's probes to A's (public)

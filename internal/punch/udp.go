@@ -317,6 +317,11 @@ func (c *Client) udpAttemptTimeout(a *udpAttempt) {
 		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
 		s.lastRecvT = c.sched().Now()
 		c.udpSessions[a.peer] = s
+		// Relay sessions need the same idle watch as punched ones:
+		// §3.6's death detection is what tells the application its
+		// peer is gone (the timer sends no keep-alive datagrams for
+		// relayed sessions, but still fires Dead on idleness).
+		s.scheduleKeepAlive()
 		c.tracef("udp punch to %s failed; falling back to relay", a.peer)
 		if a.cb.Established != nil {
 			a.cb.Established(s)

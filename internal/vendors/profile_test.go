@@ -1,0 +1,125 @@
+package vendors_test
+
+// Profile-drift guards: every generated vendor device must classify
+// under behavior.go exactly as its row's declared cells say. The
+// existing marginal tests catch count drift; these per-device,
+// per-axis assertions catch a device whose *configuration* stops
+// matching its intended classification (e.g. a new vendor profile
+// whose filtering policy accidentally flips SupportsTCPPunch), which
+// matters now that the fleet simulator draws its population mix from
+// these profiles.
+
+import (
+	"testing"
+
+	"natpunch/internal/nat"
+	"natpunch/internal/vendors"
+)
+
+func TestDeviceProfilesMatchDeclaredClassification(t *testing.T) {
+	for _, row := range vendors.AllRows() {
+		row := row
+		t.Run(row.Name, func(t *testing.T) {
+			for _, d := range vendors.Devices(row) {
+				b := d.Behavior
+
+				// UDP punchability is declared by the UDP-punch cell and
+				// must equal behavior.go's classification.
+				wantUDP := d.Index < row.UDPPunch.Num
+				if got := b.SupportsUDPPunch(); got != wantUDP {
+					t.Fatalf("device %d: SupportsUDPPunch=%v, cell says %v (behavior %s)",
+						d.Index, got, wantUDP, b)
+				}
+				// The mapping policy must be exactly the one implied:
+				// endpoint-independent for punchable devices, symmetric
+				// otherwise — never an intermediate policy that would
+				// classify the same today but drift later.
+				wantMapping := nat.MappingAddressPortDependent
+				if wantUDP {
+					wantMapping = nat.MappingEndpointIndependent
+				}
+				if b.Mapping != wantMapping {
+					t.Fatalf("device %d: mapping %v, want %v", d.Index, b.Mapping, wantMapping)
+				}
+
+				// TCP punchability: the cell is the declaration; the
+				// classifier must agree given the device's refusal mode
+				// and filtering policy.
+				wantTCP := d.Index < row.TCPPunch.Num
+				if got := b.SupportsTCPPunch(); got != wantTCP {
+					t.Fatalf("device %d: SupportsTCPPunch=%v, cell says %v (behavior %s)",
+						d.Index, got, wantTCP, b)
+				}
+				// Survey devices model consumer NATs: port-restricted
+				// filtering and sequential allocation; TCP-incompatible
+				// yet consistent devices must refuse via RST (§5.2), so
+				// that their failure mode matches how NAT Check actually
+				// detects incompatibility.
+				if b.Filtering != nat.FilterAddressPortDependent {
+					t.Fatalf("device %d: filtering %v, want address+port-dependent", d.Index, b.Filtering)
+				}
+				if b.PortAlloc != nat.PortSequential {
+					t.Fatalf("device %d: port allocation %v, want sequential", d.Index, b.PortAlloc)
+				}
+				if wantUDP && !wantTCP && b.TCPRefusal != nat.RefuseRST {
+					t.Fatalf("device %d: TCP-incompatible cone must refuse with RST, has %v",
+						d.Index, b.TCPRefusal)
+				}
+				if wantTCP && b.TCPRefusal != nat.RefuseDrop {
+					t.Fatalf("device %d: TCP-compatible device must drop SYNs silently, has %v",
+						d.Index, b.TCPRefusal)
+				}
+
+				// Hairpin support flags come straight from the hairpin
+				// cells, measured-denominator flags from the cells'
+				// denominators (§6.2's versioned test coverage).
+				if b.HairpinUDP != (d.Index < row.UDPHairpin.Num) {
+					t.Fatalf("device %d: HairpinUDP=%v disagrees with cell %v", d.Index, b.HairpinUDP, row.UDPHairpin)
+				}
+				if b.HairpinTCP != (d.Index < row.TCPHairpin.Num) {
+					t.Fatalf("device %d: HairpinTCP=%v disagrees with cell %v", d.Index, b.HairpinTCP, row.TCPHairpin)
+				}
+				if d.MeasuredHairpin != (d.Index < row.UDPHairpin.Den) ||
+					d.MeasuredTCP != (d.Index < row.TCPPunch.Den) ||
+					d.MeasuredTCPHairpin != (d.Index < row.TCPHairpin.Den) {
+					t.Fatalf("device %d: measured flags disagree with cell denominators", d.Index)
+				}
+			}
+		})
+	}
+}
+
+// TestPresetClassifications pins the behavior.go presets the fleet
+// mix and experiments rely on: a rename or default change that flips
+// one of these silently rewrites every downstream table.
+func TestPresetClassifications(t *testing.T) {
+	cases := []struct {
+		name     string
+		b        nat.Behavior
+		udp, tcp bool
+	}{
+		{"well-behaved", nat.WellBehaved(), true, true},
+		{"cone", nat.Cone(), true, true},
+		{"full-cone", nat.FullCone(), true, true},
+		{"restricted-cone", nat.RestrictedCone(), true, true},
+		{"symmetric", nat.Symmetric(), false, false},
+		{"symmetric-random", nat.SymmetricRandom(), false, false},
+		// RST refusal kills TCP punching only when filtering would
+		// actually refuse something (§5.2 / §6.2 criterion).
+		{"cone-rst", nat.RSTCone(), true, false},
+		{"mangler", nat.Mangler(), true, true},
+	}
+	for _, c := range cases {
+		if got := c.b.SupportsUDPPunch(); got != c.udp {
+			t.Errorf("%s: SupportsUDPPunch=%v, want %v", c.name, got, c.udp)
+		}
+		if got := c.b.SupportsTCPPunch(); got != c.tcp {
+			t.Errorf("%s: SupportsTCPPunch=%v, want %v", c.name, got, c.tcp)
+		}
+	}
+	frst := nat.FullCone()
+	frst.TCPRefusal = nat.RefuseRST
+	if !frst.SupportsTCPPunch() {
+		t.Error("full-cone+RST never actually refuses mapped traffic; must remain TCP-punchable")
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"natpunch/internal/experiments"
 	"natpunch/internal/fleet"
+	"natpunch/internal/nat"
 )
 
 var (
@@ -144,6 +145,10 @@ func BenchmarkConnectorAggregate(b *testing.B) { benchExperiment(b, "E17") }
 // scenarios fanned over the worker pool).
 func BenchmarkFleetChurn(b *testing.B) { benchExperiment(b, "E-FLEET") }
 
+// BenchmarkICECandidates measures the full E-ICE driver (seven
+// topology/ablation scenarios fanned over the worker pool).
+func BenchmarkICECandidates(b *testing.B) { benchExperiment(b, "E-ICE") }
+
 // BenchmarkFleet is the standing scale-regression workload: one churn
 // simulation per iteration at growing population sizes, all on a
 // single deterministic scheduler. ns/op growing faster than the
@@ -160,16 +165,72 @@ func BenchmarkFleet(b *testing.B) {
 				MeanRejoin:       time.Minute,
 				MeanConnectEvery: 25 * time.Second,
 			}
-			b.ReportAllocs()
-			var events uint64
-			for i := 0; i < b.N; i++ {
-				rep := fleet.Run(int64(i+1), cfg)
-				if rep.Attempts == 0 {
-					b.Fatal("fleet made no punch attempts")
-				}
-				events += rep.Events
-			}
-			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			benchFleetRuns(b, cfg)
 		})
 	}
+}
+
+// BenchmarkFleetTopologies re-runs the 300-peer churn point over each
+// site shape in isolation, so a regression localized to one topology
+// path (private-candidate LAN traffic, CGN hairpin forwarding) shows
+// up against the flat baseline.
+func BenchmarkFleetTopologies(b *testing.B) {
+	shapes := map[string][]fleet.SiteShape{
+		"flat":   fleet.FlatOnly(),
+		"shared": {{Label: "household-4", Kind: fleet.SiteShared, Hosts: 4, Weight: 1}},
+		"cgn":    {{Label: "cgn-4", Kind: fleet.SiteCGN, Hosts: 4, CGN: nat.WellBehaved(), Weight: 1}},
+		"mix":    fleet.Heterogeneous(),
+	}
+	for _, name := range []string{"flat", "shared", "cgn", "mix"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := fleet.Config{
+				Peers:            300,
+				Duration:         5 * time.Minute,
+				MeanArrival:      50 * time.Millisecond,
+				MeanLifetime:     2 * time.Minute,
+				MeanRejoin:       time.Minute,
+				MeanConnectEvery: 25 * time.Second,
+				Topology:         shapes[name],
+			}
+			benchFleetRuns(b, cfg)
+		})
+	}
+}
+
+// BenchmarkICE isolates the negotiation engine against the legacy
+// direct punch on an identical flat 300-peer workload: the delta is
+// the candidate machinery's own cost (extra checks, pacing timers,
+// candidate-bearing messages).
+func BenchmarkICE(b *testing.B) {
+	for _, legacy := range []bool{false, true} {
+		name := "engine"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := fleet.Config{
+				Peers:            300,
+				Duration:         5 * time.Minute,
+				MeanArrival:      50 * time.Millisecond,
+				MeanLifetime:     2 * time.Minute,
+				MeanRejoin:       time.Minute,
+				MeanConnectEvery: 25 * time.Second,
+				LegacyPunch:      legacy,
+			}
+			benchFleetRuns(b, cfg)
+		})
+	}
+}
+
+func benchFleetRuns(b *testing.B, cfg fleet.Config) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		rep := fleet.Run(int64(i+1), cfg)
+		if rep.Attempts == 0 {
+			b.Fatal("fleet made no punch attempts")
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }

@@ -7,6 +7,7 @@
 //	go run ./cmd/experiments                    # run everything
 //	go run ./cmd/experiments -run E1            # Table 1 survey only
 //	go run ./cmd/experiments -run E-FLEET       # population-scale churn fleet
+//	go run ./cmd/experiments -run E-ICE         # candidate negotiation x topologies
 //	go run ./cmd/experiments -list              # list experiment IDs
 //	go run ./cmd/experiments -parallel 8        # 8-wide worker pool
 //	go run ./cmd/experiments -run E1 -runs 100  # 100-seed campaign

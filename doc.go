@@ -5,6 +5,33 @@
 // deterministic discrete-event network simulator with a full NAT
 // behavior model and TCP state machine.
 //
+// Beyond the paper's pairwise procedures, internal/ice layers a
+// deterministic candidate-negotiation engine (ICE-lite) over the
+// punch clients, covering the paper's three direct-path topologies
+// with one policy — private candidates for peers sharing a NAT
+// (Figure 4):
+//
+//	      NAT (155.99.25.11)
+//	           |
+//	 10.0.0.0/24 segment
+//	    |             |
+//	A :4321 --LAN-- B :4321        private candidates win
+//
+// public candidates across distinct NATs (Figure 5), and hairpin
+// candidates when multi-level NAT puts both peers behind one upper
+// device (Figure 6):
+//
+//	   NAT C (155.99.25.11)       both peers' public address;
+//	      172.16.0.0/24           A->B must hairpin off NAT C
+//	     |             |
+//	NAT A .1      NAT B .2
+//	     |             |
+//	 A 10.0.0.1    B 10.0.0.1
+//
+// with relaying (§2.2) as the nominated floor when every check fails.
+// internal/fleet scales all of it to churning populations over
+// heterogeneous site topologies.
+//
 // See README.md for the quickstart, EXPERIMENTS.md for the
 // paper-vs-measured record, and bench_test.go for the per-table/
 // figure benchmark harness. The library lives under internal/; the

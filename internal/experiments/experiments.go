@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"E16", "Sec 5.3: payload mangling and obfuscation", Sec53Mangling},
 		{"E17", "Aggregate: connector method distribution over population", ConnectorAggregate},
 		{"E-FLEET", "Fleet: population-scale churn over the Table 1 NAT mix", FleetChurn},
+		{"E-ICE", "ICE: candidate negotiation across heterogeneous fleet topologies", ICECandidates},
 	}
 }
 

@@ -72,7 +72,13 @@ func FleetChurn(seed int64) Result {
 	reports := fanOut(len(scenarios), func(i int) fleet.Report {
 		return fleet.Run(seed+int64(i), scenarios[i].cfg)
 	})
+	return fleetResult(scenarios, reports)
+}
 
+// fleetResult renders the E-FLEET table from finished reports. Pure
+// (no simulation), so the golden-file tests can pin the row layout
+// against hand-built reports.
+func fleetResult(scenarios []fleetScenario, reports []fleet.Report) Result {
 	header := []string{"scenario", "NAT pair", "attempts", "direct", "relay", "failed", "abandoned", "direct%", "p50", "p90"}
 	var rows [][]string
 	notes := []string{}
@@ -100,19 +106,20 @@ func FleetChurn(seed int64) Result {
 				p50, p90,
 			})
 		}
+		direct := rep.Public + rep.Private + rep.Hairpin + rep.Reflexive
 		totAttempts += rep.Attempts
-		totDirect += rep.Public + rep.Private
+		totDirect += direct
 		totRelay += rep.Relay
 		notes = append(notes, fmt.Sprintf(
 			"%s (%s): peak online %d, peak sessions %d, churn %d/%d/%d arrive/depart/rejoin, %d dead sessions, %d re-punches",
 			sc.name, sc.desc, rep.PeakOnline, rep.PeakSessions,
 			rep.Arrivals, rep.Departures, rep.Rejoins, rep.DeadSessions, rep.Repunches))
 		notes = append(notes, fmt.Sprintf(
-			"%s server load: %d connect requests, %d relayed msgs (%dB); fabric %d packets; %d sim events",
-			sc.name, rep.Server.ConnectRequests, rep.Server.RelayedMessages,
-			rep.Server.RelayedBytes, rep.Fabric.Sent, rep.Events))
+			"%s server load: %d connect/negotiate requests, %d relayed msgs (%dB); fabric %d packets; %d sim events",
+			sc.name, rep.Server.ConnectRequests+rep.Server.NegotiateRequests,
+			rep.Server.RelayedMessages, rep.Server.RelayedBytes, rep.Fabric.Sent, rep.Events))
 		metrics[sc.name+"_attempts"] = float64(rep.Attempts)
-		metrics[sc.name+"_direct_pct"] = pct(rep.Public+rep.Private, rep.Public+rep.Private+rep.Relay+rep.Failed)
+		metrics[sc.name+"_direct_pct"] = pct(direct, direct+rep.Relay+rep.Failed)
 		metrics[sc.name+"_peak_sessions"] = float64(rep.PeakSessions)
 		metrics[sc.name+"_relayed_msgs"] = float64(rep.Server.RelayedMessages)
 		metrics[sc.name+"_p50_ms"] = float64(rep.Quantile(0.5)) / float64(time.Millisecond)

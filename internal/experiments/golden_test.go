@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"natpunch/internal/fleet"
+	"natpunch/internal/rendezvous"
+	"natpunch/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The golden tests pin the *rendering* of the fleet-backed experiment
+// tables — column set, order, alignment, note layout — against
+// hand-built reports, so a runner or aggregation change that reorders
+// rows or renames columns fails loudly instead of silently shifting
+// EXPERIMENTS.md. The inputs are synthetic (no simulation runs): the
+// goldens test the formatting path, and only it.
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/experiments -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func ms250(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(100+i*50) * time.Millisecond
+	}
+	return out
+}
+
+func TestFleetRenderGolden(t *testing.T) {
+	scenarios := []fleetScenario{
+		{name: "alpha", desc: "first synthetic scenario"},
+		{name: "beta", desc: "second synthetic scenario"},
+	}
+	reports := []fleet.Report{
+		{
+			Seed: 1, Arrivals: 10, Departures: 2, Rejoins: 1, PeakOnline: 9,
+			Attempts: 30, Public: 20, Private: 4, Relay: 5, Failed: 0, Abandoned: 1,
+			PeakSessions: 7, DeadSessions: 2, Repunches: 1,
+			Pairs: []fleet.PairStat{
+				{Pair: "cone<->cone", Outcomes: fleet.Outcomes{Attempts: 20, Public: 16, Private: 4, Times: ms250(20)}},
+				{Pair: "cone<->symmetric", Outcomes: fleet.Outcomes{Attempts: 10, Relay: 5, Abandoned: 1}},
+			},
+			EstTimes: ms250(24),
+			Server:   rendezvous.Stats{ConnectRequests: 25, RelayedMessages: 100, RelayedBytes: 500},
+			Fabric:   sim.Stats{Sent: 1000},
+			Events:   2000,
+		},
+		{
+			Seed: 2, Arrivals: 5, PeakOnline: 5,
+			Attempts: 8, Public: 8,
+			PeakSessions: 3,
+			Pairs: []fleet.PairStat{
+				{Pair: "public<->public", Outcomes: fleet.Outcomes{Attempts: 8, Public: 8, Times: ms250(8)}},
+			},
+			EstTimes: ms250(8),
+			Server:   rendezvous.Stats{ConnectRequests: 8},
+			Fabric:   sim.Stats{Sent: 200},
+			Events:   400,
+		},
+	}
+	goldenCompare(t, "e_fleet_render.golden", fleetResult(scenarios, reports).String())
+}
+
+func TestICERenderGolden(t *testing.T) {
+	scenarios := []iceScenario{
+		{name: "gamma", desc: "synthetic topology mix"},
+		{name: "delta", desc: "synthetic ablation"},
+	}
+	reports := []fleet.Report{
+		{
+			Seed:     1,
+			Attempts: 40, Public: 20, Private: 5, Hairpin: 6, Reflexive: 2, Relay: 6, Abandoned: 1,
+			Pairs: []fleet.PairStat{
+				{Pair: "symmetric<->symmetric", Outcomes: fleet.Outcomes{Attempts: 9, Hairpin: 6, Relay: 3, Times: ms250(6)}},
+			},
+			Topos: []fleet.TopoStat{
+				{Topo: "cross", Outcomes: fleet.Outcomes{Attempts: 25, Public: 20, Reflexive: 2, Relay: 3, Times: ms250(22)}},
+				{Topo: "same-cgn", Outcomes: fleet.Outcomes{Attempts: 9, Hairpin: 6, Relay: 3, Times: ms250(6)}},
+				{Topo: "same-site", Outcomes: fleet.Outcomes{Attempts: 6, Private: 5, Abandoned: 1, Times: ms250(5)}},
+			},
+			Server: rendezvous.Stats{NegotiateRequests: 38, RelayedMessages: 60},
+		},
+		{
+			Seed:     2,
+			Attempts: 12, Relay: 12,
+			Topos: []fleet.TopoStat{
+				{Topo: "same-site", Outcomes: fleet.Outcomes{Attempts: 12, Relay: 12}},
+			},
+			Server: rendezvous.Stats{NegotiateRequests: 12, RelayedMessages: 200},
+		},
+	}
+	goldenCompare(t, "e_ice_render.golden", iceResult(scenarios, reports).String())
+}

@@ -1,16 +1,26 @@
 // Package fleet is the population-scale churn simulator: it spawns N
-// sites whose NAT behaviors are drawn from a seeded weighted mix
-// (defaulting to the Table 1 vendor survey marginals), registers every
-// peer with one rendezvous server, and drives a churn process —
-// exponential arrivals and departures, random pairwise hole punches,
-// §3.6 keep-alive traffic, idle session death with on-demand
-// re-punching, and §2.2 relay fallback for pairs that cannot punch.
+// sites whose topologies and NAT behaviors are drawn from seeded
+// weighted mixes (defaulting to flat sites over the Table 1 vendor
+// survey marginals), registers every peer with one rendezvous server,
+// and drives a churn process — exponential arrivals and departures,
+// random pairwise connection attempts, §3.6 keep-alive traffic, idle
+// session death with on-demand re-punching, and §2.2 relay fallback
+// for pairs that cannot punch.
+//
+// Sites come in three shapes (SiteShape): flat one-peer NATs
+// (Figure 5), multi-peer sites sharing one NAT (Figure 4), and
+// CGN sites nesting per-peer home NATs under an ISP-level NAT
+// (Figure 6) — with or without hairpin support. Every attempt runs
+// through the internal/ice candidate-negotiation engine (unless
+// LegacyPunch selects the PR-2 direct punch), and outcomes are
+// attributed both to the NAT-pair class and to the pair's topology
+// class, by nominated candidate type.
 //
 // Everything runs on a single sim.Scheduler/sim.Network, so a run is
 // bit-for-bit reproducible from its seed: the large-scale DCUtR-style
 // measurement campaigns that followed the paper (see PAPERS.md) become
 // deterministic regression workloads here. One Report aggregates
-// fleet-level metrics: punch success by NAT-pair class,
+// fleet-level metrics: punch success by NAT-pair and topology class,
 // time-to-establish quantiles, rendezvous/relay server load, and the
 // concurrent-session high-water mark.
 package fleet
@@ -21,6 +31,7 @@ import (
 	"time"
 
 	"natpunch/internal/host"
+	"natpunch/internal/ice"
 	"natpunch/internal/inet"
 	"natpunch/internal/nat"
 	"natpunch/internal/punch"
@@ -39,6 +50,8 @@ type Config struct {
 	// Mix is the weighted NAT behavior mix for NATed peers. Default
 	// Table1Mix().
 	Mix []Weighted
+	// Topology is the weighted site-shape mix. Default FlatOnly().
+	Topology []SiteShape
 
 	// Duration is the simulated run length. Default 10 minutes.
 	Duration time.Duration
@@ -66,6 +79,14 @@ type Config struct {
 	// death).
 	Punch   punch.Config
 	NoRelay bool
+
+	// ICE tunes the candidate-negotiation engine (pacing, ablations).
+	// Zero fields inherit the punch settings.
+	ICE ice.Config
+	// LegacyPunch routes attempts through the PR-2 direct punch
+	// (punch.ConnectUDP) instead of the engine — the differential
+	// baseline.
+	LegacyPunch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.Mix == nil {
 		c.Mix = Table1Mix()
 	}
+	if c.Topology == nil {
+		c.Topology = FlatOnly()
+	}
 	c.Punch.RelayFallback = !c.NoRelay
 	return c
 }
@@ -101,8 +125,7 @@ const serverPort inet.Port = 1234
 // conflicts; matching the paper's 4321 examples).
 const clientPort inet.Port = 4321
 
-// peer is one fleet member: a site (host plus optional NAT) and its
-// churn state.
+// peer is one fleet member: its place in a site and its churn state.
 type peer struct {
 	f     *Fleet
 	name  string
@@ -110,7 +133,14 @@ type peer struct {
 	label string // behavior label for traces
 	host  *host.Host
 
+	// site groups peers that share topology (-1 for un-NATed public
+	// peers, which are always "cross" to everyone); siteKind is the
+	// site's shape.
+	site     int
+	siteKind SiteKind
+
 	client     *punch.Client
+	agent      *ice.Agent
 	online     bool
 	everJoined bool
 	onlinePos  int // index into Fleet.online while online
@@ -120,8 +150,15 @@ type peer struct {
 	// initiated marks the ones this peer dialed (the metrics side).
 	connected map[string]*punch.UDPSession
 	initiated map[string]bool
-	// inflight maps target name -> pair key for outstanding attempts.
-	inflight map[string]string
+	// inflight maps target name -> stat keys for outstanding attempts.
+	inflight map[string]attemptKeys
+}
+
+// attemptKeys addresses the stat rows an in-flight attempt will land
+// in, so abandonment can account against both.
+type attemptKeys struct {
+	pair string
+	topo string
 }
 
 // Fleet owns one run. Construct with Run.
@@ -136,6 +173,7 @@ type Fleet struct {
 	online []*peer
 
 	pairs        map[string]*PairStat
+	topos        map[string]*TopoStat
 	rep          Report
 	sessionsOpen int
 }
@@ -167,36 +205,86 @@ func build(seed int64, cfg Config) *Fleet {
 		rng:    in.Net.Sched.Rand(),
 		byName: make(map[string]*peer),
 		pairs:  make(map[string]*PairStat),
+		topos:  make(map[string]*TopoStat),
 	}
 	f.rep.Seed = seed
 
-	total := 0
+	mixTotal := 0
 	for _, w := range cfg.Mix {
-		total += w.Weight
+		mixTotal += w.Weight
 	}
+	topoTotal := 0
+	for _, sh := range cfg.Topology {
+		topoTotal += sh.Weight
+	}
+
+	// Site-based construction: public peers take one slot each; NATed
+	// peers are grouped by drawn site shapes until the population is
+	// filled. Public addresses come from one allocator shared by
+	// public hosts and site NATs.
 	base := inet.AddrFrom4(20, 0, 0, 0)
-	for i := 0; i < cfg.Peers; i++ {
+	nextPub := 0
+	pubAddr := func() inet.Addr { nextPub++; return base + inet.Addr(nextPub) }
+	newPeer := func() *peer {
 		p := &peer{
 			f:         f,
-			name:      fmt.Sprintf("p%d", i),
+			name:      fmt.Sprintf("p%d", len(f.peers)),
+			site:      -1,
 			connected: make(map[string]*punch.UDPSession),
 			initiated: make(map[string]bool),
-			inflight:  make(map[string]string),
-		}
-		pub := base + inet.Addr(i+1)
-		if f.rng.Float64() < cfg.PublicFraction {
-			p.class = ClassPublic
-			p.label = "public"
-			p.host = core.AddHost(p.name, pub.String(), host.BSDStyle)
-		} else {
-			b := drawMix(f.rng, cfg.Mix, total)
-			p.class = Classify(b)
-			p.label = b.Label
-			realm := core.AddSite("nat-"+p.name, b, pub.String(), "10.0.0.0/24")
-			p.host = realm.AddHost(p.name, "10.0.0.1", host.BSDStyle)
+			inflight:  make(map[string]attemptKeys),
 		}
 		f.peers = append(f.peers, p)
 		f.byName[p.name] = p
+		return p
+	}
+	site := 0
+	for len(f.peers) < cfg.Peers {
+		if f.rng.Float64() < cfg.PublicFraction {
+			p := newPeer()
+			p.class = ClassPublic
+			p.label = "public"
+			p.host = core.AddHost(p.name, pubAddr().String(), host.BSDStyle)
+			continue
+		}
+		shape := drawShape(f.rng, cfg.Topology, topoTotal)
+		k := shape.hosts()
+		if rem := cfg.Peers - len(f.peers); k > rem {
+			k = rem
+		}
+		switch shape.Kind {
+		case SiteCGN:
+			// Figure 6: one ISP NAT over k home NATs, one peer each.
+			// The ISP realm must not overlap the home subnets, or the
+			// home NATs would route hairpin traffic as local.
+			cgnName := fmt.Sprintf("cgn%d", site)
+			isp := core.AddSite(cgnName, shape.CGN, pubAddr().String(), "172.16.0.0/24")
+			for j := 0; j < k; j++ {
+				p := newPeer()
+				b := drawMix(f.rng, cfg.Mix, mixTotal)
+				p.class = Classify(b)
+				p.label = b.Label
+				p.site, p.siteKind = site, SiteCGN
+				home := isp.AddSite(fmt.Sprintf("%s-nat%d", cgnName, j), b,
+					inet.AddrFrom4(172, 16, 0, byte(j+1)).String(), "10.0.0.0/24")
+				p.host = home.AddHost(p.name, "10.0.0.1", host.BSDStyle)
+			}
+		default:
+			// Flat (k == 1) or shared (Figure 4): k peers on one
+			// private segment behind one NAT. Hosts get distinct
+			// private addresses, so private candidates distinguish
+			// same-site peers.
+			b := drawMix(f.rng, cfg.Mix, mixTotal)
+			realm := core.AddSite(fmt.Sprintf("site%d", site), b, pubAddr().String(), "10.0.0.0/24")
+			for j := 0; j < k; j++ {
+				p := newPeer()
+				p.class = Classify(b)
+				p.label = b.Label
+				p.site, p.siteKind = site, shape.Kind
+				p.host = realm.AddHost(p.name, inet.AddrFrom4(10, 0, 0, byte(j+1)).String(), host.BSDStyle)
+			}
+		}
+		site++
 	}
 
 	// Poisson-style arrival schedule: exponential inter-arrival gaps.
@@ -219,6 +307,18 @@ func drawMix(rng *rand.Rand, mix []Weighted, total int) nat.Behavior {
 		n -= w.Weight
 	}
 	return mix[len(mix)-1].Behavior
+}
+
+// drawShape picks a site shape by cumulative weight.
+func drawShape(rng *rand.Rand, shapes []SiteShape, total int) SiteShape {
+	n := rng.Intn(total)
+	for _, sh := range shapes {
+		if n < sh.Weight {
+			return sh
+		}
+		n -= sh.Weight
+	}
+	return shapes[len(shapes)-1]
 }
 
 // expDur draws an exponentially distributed duration with the given
@@ -247,6 +347,13 @@ func (f *Fleet) arrive(p *peer) {
 		Data:        func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
 	}
 	p.client = c
+	if !f.cfg.LegacyPunch {
+		p.agent = ice.New(c, f.cfg.ICE)
+		p.agent.Inbound = ice.Callbacks{
+			Established: func(s *punch.UDPSession, _ ice.Candidate) { f.adopt(p, s, false) },
+			Data:        func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
+		}
+	}
 	if err := c.RegisterUDP(clientPort, func(err error) {
 		if err != nil {
 			c.Close()
@@ -291,8 +398,9 @@ func (f *Fleet) depart(p *peer, gen int) {
 	// Abandoned attempts get no outcome callback once the client
 	// closes; account for them now (pure commutative increments, so
 	// map order does not matter).
-	for q, key := range p.inflight {
-		f.pair(key).Abandoned++
+	for q, keys := range p.inflight {
+		f.pair(keys.pair).Abandoned++
+		f.topo(keys.topo).Abandoned++
 		f.rep.Abandoned++
 		delete(p.inflight, q)
 	}
@@ -304,6 +412,10 @@ func (f *Fleet) depart(p *peer, gen int) {
 	}
 	for q := range p.connected {
 		delete(p.connected, q)
+	}
+	if p.agent != nil {
+		p.agent.Close()
+		p.agent = nil
 	}
 	p.client.Close()
 	p.client = nil
@@ -324,49 +436,102 @@ func (f *Fleet) tick(p *peer, gen int) {
 		return
 	}
 	q := f.online[f.rng.Intn(len(f.online))]
-	if q == p || p.connected[q.name] != nil || p.inflight[q.name] != "" {
+	if q == p || p.connected[q.name] != nil {
+		return
+	}
+	if _, busy := p.inflight[q.name]; busy {
 		return
 	}
 	f.attempt(p, q)
 }
 
-// attempt starts one hole punch from p toward q and wires the outcome
-// into the pair-class stats.
+// attempt starts one connection attempt from p toward q — through the
+// candidate engine, or the legacy direct punch under LegacyPunch —
+// and wires the outcome into the pair-class and topology-class stats.
 func (f *Fleet) attempt(p, q *peer) {
-	key := PairKey(p.class, q.class)
-	ps := f.pair(key)
+	keys := attemptKeys{pair: PairKey(p.class, q.class), topo: topoClass(p, q)}
+	ps, ts := f.pair(keys.pair), f.topo(keys.topo)
 	ps.Attempts++
+	ts.Attempts++
 	f.rep.Attempts++
-	p.inflight[q.name] = key
+	p.inflight[q.name] = keys
 	start := f.in.Net.Sched.Now()
+	established := func(s *punch.UDPSession, kind ice.Kind) {
+		delete(p.inflight, q.name)
+		f.record(ps, ts, kind, f.in.Net.Sched.Now()-start)
+		f.adopt(p, s, true)
+	}
+	failed := func(string, error) {
+		delete(p.inflight, q.name)
+		ps.Failed++
+		ts.Failed++
+		f.rep.Failed++
+	}
+	if p.agent != nil {
+		p.agent.Connect(q.name, ice.Callbacks{
+			Established: func(s *punch.UDPSession, chosen ice.Candidate) {
+				established(s, chosen.Kind)
+			},
+			Failed: failed,
+			Data:   func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
+		})
+		return
+	}
 	p.client.ConnectUDP(q.name, punch.UDPCallbacks{
 		Established: func(s *punch.UDPSession) {
-			delete(p.inflight, q.name)
-			elapsed := f.in.Net.Sched.Now() - start
+			// The legacy punch cannot tell hairpin or reflexive paths
+			// from plain public ones; fold onto the coarse kinds.
+			kind := ice.KindPublic
 			switch s.Via {
 			case punch.MethodRelay:
-				ps.Relay++
-				f.rep.Relay++
+				kind = ice.KindRelay
 			case punch.MethodPrivate:
-				ps.Private++
-				f.rep.Private++
-				ps.Times = append(ps.Times, elapsed)
-				f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
-			default:
-				ps.Public++
-				f.rep.Public++
-				ps.Times = append(ps.Times, elapsed)
-				f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
+				kind = ice.KindPrivate
 			}
-			f.adopt(p, s, true)
+			established(s, kind)
 		},
-		Failed: func(peerName string, err error) {
-			delete(p.inflight, q.name)
-			ps.Failed++
-			f.rep.Failed++
-		},
-		Data: func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
+		Failed: failed,
+		Data:   func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
 	})
+}
+
+// record attributes one resolved attempt to its stat rows by the
+// nominated candidate kind.
+func (f *Fleet) record(ps *PairStat, ts *TopoStat, kind ice.Kind, elapsed time.Duration) {
+	bump := func(o *Outcomes) {
+		switch kind {
+		case ice.KindRelay:
+			o.Relay++
+		case ice.KindPrivate:
+			o.Private++
+		case ice.KindHairpin:
+			o.Hairpin++
+		case ice.KindReflexive:
+			o.Reflexive++
+		default:
+			o.Public++
+		}
+		if kind != ice.KindRelay {
+			o.Times = append(o.Times, elapsed)
+		}
+	}
+	bump(&ps.Outcomes)
+	bump(&ts.Outcomes)
+	switch kind {
+	case ice.KindRelay:
+		f.rep.Relay++
+	case ice.KindPrivate:
+		f.rep.Private++
+	case ice.KindHairpin:
+		f.rep.Hairpin++
+	case ice.KindReflexive:
+		f.rep.Reflexive++
+	default:
+		f.rep.Public++
+	}
+	if kind != ice.KindRelay {
+		f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
+	}
 }
 
 // adopt registers a live session with its local peer: concurrency
@@ -406,7 +571,7 @@ func (f *Fleet) sessionDead(p *peer, s *punch.UDPSession) {
 	f.sessionsOpen--
 	f.rep.DeadSessions++
 	q := f.byName[s.Peer]
-	if p.online && q != nil && q.online && p.inflight[q.name] == "" {
+	if _, busy := p.inflight[s.Peer]; p.online && q != nil && q.online && !busy {
 		f.rep.Repunches++
 		f.attempt(p, q)
 	}
@@ -452,16 +617,29 @@ func (f *Fleet) pair(key string) *PairStat {
 	return ps
 }
 
+func (f *Fleet) topo(key string) *TopoStat {
+	ts := f.topos[key]
+	if ts == nil {
+		ts = &TopoStat{Topo: key}
+		f.topos[key] = ts
+	}
+	return ts
+}
+
 func (f *Fleet) finish() {
 	// Outstanding attempts at the horizon never resolved.
 	for _, p := range f.peers {
-		for _, key := range p.inflight {
-			f.pair(key).Abandoned++
+		for _, keys := range p.inflight {
+			f.pair(keys.pair).Abandoned++
+			f.topo(keys.topo).Abandoned++
 			f.rep.Abandoned++
 		}
 	}
 	for _, ps := range f.pairs {
 		f.rep.Pairs = append(f.rep.Pairs, *ps)
+	}
+	for _, ts := range f.topos {
+		f.rep.Topos = append(f.rep.Topos, *ts)
 	}
 	f.rep.Server = f.srv.Stats()
 	f.rep.Fabric = f.in.Net.Stats()

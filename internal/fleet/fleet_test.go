@@ -35,6 +35,7 @@ func TestFleetSameSeedBitForBit(t *testing.T) {
 	cfg := stable(40)
 	cfg.MeanLifetime = 90 * time.Second // include churn in the determinism surface
 	cfg.MeanRejoin = 30 * time.Second
+	cfg.Topology = fleet.Heterogeneous() // and the full site-shape mix
 	a := fleet.Run(11, cfg)
 	b := fleet.Run(11, cfg)
 	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
@@ -85,7 +86,7 @@ func TestFleetPairClassOutcomes(t *testing.T) {
 	if p90 := rep.Quantile(0.9); p90 <= 0 || p90 > time.Second {
 		t.Errorf("p90 time-to-establish %v out of range", p90)
 	}
-	if rep.Server.ConnectRequests == 0 || rep.Server.RelayedMessages == 0 {
+	if rep.Server.NegotiateRequests == 0 || rep.Server.RelayedMessages == 0 {
 		t.Errorf("server saw no load: %+v", rep.Server)
 	}
 	if rep.PeakSessions == 0 || rep.PeakOnline == 0 {
@@ -151,6 +152,125 @@ func TestFleetPublicPeers(t *testing.T) {
 	for _, ps := range rep.Pairs {
 		if ps.Pair != "public<->public" {
 			t.Errorf("unexpected pair class %q with PublicFraction=1", ps.Pair)
+		}
+	}
+}
+
+// coneMix is an all-cone single-entry mix.
+func coneMix() []fleet.Weighted {
+	return []fleet.Weighted{{Label: "cone", Behavior: nat.Cone(), Weight: 1}}
+}
+
+func TestFleetSharedSitesConnectPrivately(t *testing.T) {
+	// Figure 4 at fleet scale: multi-peer sites behind hairpin-less
+	// cone NATs. Same-site pairs must ride the private candidate —
+	// the public path would need hairpin support that isn't there.
+	cfg := stable(32)
+	cfg.Mix = coneMix()
+	cfg.Topology = []fleet.SiteShape{
+		{Label: "household-4", Kind: fleet.SiteShared, Hosts: 4, Weight: 1},
+	}
+	rep := fleet.Run(21, cfg)
+	ss := rep.Topo(fleet.TopoSameSite)
+	if ss == nil || ss.Attempts == 0 {
+		t.Fatal("no same-site attempts in an all-shared topology")
+	}
+	if ss.Private != ss.Completed() {
+		t.Errorf("same-site: %d private of %d completed; want all private: %+v", ss.Private, ss.Completed(), ss)
+	}
+	cross := rep.Topo(fleet.TopoCross)
+	if cross == nil || cross.Attempts == 0 {
+		t.Fatal("no cross-site attempts")
+	}
+	if cross.Public != cross.Completed() {
+		t.Errorf("cross-site cone pairs should punch publicly: %+v", cross)
+	}
+	if rep.Relay != 0 || rep.Failed != 0 {
+		t.Errorf("all-cone fleet should never relay or fail: relay=%d failed=%d", rep.Relay, rep.Failed)
+	}
+}
+
+func TestFleetCGNHairpinTopology(t *testing.T) {
+	// Figure 6 at fleet scale. With a hairpin-capable CGN, same-cgn
+	// pairs connect directly via the hairpin candidate; with a plain
+	// CGN they must relay.
+	base := stable(24)
+	base.Mix = coneMix()
+
+	hairpin := base
+	hairpin.Topology = []fleet.SiteShape{
+		{Label: "cgn-hairpin", Kind: fleet.SiteCGN, Hosts: 4, CGN: nat.WellBehaved(), Weight: 1},
+	}
+	rep := fleet.Run(22, hairpin)
+	sc := rep.Topo(fleet.TopoSameCGN)
+	if sc == nil || sc.Attempts == 0 {
+		t.Fatal("no same-cgn attempts in an all-CGN topology")
+	}
+	if sc.Hairpin != sc.Completed() {
+		t.Errorf("hairpin CGN: %d hairpin of %d completed; want all: %+v", sc.Hairpin, sc.Completed(), sc)
+	}
+
+	plain := base
+	plain.Topology = []fleet.SiteShape{
+		{Label: "cgn-plain", Kind: fleet.SiteCGN, Hosts: 4, CGN: nat.Cone(), Weight: 1},
+	}
+	rep = fleet.Run(23, plain)
+	sc = rep.Topo(fleet.TopoSameCGN)
+	if sc == nil || sc.Attempts == 0 {
+		t.Fatal("no same-cgn attempts")
+	}
+	if sc.Relay != sc.Completed() {
+		t.Errorf("plain CGN: %d relay of %d completed; want all: %+v", sc.Relay, sc.Completed(), sc)
+	}
+}
+
+func TestFleetSymmetricOpenBehindHairpinCGN(t *testing.T) {
+	// The E-ICE acceptance scenario: symmetric-mapping (open-filter)
+	// homes under a hairpinning CGN connect without relay — the
+	// triggered peer-reflexive checks converge through the loopback.
+	cfg := stable(24)
+	cfg.Mix = []fleet.Weighted{
+		{Label: "symmetric-open", Behavior: nat.SymmetricOpen(), Weight: 1},
+	}
+	cfg.Topology = []fleet.SiteShape{
+		{Label: "cgn-hairpin", Kind: fleet.SiteCGN, Hosts: 4, CGN: nat.WellBehaved(), Weight: 1},
+	}
+	rep := fleet.Run(24, cfg)
+	ss := rep.Pair("symmetric<->symmetric")
+	if ss == nil || ss.Attempts == 0 {
+		t.Fatal("no symmetric<->symmetric attempts")
+	}
+	sc := rep.Topo(fleet.TopoSameCGN)
+	if sc == nil || sc.Attempts == 0 {
+		t.Fatal("no same-cgn attempts")
+	}
+	if sc.Relay != 0 || sc.Direct() != sc.Completed() {
+		t.Errorf("same-cgn symmetric-open pairs should connect without relay: %+v", sc)
+	}
+	if sc.Hairpin == 0 {
+		t.Errorf("expected hairpin-classified nominations, got %+v", sc)
+	}
+}
+
+func TestFleetLegacyEngineAgreeOnFlatCones(t *testing.T) {
+	// Fleet-level differential satellite: on flat all-cone topologies
+	// the engine must preserve the legacy outcome profile — every
+	// completed attempt direct, none relayed, none failed. (Packet
+	// timings differ, so the comparison is semantic, not bitwise.)
+	cfg := stable(30)
+	cfg.Mix = coneMix()
+	legacy, engine := cfg, cfg
+	legacy.LegacyPunch = true
+	lrep, erep := fleet.Run(25, legacy), fleet.Run(25, engine)
+	for name, rep := range map[string]fleet.Report{"legacy": lrep, "engine": erep} {
+		if rep.Attempts == 0 {
+			t.Fatalf("%s: no attempts", name)
+		}
+		if rep.Relay != 0 || rep.Failed != 0 {
+			t.Errorf("%s: relay=%d failed=%d; want 0/0", name, rep.Relay, rep.Failed)
+		}
+		if direct := rep.Public + rep.Private + rep.Hairpin + rep.Reflexive; direct+rep.Abandoned != rep.Attempts {
+			t.Errorf("%s: direct=%d abandoned=%d of %d attempts", name, direct, rep.Abandoned, rep.Attempts)
 		}
 	}
 }

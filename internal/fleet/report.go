@@ -88,18 +88,19 @@ func Table1Mix() []Weighted {
 	return mix
 }
 
-// PairStat aggregates punch outcomes for one NAT-pair class.
-// Outcomes are counted on the initiating side only, so each logical
-// attempt is counted once.
-type PairStat struct {
-	Pair string
-	// Attempts = Public + Private + Relay + Failed + Abandoned once
-	// the run has drained (abandoned attempts are those whose
-	// initiator departed before any outcome).
+// Outcomes aggregates punch-attempt resolutions by the candidate
+// type the negotiation nominated. Outcomes are counted on the
+// initiating side only, so each logical attempt is counted once.
+// Attempts = direct kinds + Relay + Failed + Abandoned once the run
+// has drained (abandoned attempts are those whose initiator departed
+// before any outcome).
+type Outcomes struct {
 	Attempts  int
-	Public    int // punched: locked the peer's public endpoint
-	Private   int // locked the peer's private endpoint (same realm)
-	Relay     int // §2.2 fallback after punch timeout
+	Public    int // locked the peer's rendezvous-observed endpoint (§3.4)
+	Private   int // locked the peer's private endpoint (same realm, §3.3)
+	Hairpin   int // locked a shared-outer-NAT loopback path (§3.5)
+	Reflexive int // locked a peer-reflexive discovery (§5.1 fresh mappings)
+	Relay     int // §2.2 fallback at the negotiation deadline
 	Failed    int // hard failure (no relay fallback configured)
 	Abandoned int
 	// Times holds time-to-establish for direct (non-relay) sessions.
@@ -107,19 +108,32 @@ type PairStat struct {
 }
 
 // Direct is the number of attempts that established without relaying.
-func (p *PairStat) Direct() int { return p.Public + p.Private }
+func (o *Outcomes) Direct() int { return o.Public + o.Private + o.Hairpin + o.Reflexive }
 
 // Completed is the number of attempts with a definite outcome.
-func (p *PairStat) Completed() int { return p.Direct() + p.Relay + p.Failed }
+func (o *Outcomes) Completed() int { return o.Direct() + o.Relay + o.Failed }
 
 // DirectPct is the percentage of completed attempts that punched
 // through directly.
-func (p *PairStat) DirectPct() float64 {
-	c := p.Completed()
+func (o *Outcomes) DirectPct() float64 {
+	c := o.Completed()
 	if c == 0 {
 		return 0
 	}
-	return float64(p.Direct()) / float64(c) * 100
+	return float64(o.Direct()) / float64(c) * 100
+}
+
+// PairStat is the outcome aggregate for one NAT-pair class.
+type PairStat struct {
+	Pair string
+	Outcomes
+}
+
+// TopoStat is the outcome aggregate for one pair-topology class
+// (TopoCross / TopoSameSite / TopoSameCGN).
+type TopoStat struct {
+	Topo string
+	Outcomes
 }
 
 // Report is the aggregate outcome of one fleet run.
@@ -132,10 +146,12 @@ type Report struct {
 	Departures int
 	PeakOnline int
 
-	// Punch attempt outcomes (initiator side).
+	// Punch attempt outcomes (initiator side), fleet-wide.
 	Attempts  int
 	Public    int
 	Private   int
+	Hairpin   int
+	Reflexive int
 	Relay     int
 	Failed    int
 	Abandoned int
@@ -147,6 +163,10 @@ type Report struct {
 
 	// Pairs holds per NAT-pair-class outcome rows, sorted by pair key.
 	Pairs []PairStat
+
+	// Topos holds per pair-topology-class outcome rows (cross /
+	// same-site / same-cgn), sorted by class key.
+	Topos []TopoStat
 
 	// EstTimes holds every direct time-to-establish, sorted ascending.
 	EstTimes []time.Duration
@@ -179,13 +199,28 @@ func (r *Report) Pair(key string) *PairStat {
 	return nil
 }
 
+// Topo returns the stats row for a topology class, or nil.
+func (r *Report) Topo(key string) *TopoStat {
+	for i := range r.Topos {
+		if r.Topos[i].Topo == key {
+			return &r.Topos[i]
+		}
+	}
+	return nil
+}
+
 // finalize sorts the aggregate views so reports render and compare
 // deterministically.
 func (r *Report) finalize() {
 	sort.Slice(r.Pairs, func(i, j int) bool { return r.Pairs[i].Pair < r.Pairs[j].Pair })
+	sort.Slice(r.Topos, func(i, j int) bool { return r.Topos[i].Topo < r.Topos[j].Topo })
 	sort.Slice(r.EstTimes, func(i, j int) bool { return r.EstTimes[i] < r.EstTimes[j] })
 	for i := range r.Pairs {
 		times := r.Pairs[i].Times
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	}
+	for i := range r.Topos {
+		times := r.Topos[i].Times
 		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
 	}
 }

@@ -1,0 +1,343 @@
+package ice
+
+import (
+	"fmt"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/proto"
+	"natpunch/internal/punch"
+	"natpunch/internal/sim"
+)
+
+// Callbacks are the application-visible events of one negotiation.
+// Established reports the nominated candidate alongside the adopted
+// session, which is how the fleet attributes outcomes to candidate
+// types; Data and Dead are installed on the adopted session.
+type Callbacks struct {
+	Established func(s *punch.UDPSession, chosen Candidate)
+	Failed      func(peer string, err error)
+	Data        func(*punch.UDPSession, []byte)
+	Dead        func(*punch.UDPSession)
+}
+
+// Agent runs candidate negotiations on top of one punch.Client. It
+// installs itself as the client's UDP message interceptor, claiming
+// negotiation-details messages and the connectivity-check traffic of
+// its own nonces; everything else — including established-session
+// data, keep-alives, and re-acks for sessions it has nominated —
+// stays on the client's native paths.
+type Agent struct {
+	c   *punch.Client
+	cfg Config
+
+	// Inbound supplies callbacks for negotiations initiated by peers
+	// (the forwarded candidate offer arrives without any local Connect
+	// call, like punch.Client.InboundUDP).
+	Inbound Callbacks
+
+	negs   map[uint64]*negotiation
+	byPeer map[string]*negotiation
+
+	// Trace, if set, receives one line per notable negotiation event.
+	Trace func(format string, args ...any)
+}
+
+// New attaches a negotiation agent to a punch client. Zero cfg fields
+// inherit the client's probe and timeout settings.
+func New(c *punch.Client, cfg Config) *Agent {
+	a := &Agent{
+		c:      c,
+		cfg:    cfg.withDefaults(c.Config().PunchInterval, c.Config().PunchTimeout),
+		negs:   make(map[uint64]*negotiation),
+		byPeer: make(map[string]*negotiation),
+	}
+	c.SetUDPIntercept(a.intercept)
+	return a
+}
+
+// Client returns the underlying punch client.
+func (a *Agent) Client() *punch.Client { return a.c }
+
+// Close abandons every in-flight negotiation without firing
+// callbacks — for owners tearing the whole client down (a departing
+// fleet peer accounts for the abandonment itself).
+func (a *Agent) Close() {
+	for _, n := range a.negs {
+		n.stop()
+	}
+	a.negs = make(map[uint64]*negotiation)
+	a.byPeer = make(map[string]*negotiation)
+}
+
+// Config returns the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+func (a *Agent) sched() *sim.Scheduler { return a.c.Host().Sched() }
+
+func (a *Agent) tracef(format string, args ...any) {
+	if a.Trace != nil {
+		a.Trace("%s/ice: %s", a.c.Name(), fmt.Sprintf(format, args...))
+	}
+}
+
+// negotiation is one in-progress candidate exchange + check schedule.
+type negotiation struct {
+	peer      string
+	nonce     uint64
+	requester bool
+	cb        Callbacks
+
+	gotDetails bool
+	checks     []*check
+	byEP       map[inet.Endpoint]*check
+	deadline   *sim.Timer
+	done       bool
+}
+
+// check is one candidate's probe loop.
+type check struct {
+	cand    Candidate
+	started bool
+	timer   *sim.Timer // start (pacing) or retransmission timer
+}
+
+func (n *negotiation) stop() {
+	n.done = true
+	if n.deadline != nil {
+		n.deadline.Stop()
+	}
+	for _, ch := range n.checks {
+		if ch.timer != nil {
+			ch.timer.Stop()
+		}
+	}
+}
+
+// localCandidates gathers what this client advertises: its private
+// (self-observed) endpoint and its rendezvous-observed public one
+// (§3.1's endpoint pair), minus ablated types. For un-NATed clients
+// the two coincide and only the public candidate is sent.
+func (a *Agent) localCandidates() []proto.Candidate {
+	var cands []proto.Candidate
+	priv, pub := a.c.PrivateUDP(), a.c.PublicUDP()
+	if !a.cfg.NoPublic {
+		cands = append(cands, proto.Candidate{
+			Kind: proto.CandPublic, Priority: KindPublic.Priority(), Endpoint: pub,
+		})
+	}
+	if !a.cfg.NoPrivate && priv != pub && !priv.IsZero() {
+		cands = append(cands, proto.Candidate{
+			Kind: proto.CandPrivate, Priority: KindPrivate.Priority(), Endpoint: priv,
+		})
+	}
+	return cands
+}
+
+// Connect starts a negotiation toward peer. The outcome arrives via
+// cb: Established with the nominated candidate (relay at the deadline
+// when enabled), or Failed.
+func (a *Agent) Connect(peer string, cb Callbacks) {
+	if !a.c.UDPRegistered() {
+		if cb.Failed != nil {
+			cb.Failed(peer, punch.ErrNotRegistered)
+		}
+		return
+	}
+	// Only our own outbound negotiations occupy the per-peer slot:
+	// a responder-side negotiation must not block a crossing Connect
+	// (legacy crossing punches likewise proceed independently).
+	if a.byPeer[peer] != nil {
+		if cb.Failed != nil {
+			cb.Failed(peer, punch.ErrBusy)
+		}
+		return
+	}
+	n := &negotiation{
+		peer: peer, nonce: a.c.NextNonce(), requester: true, cb: cb,
+		byEP: make(map[inet.Endpoint]*check),
+	}
+	a.negs[n.nonce] = n
+	a.byPeer[peer] = n
+	n.deadline = a.sched().After(a.cfg.Timeout, func() { a.timeout(n) })
+	a.c.SendUDPMessage(a.c.Server(), &proto.Message{
+		Type: proto.TypeNegotiate, From: a.c.Name(), Target: peer,
+		Nonce: n.nonce, Candidates: a.localCandidates(),
+	})
+	a.tracef("negotiate -> %s (nonce %d)", peer, n.nonce)
+}
+
+// intercept is the client's UDP pre-dispatch hook.
+func (a *Agent) intercept(from inet.Endpoint, m *proto.Message) bool {
+	switch m.Type {
+	case proto.TypeNegotiateDetails:
+		a.handleDetails(m)
+		return true
+	case proto.TypePunch:
+		if n := a.negs[m.Nonce]; n != nil && !n.done {
+			a.handleCheck(n, from, m)
+			return true
+		}
+	case proto.TypePunchAck:
+		if n := a.negs[m.Nonce]; n != nil && !n.done {
+			a.nominate(n, from, m)
+			return true
+		}
+	case proto.TypeError:
+		// S could not broker the negotiation (peer unknown/offline).
+		// Fail matching requester-side negotiations; fall through so
+		// the client's own attempts get the same treatment.
+		for _, n := range a.negs {
+			if n.peer == m.From && n.requester && !n.gotDetails && !n.done {
+				a.finish(n)
+				a.tracef("negotiate %s failed: peer unknown", n.peer)
+				if n.cb.Failed != nil {
+					n.cb.Failed(n.peer, punch.ErrPeerUnknown)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// handleDetails receives the peer's candidate list — as the requester
+// (reply to our offer) or as the target (the forwarded offer; adopt
+// the agent's Inbound callbacks, mirroring punch.Client.InboundUDP).
+func (a *Agent) handleDetails(m *proto.Message) {
+	n := a.negs[m.Nonce]
+	if n == nil {
+		if m.Requester {
+			return // stale reply for a negotiation we no longer track
+		}
+		n = &negotiation{
+			peer: m.From, nonce: m.Nonce, cb: a.Inbound,
+			byEP: make(map[inet.Endpoint]*check),
+		}
+		a.negs[n.nonce] = n
+		n.deadline = a.sched().After(a.cfg.Timeout, func() { a.timeout(n) })
+	}
+	if n.gotDetails || n.done {
+		return
+	}
+	n.gotDetails = true
+	cands := BuildChecks(a.c.PublicUDP(), m.Candidates, a.cfg)
+	a.tracef("details for %s: %d checks %v", n.peer, len(cands), cands)
+	for i, cand := range cands {
+		if n.byEP[cand.Endpoint] != nil {
+			// Already discovered (and probing) via an inbound check
+			// that beat the details here; don't start a second loop.
+			continue
+		}
+		ch := &check{cand: cand}
+		n.checks = append(n.checks, ch)
+		n.byEP[cand.Endpoint] = ch
+		// Paced first probes: check i starts i*Pace after the details
+		// arrive (RFC 8445 §6.1.4), so high-priority candidates get a
+		// head start without serializing the whole schedule.
+		d := time.Duration(i) * a.cfg.Pace
+		ch.timer = a.sched().After(d, func() { a.startCheck(n, ch) })
+	}
+}
+
+// startCheck begins (or continues) one candidate's probe loop.
+func (a *Agent) startCheck(n *negotiation, ch *check) {
+	if n.done || a.c.Closed() {
+		return
+	}
+	ch.started = true
+	a.c.SendUDPMessage(ch.cand.Endpoint, &proto.Message{
+		Type: proto.TypePunch, From: a.c.Name(), Nonce: n.nonce,
+	})
+	ch.timer = a.sched().After(a.cfg.ProbeInterval, func() { a.startCheck(n, ch) })
+}
+
+// handleCheck answers a connectivity check for an active negotiation:
+// ack the probe, and run the triggered check back at the observed
+// source — discovering it as a peer-reflexive (or hairpin) candidate
+// when nobody advertised it (§5.1's fresh symmetric mappings).
+func (a *Agent) handleCheck(n *negotiation, from inet.Endpoint, m *proto.Message) {
+	if m.From == a.c.Name() {
+		return // our own probe looped back (shared private realms, §3.3)
+	}
+	a.c.SendUDPMessage(from, &proto.Message{
+		Type: proto.TypePunchAck, From: a.c.Name(), Nonce: n.nonce,
+	})
+	ch := n.byEP[from]
+	if ch == nil {
+		k := classifyDiscovery(a.c.PublicUDP(), from)
+		ch = &check{cand: Candidate{Kind: k, Endpoint: from, Priority: k.Priority()}}
+		n.checks = append(n.checks, ch)
+		n.byEP[from] = ch
+		a.tracef("discovered %s candidate %s for %s", k, from, n.peer)
+	}
+	if !ch.started {
+		// Triggered check: jump the pacing queue — the path provably
+		// carries traffic in one direction already.
+		if ch.timer != nil {
+			ch.timer.Stop()
+		}
+		a.startCheck(n, ch)
+	}
+}
+
+// nominate locks in the first candidate whose check elicited a valid
+// ack (§3.2 step 3's "locks in whichever endpoint first elicits a
+// valid response", generalized over the candidate set).
+func (a *Agent) nominate(n *negotiation, from inet.Endpoint, m *proto.Message) {
+	if m.From == a.c.Name() {
+		return
+	}
+	chosen := Candidate{
+		Kind:     classifyDiscovery(a.c.PublicUDP(), from),
+		Endpoint: from,
+	}
+	if ch := n.byEP[from]; ch != nil {
+		chosen = ch.cand
+	}
+	chosen.Priority = chosen.Kind.Priority()
+	a.finish(n)
+
+	via := punch.MethodPublic
+	if chosen.Kind == KindPrivate {
+		via = punch.MethodPrivate
+	}
+	s := a.c.AdoptUDPSession(n.peer, from, via, n.nonce,
+		punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
+	a.tracef("nominated %s for %s", chosen, n.peer)
+	if n.cb.Established != nil {
+		n.cb.Established(s, chosen)
+	}
+}
+
+// timeout fires at the negotiation deadline: nominate the relay
+// candidate — the floor that always works while both clients can
+// reach S (§2.2) — or report failure when relaying is ablated or the
+// client has no relay fallback.
+func (a *Agent) timeout(n *negotiation) {
+	if n.done || a.c.Closed() {
+		return
+	}
+	a.finish(n)
+	if a.c.Config().RelayFallback && !a.cfg.NoRelay {
+		s := a.c.AdoptUDPSession(n.peer, inet.Endpoint{}, punch.MethodRelay, n.nonce,
+			punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
+		a.tracef("checks for %s exhausted; nominating relay", n.peer)
+		if n.cb.Established != nil {
+			n.cb.Established(s, Candidate{Kind: KindRelay, Endpoint: a.c.Server()})
+		}
+		return
+	}
+	a.tracef("negotiation with %s timed out", n.peer)
+	if n.cb.Failed != nil {
+		n.cb.Failed(n.peer, punch.ErrPunchTimeout)
+	}
+}
+
+// finish retires a negotiation: stop timers, release indexes.
+func (a *Agent) finish(n *negotiation) {
+	n.stop()
+	delete(a.negs, n.nonce)
+	if a.byPeer[n.peer] == n {
+		delete(a.byPeer, n.peer)
+	}
+}

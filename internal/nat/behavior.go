@@ -294,6 +294,21 @@ func Symmetric() Behavior {
 	}
 }
 
+// SymmetricOpen is a symmetric-mapping NAT with no inbound filtering
+// — the "symmetric full-cone" hybrid RFC 4787 terminology untangles:
+// every destination gets a fresh public endpoint (so probes to the
+// advertised endpoint arrive from ports the peer never learned,
+// defeating basic punching), yet inbound traffic to any live mapping
+// is admitted. Triggered peer-reflexive checks can therefore converge
+// where the strict Symmetric() device forces a relay — including
+// through a hairpinning upper NAT (§3.5, §5.1).
+func SymmetricOpen() Behavior {
+	b := Symmetric()
+	b.Label = "symmetric-open"
+	b.Filtering = FilterEndpointIndependent
+	return b
+}
+
 // SymmetricRandom is a symmetric NAT with random port allocation,
 // unpredictable even to port prediction.
 func SymmetricRandom() Behavior {

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"natpunch/internal/host"
+	"natpunch/internal/ice"
 	"natpunch/internal/inet"
 	"natpunch/internal/nat"
 	"natpunch/internal/proto"
@@ -62,8 +64,62 @@ func capturedCorpus(tb testing.TB) [][]byte {
 	capture(topo.NewCanonical(2, nat.Mangler(), nat.Cone()), punch.Config{Obfuscate: true})
 	// Symmetric pair with relay fallback: error/relay message shapes.
 	capture(topo.NewCanonical(3, nat.Symmetric(), nat.Symmetric()), punch.Config{RelayFallback: true})
-	if len(wires) < 8 {
+
+	// Candidate-negotiation traffic (internal/ice): TypeNegotiate
+	// offers and TypeNegotiateDetails with multi-entry candidate
+	// lists, plus the check/ack flow, over the topologies that
+	// exercise each candidate type.
+	captureICE := func(in *topo.Internet, s, hostA, hostB *host.Host, cfg punch.Config) {
+		srv, err := rendezvous.New(s, 1234, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		in.Net.SetHook(func(kind sim.HookKind, _ *sim.Segment, _ *sim.Iface, pkt *inet.Packet) {
+			if kind != sim.HookSend || pkt.Proto != inet.UDP || len(pkt.Payload) == 0 {
+				return
+			}
+			if !seen[string(pkt.Payload)] {
+				seen[string(pkt.Payload)] = true
+				wires = append(wires, append([]byte(nil), pkt.Payload...))
+			}
+		})
+		a := punch.NewClient(hostA, "alice", srv.Endpoint(), cfg)
+		b := punch.NewClient(hostB, "bob", srv.Endpoint(), cfg)
+		agA, agB := ice.New(a, ice.Config{}), ice.New(b, ice.Config{})
+		if err := a.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		if err := b.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		in.RunFor(2 * time.Second)
+		agB.Inbound = ice.Callbacks{
+			Data: func(s *punch.UDPSession, p []byte) { s.Send([]byte("pong")) },
+		}
+		agA.Connect("bob", ice.Callbacks{
+			Established: func(s *punch.UDPSession, _ ice.Candidate) { s.Send([]byte("ping")) },
+		})
+		in.RunFor(30 * time.Second)
+	}
+	// Figure 4 (private candidate wins) and Figure 6 with hairpin
+	// (hairpin candidate wins; obfuscated candidate endpoints).
+	c4 := topo.NewCommonNAT(4, nat.Cone())
+	captureICE(c4.Internet, c4.S, c4.A, c4.B, punch.Config{})
+	c6 := topo.NewMultiLevel(5, nat.WellBehaved(), nat.Cone(), nat.Cone())
+	captureICE(c6.Internet, c6.S, c6.A, c6.B, punch.Config{Obfuscate: true})
+
+	if len(wires) < 12 {
 		tb.Fatalf("capture produced only %d distinct messages", len(wires))
+	}
+	hasCandidates := false
+	for _, w := range wires {
+		if m, err := proto.Decode(w); err == nil && len(m.Candidates) > 0 {
+			hasCandidates = true
+			break
+		}
+	}
+	if !hasCandidates {
+		tb.Fatal("capture produced no candidate-bearing messages")
 	}
 	return wires
 }

@@ -72,6 +72,17 @@ const (
 	TypeSeqGo
 	// TypeData: application payload on an established punched session.
 	TypeData
+	// TypeNegotiate: client -> S. Like TypeConnectRequest, but opens a
+	// full candidate negotiation (internal/ice): the requester
+	// advertises its gathered candidates and S forwards them — with the
+	// observed public endpoint substituted authoritatively (§3.1) — to
+	// the target, while synthesizing the target's own candidate list
+	// from its registration.
+	TypeNegotiate
+	// TypeNegotiateDetails: S -> both clients. The negotiation
+	// counterpart of TypeConnectDetails: carries the peer's full
+	// candidate list, the session nonce, and the requester flag.
+	TypeNegotiateDetails
 )
 
 // String names the message type.
@@ -83,6 +94,7 @@ func (t Type) String() string {
 		TypeRelayTo: "relay-to", TypeRelayed: "relayed",
 		TypeReverseRequest: "reverse-request", TypeError: "error",
 		TypeSeqRequest: "seq-request", TypeSeqGo: "seq-go", TypeData: "data",
+		TypeNegotiate: "negotiate", TypeNegotiateDetails: "negotiate-details",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -110,6 +122,45 @@ type Message struct {
 	Seq uint32
 	// Data is relay or application payload.
 	Data []byte
+	// Candidates is the transport-address list exchanged during
+	// candidate negotiation (TypeNegotiate/TypeNegotiateDetails). The
+	// section is trailing and optional on the wire, so pre-negotiation
+	// encodings still decode (as an empty list).
+	Candidates []Candidate
+}
+
+// Candidate kind wire values. The semantics live in internal/ice;
+// the wire layer only round-trips them.
+const (
+	// CandPrivate is a host (private-realm) transport address, the
+	// client's own view of its endpoint (§3.1).
+	CandPrivate uint8 = 1
+	// CandPublic is the server-reflexive address: the client's public
+	// endpoint as observed by S (§3.1).
+	CandPublic uint8 = 2
+	// CandHairpin marks a public candidate that can only work via
+	// loopback translation on a shared upper NAT (§3.5): the peers'
+	// public addresses coincide. Assigned by the checking side, but
+	// legal on the wire.
+	CandHairpin uint8 = 3
+	// CandReflexive is a peer-reflexive address discovered when a
+	// connectivity check arrives from an endpoint nobody advertised
+	// (a symmetric NAT's fresh mapping, §5.1).
+	CandReflexive uint8 = 4
+	// CandRelay is the §2.2 relay path through S, the guaranteed floor.
+	CandRelay uint8 = 5
+)
+
+// Candidate is one transport address advertised for negotiation.
+type Candidate struct {
+	// Kind is one of the Cand* wire values.
+	Kind uint8
+	// Priority orders checks, higher first. Advisory on the wire: the
+	// checking side recomputes priorities locally so both agents pace
+	// deterministically regardless of what the peer claims.
+	Priority uint32
+	// Endpoint is the transport address to check.
+	Endpoint inet.Endpoint
 }
 
 // Errors returned by Decode.
@@ -159,6 +210,12 @@ func Encode(m *Message, obf Obfuscator) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
 	buf = append(buf, m.Data...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Candidates)))
+	for _, c := range m.Candidates {
+		buf = append(buf, c.Kind)
+		buf = binary.BigEndian.AppendUint32(buf, c.Priority)
+		buf = appendEndpoint(buf, c.Endpoint, obf)
+	}
 	return buf
 }
 
@@ -169,7 +226,7 @@ func Decode(b []byte) (*Message, error) {
 		return nil, ErrShort
 	}
 	m := &Message{Type: Type(b[1])}
-	if m.Type == 0 || m.Type > TypeData {
+	if m.Type == 0 || m.Type > TypeNegotiateDetails {
 		return nil, ErrBadType
 	}
 	obf := Obfuscator(b[2])
@@ -200,6 +257,32 @@ func Decode(b []byte) (*Message, error) {
 	}
 	if n > 0 {
 		m.Data = append([]byte(nil), b[:n]...)
+	}
+	b = b[n:]
+	// Trailing candidate section: absent in pre-negotiation encodings,
+	// which decode as "no candidates".
+	if len(b) == 0 {
+		return m, nil
+	}
+	if len(b) < 2 {
+		return nil, ErrShort
+	}
+	cn := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if cn > 0 {
+		if len(b) < cn*11 {
+			return nil, ErrShort
+		}
+		m.Candidates = make([]Candidate, cn)
+		for i := range m.Candidates {
+			c := &m.Candidates[i]
+			c.Kind = b[0]
+			c.Priority = binary.BigEndian.Uint32(b[1:])
+			if c.Endpoint, _, err = readEndpoint(b[5:11], obf); err != nil {
+				return nil, err
+			}
+			b = b[11:]
+		}
 	}
 	return m, nil
 }

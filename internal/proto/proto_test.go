@@ -21,6 +21,10 @@ func sampleMessage() *Message {
 		Requester: true,
 		Seq:       42,
 		Data:      []byte("payload"),
+		Candidates: []Candidate{
+			{Kind: CandPrivate, Priority: 0x7F000001, Endpoint: inet.EP("10.0.0.1", 4321)},
+			{Kind: CandPublic, Priority: 0x64000000, Endpoint: inet.EP("155.99.25.11", 62000)},
+		},
 	}
 }
 
@@ -39,9 +43,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 func TestRoundTripProperty(t *testing.T) {
 	f := func(typ uint8, from, target string, pubA, privA uint32, pubP, privP uint16,
-		nonce uint64, req bool, seq uint32, data []byte, obf bool) bool {
+		nonce uint64, req bool, seq uint32, data []byte, obf bool,
+		candKind uint8, candPrio uint32, candA uint32, candP uint16, nCands uint8) bool {
 		m := &Message{
-			Type: Type(typ%uint8(TypeData)) + 1,
+			Type: Type(typ%uint8(TypeNegotiateDetails)) + 1,
 			From: from, Target: target,
 			Public:  inet.Endpoint{Addr: inet.Addr(pubA), Port: inet.Port(pubP)},
 			Private: inet.Endpoint{Addr: inet.Addr(privA), Port: inet.Port(privP)},
@@ -49,6 +54,13 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 		if len(data) > 0 {
 			m.Data = data
+		}
+		for i := uint8(0); i < nCands%5; i++ {
+			m.Candidates = append(m.Candidates, Candidate{
+				Kind:     candKind + i,
+				Priority: candPrio - uint32(i),
+				Endpoint: inet.Endpoint{Addr: inet.Addr(candA + uint32(i)), Port: inet.Port(candP)},
+			})
 		}
 		mode := PlainEndpoints
 		if obf {
@@ -99,10 +111,21 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := Decode([]byte{magic, 99, 0, 0, 0, 0, 0}); err != ErrBadType {
 		t.Error("unknown type should fail")
 	}
-	// Truncations at every length must error, never panic.
+	// Truncations at every length must error, never panic — except at
+	// the candidate-section boundary: the section is trailing and
+	// optional, so cutting exactly there yields a valid legacy
+	// (candidate-less) encoding.
 	full := Encode(sampleMessage(), PlainEndpoints)
+	legacyLen := len(full) - 2 - 11*len(sampleMessage().Candidates)
 	for i := 0; i < len(full)-1; i++ {
-		if _, err := Decode(full[:i]); err == nil {
+		m, err := Decode(full[:i])
+		if i == legacyLen {
+			if err != nil || len(m.Candidates) != 0 {
+				t.Fatalf("legacy boundary at %d should decode candidate-less: %+v, %v", i, m, err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Fatalf("truncation at %d decoded successfully", i)
 		}
 	}

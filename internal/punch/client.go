@@ -147,6 +147,12 @@ type Client struct {
 	// any local Connect call).
 	InboundUDP UDPCallbacks
 
+	// udpIntercept, if set, sees every decoded UDP message before the
+	// client's own dispatch; returning true consumes the message. The
+	// candidate-negotiation engine (internal/ice) claims its
+	// negotiation and connectivity-check traffic this way.
+	udpIntercept func(from inet.Endpoint, m *proto.Message) bool
+
 	// TCP state (tcp.go).
 	tcpState
 
@@ -221,4 +227,54 @@ func (c *Client) nonce() uint64 {
 		n = 1
 	}
 	return n
+}
+
+// --- extension surface for the candidate-negotiation engine ---
+
+// SetUDPIntercept installs fn ahead of the client's own UDP message
+// dispatch; fn returning true consumes the message. One interceptor
+// at a time (internal/ice installs itself here).
+func (c *Client) SetUDPIntercept(fn func(from inet.Endpoint, m *proto.Message) bool) {
+	c.udpIntercept = fn
+}
+
+// Server returns the rendezvous server's endpoint.
+func (c *Client) Server() inet.Endpoint { return c.server }
+
+// Closed reports whether the client has been closed.
+func (c *Client) Closed() bool { return c.closed }
+
+// Config returns the client's effective (defaulted) configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+// NextNonce draws a fresh session nonce from the deterministic
+// simulation source, for negotiations conducted outside ConnectUDP.
+func (c *Client) NextNonce() uint64 { return c.nonce() }
+
+// SendUDPMessage encodes and transmits m on the client's UDP socket,
+// applying the client's obfuscation setting. to may be a peer
+// candidate endpoint or the rendezvous server.
+func (c *Client) SendUDPMessage(to inet.Endpoint, m *proto.Message) error {
+	if c.udp == nil {
+		return ErrNotRegistered
+	}
+	return c.udp.SendTo(to, proto.Encode(m, c.obf))
+}
+
+// AdoptUDPSession installs an externally negotiated session — the
+// nomination step of the candidate engine. The session joins the
+// client's table (so data, keep-alives, §3.6 idle death, and re-acks
+// for late probes all work exactly as for natively punched sessions)
+// and any previous session with the peer is closed first. The caller
+// fires its own establishment callbacks.
+func (c *Client) AdoptUDPSession(peer string, remote inet.Endpoint, via Method, nonce uint64, cb UDPCallbacks) *UDPSession {
+	if prev := c.udpSessions[peer]; prev != nil {
+		prev.Close()
+	}
+	s := &UDPSession{c: c, Peer: peer, Remote: remote, Via: via, Nonce: nonce, cb: cb}
+	s.lastRecvT = c.sched().Now()
+	c.udpSessions[peer] = s
+	s.scheduleKeepAlive()
+	c.tracef("udp session with %s adopted at %s (%s)", peer, remote, via)
+	return s
 }

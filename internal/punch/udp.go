@@ -152,6 +152,9 @@ func (c *Client) handleUDPPacket(from inet.Endpoint, payload []byte) {
 	if err != nil {
 		return // stray datagram (wrong host scenarios of §3.4)
 	}
+	if c.udpIntercept != nil && c.udpIntercept(from, m) {
+		return
+	}
 	switch m.Type {
 	case proto.TypeRegisterOK:
 		c.handleRegisterOK(m)

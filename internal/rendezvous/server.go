@@ -23,11 +23,14 @@ type Stats struct {
 	RegistrationsUDP uint64
 	RegistrationsTCP uint64
 	ConnectRequests  uint64
-	RelayedMessages  uint64
-	RelayedBytes     uint64
-	ReversalRequests uint64
-	SeqSignals       uint64
-	Errors           uint64
+	// NegotiateRequests counts candidate negotiations brokered for the
+	// ICE-style engine (internal/ice).
+	NegotiateRequests uint64
+	RelayedMessages   uint64
+	RelayedBytes      uint64
+	ReversalRequests  uint64
+	SeqSignals        uint64
+	Errors            uint64
 }
 
 // client is S's record of one registered client (§3.1: both endpoint
@@ -132,6 +135,10 @@ func (s *Server) handleUDP(from inet.Endpoint, payload []byte) {
 	case proto.TypeConnectRequest:
 		s.stats.ConnectRequests++
 		s.forwardDetails(m, false)
+
+	case proto.TypeNegotiate:
+		s.stats.NegotiateRequests++
+		s.forwardCandidates(m, from)
 
 	case proto.TypeRelayTo:
 		s.relay(m)
@@ -250,6 +257,61 @@ func (s *Server) forwardDetails(m *proto.Message, viaTCP bool) {
 		s.sendUDP(b.udpPublic, toB)
 	}
 	s.tracef("S: introduced %s <-> %s (nonce %d)", m.From, m.Target, m.Nonce)
+}
+
+// forwardCandidates brokers one candidate negotiation (UDP only):
+// the requester's advertised candidates go to the target, and a
+// candidate list synthesized from the target's registration comes
+// back — the ICE-style generalization of §3.2 step 2's endpoint
+// exchange. S substitutes the endpoint it observes on the wire for
+// any advertised public candidate, since the client's own idea of its
+// public endpoint can be stale (§3.1 makes S authoritative for it).
+func (s *Server) forwardCandidates(m *proto.Message, from inet.Endpoint) {
+	a, aok := s.clients[m.From]
+	b, bok := s.clients[m.Target]
+	if !aok || !bok || !a.udpSeen || !b.udpSeen {
+		s.fail(m, false)
+		return
+	}
+	toA := &proto.Message{
+		Type: proto.TypeNegotiateDetails, From: m.Target, Target: m.From,
+		Nonce: m.Nonce, Requester: true,
+		Public: b.udpPublic, Private: b.udpPrivate,
+		Candidates: registrationCandidates(b),
+	}
+	fromA := make([]proto.Candidate, 0, len(m.Candidates)+1)
+	seenPublic := false
+	for _, c := range m.Candidates {
+		if c.Kind == proto.CandPublic {
+			c.Endpoint = from // observed, authoritative (§3.1)
+			seenPublic = true
+		}
+		fromA = append(fromA, c)
+	}
+	if !seenPublic {
+		fromA = append(fromA, proto.Candidate{Kind: proto.CandPublic, Endpoint: from})
+	}
+	toB := &proto.Message{
+		Type: proto.TypeNegotiateDetails, From: m.From, Target: m.Target,
+		Nonce: m.Nonce, Requester: false,
+		Public: from, Private: a.udpPrivate,
+		Candidates: fromA,
+	}
+	s.sendUDP(a.udpPublic, toA)
+	s.sendUDP(b.udpPublic, toB)
+	s.tracef("S: negotiating %s <-> %s (nonce %d, %d candidates)",
+		m.From, m.Target, m.Nonce, len(fromA))
+}
+
+// registrationCandidates synthesizes a candidate list from what S
+// learned at registration: the self-reported private endpoint and the
+// observed public one.
+func registrationCandidates(c *client) []proto.Candidate {
+	cands := []proto.Candidate{{Kind: proto.CandPublic, Endpoint: c.udpPublic}}
+	if !c.udpPrivate.IsZero() && c.udpPrivate != c.udpPublic {
+		cands = append(cands, proto.Candidate{Kind: proto.CandPrivate, Endpoint: c.udpPrivate})
+	}
+	return cands
 }
 
 func (s *Server) reachable(c *client, viaTCP bool) bool {

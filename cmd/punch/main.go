@@ -1,21 +1,29 @@
-// Command punch is the real-network hole punching client: register
-// with a rendezvous server under a name, then punch a UDP session to
-// a peer by name and exchange a greeting.
+// Command punch is the real-network hole punching client, driven
+// entirely through the public natpunch Dialer/Listener/Conn API over
+// a realudp transport: register with a rendezvous server under a
+// name, then punch a UDP session to a peer by name and exchange a
+// greeting.
 //
 // Run the server and two clients (possibly behind different NATs):
 //
 //	go run ./cmd/rendezvous -listen 0.0.0.0:7000
 //	go run ./cmd/punch -name alice -server <server-ip>:7000 -wait
 //	go run ./cmd/punch -name bob -server <server-ip>:7000 -peer alice
+//
+// Add -ice for full candidate negotiation (private/public/hairpin
+// candidates with peer-reflexive discovery) and -relay to fall back
+// to relaying through the server when punching fails.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"natpunch/realnet"
+	"natpunch"
+	"natpunch/realudp"
 )
 
 func main() {
@@ -24,46 +32,93 @@ func main() {
 	peer := flag.String("peer", "", "peer name to punch to (empty: wait for peers)")
 	wait := flag.Bool("wait", false, "stay online waiting for inbound sessions")
 	timeout := flag.Duration("timeout", 15*time.Second, "punch timeout")
+	useICE := flag.Bool("ice", false, "negotiate full candidate lists (ICE-lite)")
+	useRelay := flag.Bool("relay", false, "fall back to relaying through the server")
 	flag.Parse()
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "-name is required")
 		os.Exit(1)
 	}
-	c, err := realnet.NewClient(*name, "0.0.0.0:0", *server)
+	tr, err := realudp.New("0.0.0.0:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer c.Close()
-
-	c.SetOnData(func(s *realnet.Session, p []byte) {
-		fmt.Printf("[%s] %s\n", s.Peer, p)
-	})
-	c.SetOnSession(func(s *realnet.Session) {
-		fmt.Printf("inbound session from %s at %s\n", s.Peer, s.Remote)
-		s.Send([]byte("hello from " + *name))
-	})
-
-	pub, err := c.Register(10 * time.Second)
+	defer tr.Close()
+	serverEP, err := realudp.ResolveEndpoint(*server)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("registered as %q; public endpoint %s\n", *name, pub)
+
+	opts := []natpunch.Option{
+		natpunch.WithPunchTimeout(*timeout),
+		natpunch.WithRegisterTimeout(10 * time.Second),
+	}
+	if *useICE {
+		opts = append(opts, natpunch.WithICE())
+	}
+	if *useRelay {
+		opts = append(opts, natpunch.WithRelayFallback())
+	}
+	d, err := natpunch.Open(tr, *name, serverEP, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer d.Close()
+	fmt.Printf("registered as %q; public endpoint %s\n", *name, d.PublicAddr())
+
+	ln, err := d.Listen()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go func() {
+		for {
+			conn, err := ln.AcceptConn()
+			if err != nil {
+				return
+			}
+			fmt.Printf("inbound session from %s via %s at %s\n",
+				conn.Peer(), conn.Path(), conn.RemoteAddr())
+			go serve(conn, *name)
+		}
+	}()
 
 	if *peer != "" {
-		sess, err := c.Connect(*peer, *timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+		defer cancel()
+		conn, err := d.DialContext(ctx, *peer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("punched session to %s at %s\n", sess.Peer, sess.Remote)
-		sess.Send([]byte("hello from " + *name))
-		time.Sleep(2 * time.Second) // give the greeting time to land
+		fmt.Printf("punched session to %s via %s at %s\n",
+			conn.Peer(), conn.Path(), conn.RemoteAddr())
+		conn.Write([]byte("hello from " + *name))
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1500)
+		if n, err := conn.Read(buf); err == nil {
+			fmt.Printf("[%s] %s\n", conn.Peer(), buf[:n])
+		}
 	}
 	if *wait {
 		fmt.Println("waiting for inbound sessions (ctrl-c to exit)")
 		select {}
+	}
+}
+
+// serve answers each greeting on an inbound session.
+func serve(conn *natpunch.Conn, name string) {
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		fmt.Printf("[%s] %s\n", conn.Peer(), buf[:n])
+		conn.Write([]byte("hello from " + name))
 	}
 }

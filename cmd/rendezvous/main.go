@@ -1,6 +1,7 @@
 // Command rendezvous runs the real-network rendezvous server over
-// UDP, the well-known server S of §3.1 that punching clients register
-// with.
+// UDP — the well-known server S of §3.1 that punching clients
+// register with — using the same engine the simulator validates,
+// served over a natpunch/realudp transport.
 //
 // Usage:
 //
@@ -13,21 +14,31 @@ import (
 	"os"
 	"os/signal"
 
-	"natpunch/realnet"
+	"natpunch/realudp"
+	"natpunch/rendezvousapi"
 )
 
 func main() {
 	listen := flag.String("listen", "0.0.0.0:7000", "UDP address to listen on")
 	flag.Parse()
 
-	srv, err := realnet.ListenServer(*listen)
+	tr, err := realudp.New(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("rendezvous server listening on %s\n", srv.Addr())
+	srv, err := rendezvousapi.Serve(tr, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("rendezvous server listening on %s\n", tr.LocalAddr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	st := srv.Stats()
+	fmt.Printf("served: %d registrations, %d connect requests, %d negotiations, %d relayed messages\n",
+		st.RegistrationsUDP, st.ConnectRequests, st.NegotiateRequests, st.RelayedMessages)
 	srv.Close()
+	tr.Close()
 }

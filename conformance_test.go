@@ -1,0 +1,224 @@
+package natpunch
+
+// The differential conformance suite: the same punch→ICE→relay
+// scenarios driven once over the deterministic sim transport and once
+// over real UDP sockets on loopback must land in the same outcome
+// class (direct vs relay) and carry application data both ways —
+// pinning that the unified engine really is backend-agnostic.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"natpunch/internal/proto"
+	"natpunch/realudp"
+	"natpunch/rendezvousapi"
+	"natpunch/simnet"
+	"natpunch/transport"
+)
+
+// requireLoopbackUDP probes — with a short deadline so a broken
+// environment cannot hang the suite — whether UDP over 127.0.0.1
+// actually delivers datagrams; restricted sandboxes sometimes permit
+// binding but silently drop loopback traffic.
+func requireLoopbackUDP(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("UDP loopback unavailable: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.WriteToUDP([]byte("probe"), c.LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Skipf("UDP loopback send failed: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, _, err := c.ReadFromUDP(buf); err != nil {
+		t.Skipf("UDP loopback does not deliver datagrams: %v", err)
+	}
+}
+
+// newLoopTransport builds a loopback realudp transport torn down with
+// the test.
+func newLoopTransport(t *testing.T) (*realudp.Transport, error) {
+	t.Helper()
+	tr, err := realudp.New("127.0.0.1:0")
+	if err == nil {
+		t.Cleanup(func() { tr.Close() })
+	}
+	return tr, err
+}
+
+// serveLoop starts a rendezvous server on tr.
+func serveLoop(t *testing.T, tr *realudp.Transport) (*rendezvousapi.Server, error) {
+	t.Helper()
+	return rendezvousapi.Serve(tr, 0)
+}
+
+// conformanceOpts is the option set both backends run under.
+func conformanceOpts() []Option {
+	return []Option{
+		WithICE(),
+		WithRelayFallback(),
+		WithPunchTimeout(1500 * time.Millisecond),
+	}
+}
+
+// makeSimPair builds the scenario over the simulator: blockDirect
+// models unpunchable paths with symmetric NATs on both sides.
+func makeSimPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
+	natA, natB := simnet.Cone(), simnet.Cone()
+	if blockDirect {
+		natA, natB = simnet.Symmetric(), simnet.Symmetric()
+	}
+	alice, bob, _, _ := simPair(t, natA, natB, conformanceOpts()...)
+	return alice, bob
+}
+
+// makeRealPair builds the scenario over real loopback sockets:
+// blockDirect models unpunchable paths by dropping all punch/check
+// probes and acks at bob, in front of the engine's own dispatch.
+func makeRealPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
+	t.Helper()
+	requireLoopbackUDP(t)
+	serverTr, err := realudp.New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { serverTr.Close() })
+	srv, err := rendezvousapi.Serve(serverTr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := srv.Endpoint() // bound to 127.0.0.1, so directly dialable
+
+	open := func(name string) *Dialer {
+		tr, err := realudp.New("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		d, err := Open(tr, name, server, conformanceOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	alice, bob := open("alice"), open("bob")
+	if blockDirect {
+		dropProbes(bob)
+	}
+	return alice, bob
+}
+
+// dropProbes installs a fault-injection filter at d that consumes all
+// punch/check probes and acks before the engine sees them, chaining
+// to the previously installed (agent) interceptor for everything
+// else. Candidate negotiation still happens — every check just
+// fails, which is what forces the §2.2 relay floor.
+func dropProbes(d *Dialer) {
+	d.tr.Invoke(func() {
+		prev := d.client.UDPIntercept()
+		d.client.SetUDPIntercept(func(from transport.Endpoint, m *proto.Message) bool {
+			if m.Type == proto.TypePunch || m.Type == proto.TypePunchAck {
+				return true
+			}
+			return prev != nil && prev(from, m)
+		})
+	})
+}
+
+// runScenario dials bob from alice, exchanges one echo round trip,
+// and returns the established path class from both perspectives.
+func runScenario(t *testing.T, alice, bob *Dialer) (dialPath, acceptPath string) {
+	t.Helper()
+	ln, err := bob.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan string, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			return
+		}
+		acceptCh <- conn.Path()
+		buf := make([]byte, 2048)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			conn.Write(append([]byte("echo:"), buf[:n]...))
+		}
+	}()
+
+	conn, err := alice.Dial("bob")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(15 * time.Second))
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("echo read over %s path: %v", conn.Path(), err)
+	}
+	if string(buf[:n]) != "echo:ping" {
+		t.Fatalf("echo payload = %q", buf[:n])
+	}
+	select {
+	case p := <-acceptCh:
+		return conn.Path(), p
+	case <-time.After(15 * time.Second):
+		t.Fatal("bob never surfaced the inbound session")
+		return "", ""
+	}
+}
+
+// classOf reduces a path to its conformance outcome class.
+func classOf(path string) string {
+	if path == "relay" {
+		return "relay"
+	}
+	return "direct"
+}
+
+func TestConformanceDirectClass(t *testing.T) {
+	simA, simB := makeSimPair(t, false)
+	simDial, simAccept := runScenario(t, simA, simB)
+
+	realA, realB := makeRealPair(t, false)
+	realDial, realAccept := runScenario(t, realA, realB)
+
+	for _, c := range []struct{ name, sim, real string }{
+		{"dial side", simDial, realDial},
+		{"accept side", simAccept, realAccept},
+	} {
+		if classOf(c.sim) != "direct" || classOf(c.real) != "direct" {
+			t.Errorf("%s: outcome classes diverge or are not direct: sim=%s real=%s", c.name, c.sim, c.real)
+		}
+	}
+}
+
+func TestConformanceRelayFloorClass(t *testing.T) {
+	simA, simB := makeSimPair(t, true)
+	simDial, simAccept := runScenario(t, simA, simB)
+
+	realA, realB := makeRealPair(t, true)
+	realDial, realAccept := runScenario(t, realA, realB)
+
+	for _, c := range []struct{ name, sim, real string }{
+		{"dial side", simDial, realDial},
+		{"accept side", simAccept, realAccept},
+	} {
+		if classOf(c.sim) != "relay" || classOf(c.real) != "relay" {
+			t.Errorf("%s: outcome classes diverge or are not relay: sim=%s real=%s", c.name, c.sim, c.real)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package natpunch
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"natpunch/internal/punch"
+	"natpunch/transport"
+)
+
+// Addr is the net.Addr implementation for natpunch endpoints. Relay
+// sessions have no direct remote endpoint; their Addr renders as
+// "relay".
+type Addr struct {
+	ep    transport.Endpoint
+	relay bool
+}
+
+// Network returns "natpunch".
+func (a Addr) Network() string { return "natpunch" }
+
+// String renders the endpoint ("addr:port", or "relay" for relayed
+// sessions).
+func (a Addr) String() string {
+	if a.relay {
+		return "relay"
+	}
+	return a.ep.String()
+}
+
+// Endpoint returns the underlying wire endpoint (zero for relayed
+// sessions).
+func (a Addr) Endpoint() transport.Endpoint { return a.ep }
+
+// Conn is an established peer-to-peer session satisfying net.Conn.
+//
+// Over UDP (the default), Conn is message-oriented like net.UDPConn:
+// each Write sends one datagram and each Read returns one (truncating
+// to the buffer, discarding the rest, exactly like UDP). With
+// WithTCP, Conn is a reliable byte stream. Deadlines are wall-clock
+// on every transport (they bound the application's wait, not the
+// protocol's virtual timers).
+//
+// A Conn whose session dies under §3.6 idle detection returns
+// ErrSessionDead from Read; the application may re-dial on demand.
+type Conn struct {
+	d      *Dialer
+	peer   string
+	via    punch.Method
+	local  Addr
+	remote Addr
+	stream bool
+
+	// sess/tsess are engine objects: touched only under d.tr.Invoke.
+	sess  *punch.UDPSession
+	tsess *punch.TCPSession
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inbox     [][]byte // datagram queue (UDP mode)
+	buf       []byte   // stream buffer (TCP mode)
+	closed    bool     // closed locally
+	remoteEOF bool     // stream closed by peer
+	dead      bool     // §3.6 idle death
+	rdl, wdl  time.Time
+	rdlTimer  *time.Timer
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// newUDPConn wraps an engine UDP session (engine context).
+func (d *Dialer) newUDPConn(s *punch.UDPSession) *Conn {
+	c := &Conn{
+		d: d, peer: s.Peer, via: s.Via, sess: s,
+		local:  Addr{ep: d.client.PrivateUDP()},
+		remote: Addr{ep: s.Remote, relay: s.Via == punch.MethodRelay},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	d.adopt(s, c)
+	return c
+}
+
+// adopt records a new Conn and retires any previous Conn to the same
+// peer: the engine replaces sessions in place (a re-dial or a peer's
+// fresh negotiation closes the old session without firing Dead), so
+// the superseded Conn must be marked dead here or its readers would
+// block forever.
+func (d *Dialer) adopt(sess any, c *Conn) {
+	var stale []*Conn
+	d.mu.Lock()
+	for k, old := range d.conns {
+		if old.peer == c.peer {
+			delete(d.conns, k)
+			stale = append(stale, old)
+		}
+	}
+	d.conns[sess] = c
+	d.mu.Unlock()
+	for _, old := range stale {
+		old.mu.Lock()
+		old.dead = true
+		old.cond.Broadcast()
+		old.mu.Unlock()
+	}
+}
+
+// newTCPConn wraps an engine TCP session (engine context).
+func (d *Dialer) newTCPConn(s *punch.TCPSession) *Conn {
+	c := &Conn{
+		d: d, peer: s.Peer, via: s.Via, tsess: s, stream: true,
+		local:  Addr{ep: d.client.PrivateUDP()},
+		remote: Addr{relay: true},
+	}
+	if s.Conn != nil {
+		c.local = Addr{ep: s.Conn.Local()}
+		c.remote = Addr{ep: s.Conn.Remote()}
+	}
+	c.cond = sync.NewCond(&c.mu)
+	d.adopt(s, c)
+	return c
+}
+
+// Peer returns the remote endpoint's rendezvous name.
+func (c *Conn) Peer() string { return c.peer }
+
+// Path classifies how the session was established: "private" (§3.3),
+// "public" (punched or hairpinned, §3.4-3.5), or "relay" (§2.2).
+func (c *Conn) Path() string { return c.via.String() }
+
+// LocalAddr returns the local socket address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr returns the locked-in peer endpoint ("relay" for relayed
+// sessions).
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// deliver appends inbound payload (engine context).
+func (c *Conn) deliver(p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if c.stream {
+		c.buf = append(c.buf, p...)
+	} else {
+		c.inbox = append(c.inbox, append([]byte(nil), p...))
+	}
+	c.cond.Broadcast()
+}
+
+// markDead flags §3.6 idle death (engine context).
+func (c *Conn) markDead() {
+	c.mu.Lock()
+	c.dead = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.d.forget(c.sessKey())
+}
+
+// markRemoteClosed flags a peer-closed stream (engine context).
+func (c *Conn) markRemoteClosed() {
+	c.mu.Lock()
+	c.remoteEOF = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *Conn) sessKey() any {
+	if c.tsess != nil {
+		return c.tsess
+	}
+	return c.sess
+}
+
+// Read returns the next datagram (UDP mode; long datagrams truncate
+// to len(p) like net.UDPConn) or the next stream bytes (TCP mode).
+// It blocks until data, deadline, close, or session death.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.d.addWaiter()
+	defer c.d.removeWaiter()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.stream && len(c.buf) > 0 {
+			n := copy(p, c.buf)
+			c.buf = c.buf[n:]
+			return n, nil
+		}
+		if !c.stream && len(c.inbox) > 0 {
+			n := copy(p, c.inbox[0])
+			c.inbox = c.inbox[1:]
+			return n, nil
+		}
+		switch {
+		case c.closed:
+			return 0, ErrClosed
+		case c.remoteEOF:
+			return 0, io.EOF
+		case c.dead:
+			return 0, ErrSessionDead
+		case !c.rdl.IsZero() && !time.Now().Before(c.rdl):
+			return 0, os.ErrDeadlineExceeded
+		}
+		c.cond.Wait()
+	}
+}
+
+// Write sends p as one datagram (UDP mode) or appends it to the
+// stream (TCP mode). Sends never block on the peer; the write
+// deadline only guards an already-closed or dead session.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		return 0, ErrClosed
+	case c.dead:
+		c.mu.Unlock()
+		return 0, ErrSessionDead
+	case !c.wdl.IsZero() && !time.Now().Before(c.wdl):
+		c.mu.Unlock()
+		return 0, os.ErrDeadlineExceeded
+	}
+	c.mu.Unlock()
+
+	var err error
+	c.d.tr.Invoke(func() {
+		if c.tsess != nil {
+			err = c.tsess.Send(p)
+		} else {
+			err = c.sess.Send(p)
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("natpunch: write to %s: %w", c.peer, err)
+	}
+	return len(p), nil
+}
+
+// Close tears the session down locally.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.rdlTimer != nil {
+		c.rdlTimer.Stop()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	c.d.tr.Invoke(func() {
+		if c.tsess != nil {
+			c.tsess.Close()
+		} else {
+			c.sess.Close()
+		}
+	})
+	c.d.forget(c.sessKey())
+	return nil
+}
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetWriteDeadline(t)
+	return c.SetReadDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn: Reads blocked at t (and future
+// Reads while the deadline stands) return os.ErrDeadlineExceeded.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rdl = t
+	if c.rdlTimer != nil {
+		c.rdlTimer.Stop()
+		c.rdlTimer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		c.rdlTimer = time.AfterFunc(d, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+	}
+	c.cond.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn. Writes are non-blocking, so
+// the deadline only affects Writes issued after it passes.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,141 @@
+package natpunch
+
+// Context-plumbing tests: cancelling DialContext mid-negotiation must
+// release the attempt on both transports — no lingering engine
+// attempts or negotiations, no half-made sessions, no leaked
+// goroutines — with the engine's own accounting hooks as the
+// fleet-style recount.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"natpunch/simnet"
+)
+
+// recount sums a dialer's in-flight engine state the way the fleet's
+// accounting-consistency tests do: every attempt, negotiation, and
+// session must be accounted for (zero after a released dial).
+func recount(d *Dialer) (attempts, negotiations, sessions int) {
+	d.tr.Invoke(func() {
+		attempts = d.client.PendingUDPAttempts() + d.client.PendingTCPAttempts()
+		negotiations = d.agent.PendingNegotiations()
+		sessions = d.client.UDPSessionCount()
+	})
+	return
+}
+
+// cancelMidNegotiation dials an unpunchable peer with an effectively
+// infinite deadline, cancels while checks are in flight, and verifies
+// the attempt is fully released.
+func cancelMidNegotiation(t *testing.T, alice, bob *Dialer, useICE bool) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := alice.DialContext(ctx, "bob")
+		errCh <- err
+	}()
+	// Let the negotiation get genuinely under way before cancelling.
+	time.Sleep(150 * time.Millisecond)
+	if a, n, _ := recount(alice); a+n == 0 {
+		t.Fatalf("expected an in-flight attempt before cancel (attempts=%d negotiations=%d)", a, n)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DialContext after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DialContext did not return after cancel")
+	}
+	attempts, negotiations, sessions := recount(alice)
+	if attempts != 0 || negotiations != 0 || sessions != 0 {
+		t.Fatalf("engine state leaked after cancel: attempts=%d negotiations=%d sessions=%d",
+			attempts, negotiations, sessions)
+	}
+	_ = useICE
+	_ = bob
+}
+
+func TestDialContextCancelSim(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"plain-punch", []Option{WithPunchTimeout(10 * time.Hour)}},
+		{"ice", []Option{WithICE(), WithPunchTimeout(10 * time.Hour)}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			// Symmetric NATs on both sides: checks run and run but
+			// never converge, so the dial hangs until cancelled.
+			alice, bob, _, _ := simPair(t, simnet.Symmetric(), simnet.Symmetric(), mode.opts...)
+			cancelMidNegotiation(t, alice, bob, len(mode.opts) == 2)
+		})
+	}
+}
+
+func TestDialContextCancelRealUDP(t *testing.T) {
+	requireLoopbackUDP(t)
+	baseline := runtime.NumGoroutine()
+	for _, mode := range []struct {
+		name string
+		ice  bool
+	}{
+		{"plain-punch", false},
+		{"ice", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			alice, bob := makeRealPairLongDial(t, mode.ice)
+			cancelMidNegotiation(t, alice, bob, mode.ice)
+		})
+	}
+	// After the per-test cleanups ran, the transports' read loops and
+	// timers must be gone: no goroutine leaks.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: baseline %d, now %d — dial cancellation leaked", baseline, runtime.NumGoroutine())
+}
+
+// makeRealPairLongDial is makeRealPair with an effectively infinite
+// punch deadline and bob dropping probes, so a dial to bob hangs
+// mid-negotiation until cancelled.
+func makeRealPairLongDial(t *testing.T, useICE bool) (*Dialer, *Dialer) {
+	t.Helper()
+	serverTr, err := newLoopTransport(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serveLoop(t, serverTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{WithPunchTimeout(10 * time.Hour)}
+	if useICE {
+		opts = append(opts, WithICE())
+	}
+	open := func(name string) *Dialer {
+		tr, err := newLoopTransport(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Open(tr, name, srv.Endpoint(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	alice, bob := open("alice"), open("bob")
+	dropProbes(bob)
+	return alice, bob
+}

@@ -1,0 +1,367 @@
+package natpunch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"natpunch/internal/ice"
+	"natpunch/internal/punch"
+	"natpunch/transport"
+)
+
+// Facade-level errors.
+var (
+	// ErrClosed is returned by operations on a closed Dialer,
+	// Listener, or Conn.
+	ErrClosed = errors.New("natpunch: closed")
+	// ErrSessionDead is returned from Conn reads after §3.6 idle-death
+	// detection declared the session gone (NAT state likely expired,
+	// or the peer departed); the application may re-dial on demand.
+	ErrSessionDead = errors.New("natpunch: session dead (peer stopped answering)")
+	// ErrRegisterTimeout is returned by Open when registration with
+	// the rendezvous server does not complete in time.
+	ErrRegisterTimeout = errors.New("natpunch: registration with rendezvous server timed out")
+	// ErrListening is returned by Listen when a listener is already
+	// active.
+	ErrListening = errors.New("natpunch: already listening")
+)
+
+// Dialer is one named peer-to-peer endpoint: a transport socket
+// registered with the rendezvous server S, able to dial peers by name
+// and to accept inbound sessions through a Listener. It is the
+// public face of the engine the paper describes — UDP hole punching
+// (§3), candidate negotiation (WithICE), TCP hole punching (WithTCP),
+// and relaying (§2.2, WithRelayFallback) — over any transport: the
+// deterministic simulator (natpunch/simnet) or real UDP sockets
+// (natpunch/realudp).
+//
+// All methods are safe for concurrent use.
+type Dialer struct {
+	tr     transport.Transport
+	waiter transport.Waiter // non-nil on virtual-time transports
+	name   string
+	cfg    config
+	client *punch.Client
+	agent  *ice.Agent
+
+	mu       sync.Mutex
+	conns    map[any]*Conn // engine session (UDP or TCP) -> Conn
+	listener *Listener
+	pending  []*Conn // inbound conns accepted before Listen
+	closed   bool
+}
+
+// Open registers a named endpoint with the rendezvous server at
+// server and returns its Dialer. The call blocks until registration
+// completes (bounded by WithRegisterTimeout).
+func Open(tr transport.Transport, name string, server transport.Endpoint, opts ...Option) (*Dialer, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &Dialer{tr: tr, name: name, cfg: cfg, conns: make(map[any]*Conn)}
+	if w, ok := tr.(transport.Waiter); ok {
+		d.waiter = w
+	}
+
+	regCh := make(chan error, 2)
+	regWait := 1
+	var err error
+	tr.Invoke(func() {
+		d.client = punch.NewClientOver(tr, name, server, cfg.punch)
+		d.client.InboundUDP = punch.UDPCallbacks{
+			Established: func(s *punch.UDPSession) { d.inbound(d.newUDPConn(s)) },
+			Data:        d.udpData,
+			Dead:        d.udpDead,
+		}
+		done := func(e error) {
+			select {
+			case regCh <- e:
+			default:
+			}
+		}
+		err = d.client.RegisterUDP(cfg.localPort, done)
+		if err != nil {
+			return
+		}
+		// The agent is always attached so peer-initiated candidate
+		// negotiations get answered regardless of this endpoint's own
+		// dialing mode; WithICE selects which engine outbound dials
+		// use.
+		d.agent = ice.New(d.client, cfg.iceCfg)
+		d.agent.Inbound = ice.Callbacks{
+			Established: func(s *punch.UDPSession, _ ice.Candidate) { d.inbound(d.newUDPConn(s)) },
+			Data:        d.udpData,
+			Dead:        d.udpDead,
+		}
+		if cfg.useTCP {
+			regWait = 2
+			tcpDone := func(e error) {
+				regCh <- e
+			}
+			d.client.InboundTCP = punch.TCPCallbacks{
+				Established: func(s *punch.TCPSession) { d.inbound(d.newTCPConn(s)) },
+				Data:        d.tcpData,
+				Closed:      d.tcpClosed,
+			}
+			err = d.client.RegisterTCP(cfg.localPort, tcpDone)
+		}
+	})
+	if err != nil {
+		d.shutdownEngine()
+		return nil, err
+	}
+
+	d.addWaiter()
+	defer d.removeWaiter()
+	deadline := time.After(cfg.registerTimeout)
+	for i := 0; i < regWait; i++ {
+		select {
+		case e := <-regCh:
+			if e != nil {
+				d.shutdownEngine()
+				return nil, e
+			}
+		case <-deadline:
+			d.shutdownEngine()
+			return nil, ErrRegisterTimeout
+		}
+	}
+	return d, nil
+}
+
+// Name returns the endpoint's rendezvous identity.
+func (d *Dialer) Name() string { return d.name }
+
+// PublicAddr returns the endpoint's public UDP endpoint as observed
+// by the rendezvous server (§3.1).
+func (d *Dialer) PublicAddr() Addr {
+	var ep transport.Endpoint
+	d.tr.Invoke(func() { ep = d.client.PublicUDP() })
+	return Addr{ep: ep}
+}
+
+// LocalAddr returns the endpoint's own (private, §3.1) view of its
+// socket address.
+func (d *Dialer) LocalAddr() Addr {
+	var ep transport.Endpoint
+	d.tr.Invoke(func() { ep = d.client.PrivateUDP() })
+	return Addr{ep: ep}
+}
+
+// Dial establishes a session with the named peer using the default
+// background context.
+func (d *Dialer) Dial(peer string) (*Conn, error) {
+	return d.DialContext(context.Background(), peer)
+}
+
+type dialResult struct {
+	conn *Conn
+	err  error
+}
+
+// DialContext establishes a session with the named peer: rendezvous
+// through S, hole punching (candidate negotiation with WithICE), and
+// — when enabled — relay fallback at the deadline. Cancelling ctx
+// mid-negotiation aborts the attempt and releases all engine state
+// for it.
+func (d *Dialer) DialContext(ctx context.Context, peer string) (*Conn, error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	ch := make(chan dialResult, 1)
+	deliver := func(r dialResult) {
+		select {
+		case ch <- r:
+		default:
+		}
+	}
+	d.tr.Invoke(func() {
+		switch {
+		case d.cfg.useTCP:
+			d.client.ConnectTCP(peer, punch.TCPCallbacks{
+				Established: func(s *punch.TCPSession) { deliver(dialResult{conn: d.newTCPConn(s)}) },
+				Failed:      func(_ string, err error) { deliver(dialResult{err: err}) },
+				Data:        d.tcpData,
+				Closed:      d.tcpClosed,
+			})
+		case d.cfg.useICE:
+			d.agent.Connect(peer, ice.Callbacks{
+				Established: func(s *punch.UDPSession, _ ice.Candidate) { deliver(dialResult{conn: d.newUDPConn(s)}) },
+				Failed:      func(_ string, err error) { deliver(dialResult{err: err}) },
+				Data:        d.udpData,
+				Dead:        d.udpDead,
+			})
+		default:
+			d.client.ConnectUDP(peer, punch.UDPCallbacks{
+				Established: func(s *punch.UDPSession) { deliver(dialResult{conn: d.newUDPConn(s)}) },
+				Failed:      func(_ string, err error) { deliver(dialResult{err: err}) },
+				Data:        d.udpData,
+				Dead:        d.udpDead,
+			})
+		}
+	})
+
+	d.addWaiter()
+	defer d.removeWaiter()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("natpunch: dial %s: %w", peer, r.err)
+		}
+		return r.conn, nil
+	case <-ctx.Done():
+		d.tr.Invoke(func() {
+			switch {
+			case d.cfg.useTCP:
+				d.client.AbortTCP(peer)
+			case d.cfg.useICE:
+				d.agent.Abort(peer)
+			default:
+				d.client.AbortUDP(peer)
+			}
+		})
+		// The dial may have resolved while the abort was acquiring the
+		// engine; release anything that slipped through.
+		select {
+		case r := <-ch:
+			if r.conn != nil {
+				r.conn.Close()
+			}
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Listen starts accepting inbound sessions (at most one Listener at a
+// time). Sessions initiated by peers before Listen was called are
+// queued and delivered to the first Accept.
+func (d *Dialer) Listen() (*Listener, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if d.listener != nil {
+		return nil, ErrListening
+	}
+	l := newListener(d)
+	d.listener = l
+	for _, c := range d.pending {
+		l.enqueue(c)
+	}
+	d.pending = nil
+	return l, nil
+}
+
+// Close tears the endpoint down: the listener stops accepting, every
+// open Conn is closed, and the engine releases its sockets, sessions,
+// and timers.
+func (d *Dialer) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	l := d.listener
+	conns := make([]*Conn, 0, len(d.conns)+len(d.pending))
+	for _, c := range d.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, d.pending...)
+	d.pending = nil
+	d.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	d.shutdownEngine()
+	return nil
+}
+
+func (d *Dialer) shutdownEngine() {
+	d.tr.Invoke(func() {
+		if d.agent != nil {
+			d.agent.Close()
+		}
+		if d.client != nil {
+			d.client.Close()
+		}
+	})
+}
+
+// --- engine-context plumbing (all run inside the transport loop) ---
+
+// inbound routes a peer-initiated Conn to the listener, or queues it
+// until one exists.
+func (d *Dialer) inbound(c *Conn) {
+	d.mu.Lock()
+	l := d.listener
+	if l == nil {
+		d.pending = append(d.pending, c)
+	}
+	d.mu.Unlock()
+	if l != nil {
+		l.enqueue(c)
+	}
+}
+
+func (d *Dialer) lookup(sess any) *Conn {
+	d.mu.Lock()
+	c := d.conns[sess]
+	d.mu.Unlock()
+	return c
+}
+
+func (d *Dialer) udpData(s *punch.UDPSession, p []byte) {
+	if c := d.lookup(s); c != nil {
+		c.deliver(p)
+	}
+}
+
+func (d *Dialer) udpDead(s *punch.UDPSession) {
+	if c := d.lookup(s); c != nil {
+		c.markDead()
+	}
+}
+
+func (d *Dialer) tcpData(s *punch.TCPSession, p []byte) {
+	if c := d.lookup(s); c != nil {
+		c.deliver(p)
+	}
+}
+
+func (d *Dialer) tcpClosed(s *punch.TCPSession) {
+	if c := d.lookup(s); c != nil {
+		c.markRemoteClosed()
+	}
+}
+
+func (d *Dialer) forget(sess any) {
+	d.mu.Lock()
+	delete(d.conns, sess)
+	d.mu.Unlock()
+}
+
+func (d *Dialer) addWaiter() {
+	if d.waiter != nil {
+		d.waiter.AddWaiter()
+	}
+}
+
+func (d *Dialer) removeWaiter() {
+	if d.waiter != nil {
+		d.waiter.RemoveWaiter()
+	}
+}

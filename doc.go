@@ -1,15 +1,45 @@
-// Package natpunch is a reproduction of "Peer-to-Peer Communication
-// Across Network Address Translators" (Ford, Srisuresh, Kegel;
-// USENIX ATC 2005): UDP and TCP hole punching, relaying, connection
-// reversal, and the NAT Check measurement study, implemented over a
-// deterministic discrete-event network simulator with a full NAT
-// behavior model and TCP state machine.
+// Package natpunch is the public connection API of a reproduction of
+// "Peer-to-Peer Communication Across Network Address Translators"
+// (Ford, Srisuresh, Kegel; USENIX ATC 2005): dial a peer by its
+// rendezvous name and get back a net.Conn, with UDP hole punching
+// (§3), ICE-style candidate negotiation, TCP hole punching (§4), and
+// relaying (§2.2) underneath.
 //
-// Beyond the paper's pairwise procedures, internal/ice layers a
-// deterministic candidate-negotiation engine (ICE-lite) over the
-// punch clients, covering the paper's three direct-path topologies
-// with one policy — private candidates for peers sharing a NAT
-// (Figure 4):
+// The three facade types are Dialer (one named, registered endpoint),
+// Listener (inbound sessions, a net.Listener), and Conn (an
+// established session, a net.Conn). Open wires them to a rendezvous
+// server over a Transport:
+//
+//	tr, _ := realudp.New("0.0.0.0:0")
+//	server, _ := realudp.ResolveEndpoint("rendezvous.example.com:7000")
+//	d, _ := natpunch.Open(tr, "alice", server,
+//	        natpunch.WithICE(), natpunch.WithRelayFallback())
+//	conn, err := d.DialContext(ctx, "bob")
+//
+// The same calls run over the deterministic network simulator — NAT
+// behavior models, nested Figure 4/5/6 topologies, a TCP state
+// machine — by taking transports from a simnet.World instead; the
+// examples/ directory exercises both. A differential conformance
+// suite holds the two backends to the same outcome classes.
+//
+// # Layering
+//
+// The repository is structured facade → engine → transport:
+//
+//	natpunch (Dialer/Listener/Conn, options, blocking+context API)
+//	  └─ internal/punch + internal/ice + internal/rendezvous + internal/relay
+//	       └─ natpunch/transport (sockets, timers, clock, serialization)
+//	            ├─ natpunch/simnet  (deterministic simulated worlds)
+//	            └─ natpunch/realudp (real UDP sockets)
+//
+// The engine packages are single-threaded and lock-free; each
+// Transport serializes everything that enters them. See
+// natpunch/transport for the contract and docs/API.md for the design
+// note (including how to add a transport).
+//
+// Candidate negotiation covers the paper's three direct-path
+// topologies with one policy — private candidates for peers sharing a
+// NAT (Figure 4):
 //
 //	      NAT (155.99.25.11)
 //	           |
@@ -29,12 +59,10 @@
 //	 A 10.0.0.1    B 10.0.0.1
 //
 // with relaying (§2.2) as the nominated floor when every check fails.
-// internal/fleet scales all of it to churning populations over
-// heterogeneous site topologies.
 //
 // See README.md for the quickstart, EXPERIMENTS.md for the
 // paper-vs-measured record, and bench_test.go for the per-table/
-// figure benchmark harness. The library lives under internal/; the
-// runnable entry points are cmd/experiments, cmd/natcheck,
-// cmd/rendezvous, cmd/punch, and the examples/ directory.
+// figure benchmark harness. The runnable entry points are
+// cmd/experiments, cmd/natcheck, cmd/rendezvous, cmd/punch, and the
+// examples/ directory — all of which use only the public API.
 package natpunch

@@ -1,7 +1,8 @@
 // File transfer example: TCP hole punching (§4) used for what TCP is
 // for — a bulk reliable stream. Two peers behind NATs punch a TCP
-// session and transfer 256 KiB, verified with a FNV hash; runs once
-// with BSD-style stacks and once with Linux-style stacks to show both
+// session through the public Dialer/Listener/Conn API (WithTCP) and
+// transfer 256 KiB, verified with a FNV hash; runs once with
+// BSD-style stacks and once with Linux-style stacks to show both
 // §4.3 behaviors carrying real data.
 package main
 
@@ -10,32 +11,33 @@ import (
 	"hash/fnv"
 	"time"
 
-	"natpunch/internal/host"
-	"natpunch/internal/nat"
-	"natpunch/internal/punch"
-	"natpunch/internal/rendezvous"
-	"natpunch/internal/topo"
+	"natpunch"
+	"natpunch/rendezvousapi"
+	"natpunch/simnet"
 )
 
 const fileSize = 256 << 10
 
-func transfer(flavor host.OSFlavor) {
-	in := topo.NewInternet(5)
-	core := in.CoreRealm()
-	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
-	realmA := core.AddSite("NAT-A", nat.Cone(), "155.99.25.11", "10.0.0.0/24")
-	realmB := core.AddSite("NAT-B", nat.Cone(), "138.76.29.7", "10.1.1.0/24")
-	hostA := realmA.AddHost("A", "10.0.0.1", flavor)
-	hostB := realmB.AddHost("B", "10.1.1.3", flavor)
-	server, err := rendezvous.New(s, 1234, 0)
-	if err != nil {
-		panic(err)
-	}
-	sender := punch.NewClient(hostA, "sender", server.Endpoint(), punch.Config{})
-	receiver := punch.NewClient(hostB, "receiver", server.Endpoint(), punch.Config{})
-	sender.RegisterTCP(4321, nil)
-	receiver.RegisterTCP(4321, nil)
-	in.RunFor(2 * time.Second)
+func transfer(flavor simnet.OSFlavor) {
+	world := simnet.NewWorld(5)
+	defer world.Close()
+	core := world.Core()
+	s := core.AddHost("S", "18.181.0.31")
+	server, err := rendezvousapi.Serve(s.Transport(), 1234)
+	check(err)
+	realmA := core.AddSite("NAT-A", simnet.Cone(), "155.99.25.11", "10.0.0.0/24")
+	realmB := core.AddSite("NAT-B", simnet.Cone(), "138.76.29.7", "10.1.1.0/24")
+	hostA := realmA.AddHostOS("A", "10.0.0.1", flavor)
+	hostB := realmB.AddHostOS("B", "10.1.1.3", flavor)
+
+	sender, err := natpunch.Open(hostA.Transport(), "sender", server.Endpoint(),
+		natpunch.WithTCP(), natpunch.WithLocalPort(4321))
+	check(err)
+	defer sender.Close()
+	receiver, err := natpunch.Open(hostB.Transport(), "receiver", server.Endpoint(),
+		natpunch.WithTCP(), natpunch.WithLocalPort(4321))
+	check(err)
+	defer receiver.Close()
 
 	// Deterministic pseudo-file.
 	file := make([]byte, fileSize)
@@ -45,52 +47,64 @@ func transfer(flavor host.OSFlavor) {
 	want := fnv.New64a()
 	want.Write(file)
 
-	received := 0
-	got := fnv.New64a()
-	start := in.Net.Sched.Now()
-	var done time.Duration
-	receiver.InboundTCP = punch.TCPCallbacks{
-		Established: func(s *punch.TCPSession) {
-			fmt.Printf("  receiver: stream via %s (accepted=%v)\n", s.Via, s.Accepted)
-		},
-		Data: func(s *punch.TCPSession, p []byte) {
-			got.Write(p)
-			received += len(p)
-			if received >= fileSize {
-				done = in.Net.Sched.Now()
-			}
-		},
+	ln, err := receiver.Listen()
+	check(err)
+	type summary struct {
+		received int
+		ok       bool
+		path     string
 	}
-
-	var session *punch.TCPSession
-	sender.ConnectTCP("receiver", punch.TCPCallbacks{
-		Established: func(s *punch.TCPSession) {
-			session = s
-			fmt.Printf("  sender:   stream via %s (accepted=%v)\n", s.Via, s.Accepted)
-			// Send in 8 KiB application chunks.
-			for off := 0; off < len(file); off += 8 << 10 {
-				end := off + 8<<10
-				if end > len(file) {
-					end = len(file)
-				}
-				s.Send(file[off:end])
+	done := make(chan summary, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			return
+		}
+		got := fnv.New64a()
+		received := 0
+		buf := make([]byte, 32<<10)
+		conn.SetReadDeadline(time.Now().Add(60 * time.Second))
+		for received < fileSize {
+			n, err := conn.Read(buf)
+			if err != nil {
+				break
 			}
-		},
-	})
-	in.Net.Sched.RunWhile(func() bool {
-		return received < fileSize && in.Net.Sched.Now() < start+5*time.Minute
-	})
-	_ = session
+			got.Write(buf[:n])
+			received += n
+		}
+		done <- summary{received, received == fileSize && got.Sum64() == want.Sum64(), conn.Path()}
+	}()
 
-	ok := received == fileSize && got.Sum64() == want.Sum64()
-	fmt.Printf("  %d/%d bytes, hash match: %v, transfer time %v\n",
-		received, fileSize, ok, done-start)
+	start := world.Now()
+	conn, err := sender.Dial("receiver")
+	check(err)
+	fmt.Printf("  sender:   stream via %s to %v\n", conn.Path(), conn.RemoteAddr())
+	// Send in 8 KiB application chunks.
+	for off := 0; off < len(file); off += 8 << 10 {
+		end := off + 8<<10
+		if end > len(file) {
+			end = len(file)
+		}
+		if _, err := conn.Write(file[off:end]); err != nil {
+			panic(err)
+		}
+	}
+	sum := <-done
+	fmt.Printf("  receiver: stream via %s\n", sum.path)
+	fmt.Printf("  %d/%d bytes, hash match: %v, virtual transfer time %v\n",
+		sum.received, fileSize, sum.ok, world.Now()-start)
 }
 
 func main() {
 	fmt.Println("TCP hole punched file transfer (256 KiB):")
 	fmt.Println("BSD-style stacks (§4.3 first behavior):")
-	transfer(host.BSDStyle)
+	transfer(simnet.BSD)
 	fmt.Println("Linux-style stacks (§4.3 second behavior):")
-	transfer(host.LinuxStyle)
+	transfer(simnet.Linux)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

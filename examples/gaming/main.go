@@ -1,84 +1,102 @@
 // Gaming example: the online-gaming motivation from the paper's
 // introduction. Six players behind a mix of NAT types (including one
-// public host and one symmetric NAT) build a full mesh with hole
-// punching plus relay fallback, and the example prints the
-// connectivity matrix with the method used per pair.
+// public host and one symmetric NAT) build a full mesh with ICE-style
+// candidate negotiation plus relay fallback, and the example prints
+// the connectivity matrix with the path class used per pair — all
+// through the public Dialer/Listener/Conn API.
 package main
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
-	"natpunch/internal/host"
-	"natpunch/internal/nat"
-	"natpunch/internal/punch"
-	"natpunch/internal/rendezvous"
-	"natpunch/internal/topo"
+	"natpunch"
+	"natpunch/rendezvousapi"
+	"natpunch/simnet"
 )
 
 func main() {
-	in := topo.NewInternet(99)
-	core := in.CoreRealm()
-	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
-	server, err := rendezvous.New(s, 1234, 0)
-	if err != nil {
-		panic(err)
-	}
+	world := simnet.NewWorld(99)
+	defer world.Close()
+	core := world.Core()
+	s := core.AddHost("S", "18.181.0.31")
+	server, err := rendezvousapi.Serve(s.Transport(), 1234)
+	check(err)
 
 	// Players: two behind cones, one full-cone, one restricted, one
 	// symmetric, one public.
 	specs := []struct {
 		name string
-		beh  *nat.Behavior
+		nat  *simnet.NAT
 	}{
-		{"ann", behPtr(nat.Cone())},
-		{"ben", behPtr(nat.Cone())},
-		{"cho", behPtr(nat.FullCone())},
-		{"dee", behPtr(nat.RestrictedCone())},
-		{"eve", behPtr(nat.Symmetric())},
+		{"ann", natPtr(simnet.Cone())},
+		{"ben", natPtr(simnet.Cone())},
+		{"cho", natPtr(simnet.FullCone())},
+		{"dee", natPtr(simnet.RestrictedCone())},
+		{"eve", natPtr(simnet.Symmetric())},
 		{"fox", nil}, // public host
 	}
-	players := make(map[string]*punch.Client)
-	cfg := punch.Config{PunchTimeout: 4 * time.Second, RelayFallback: true}
-	for i, spec := range specs {
-		var h *host.Host
-		if spec.beh == nil {
-			h = core.AddHost(spec.name, fmt.Sprintf("80.0.0.%d", i+1), host.BSDStyle)
-		} else {
-			realm := core.AddSite("NAT-"+spec.name, *spec.beh,
-				fmt.Sprintf("60.0.%d.1", i+1), "10.0.0.0/24")
-			h = realm.AddHost(spec.name, "10.0.0.2", host.BSDStyle)
-		}
-		c := punch.NewClient(h, spec.name, server.Endpoint(), cfg)
-		c.InboundUDP = punch.UDPCallbacks{}
-		if err := c.RegisterUDP(4321, nil); err != nil {
-			panic(err)
-		}
-		players[spec.name] = c
+	opts := []natpunch.Option{
+		natpunch.WithICE(),
+		natpunch.WithRelayFallback(),
+		natpunch.WithPunchTimeout(4 * time.Second),
 	}
-	in.RunFor(2 * time.Second)
+	players := make(map[string]*natpunch.Dialer)
+	var mu sync.Mutex
+	received := 0
+	for i, spec := range specs {
+		var h *simnet.Host
+		if spec.nat == nil {
+			h = core.AddHost(spec.name, fmt.Sprintf("80.0.0.%d", i+1))
+		} else {
+			realm := core.AddSite("NAT-"+spec.name, *spec.nat,
+				fmt.Sprintf("60.0.%d.1", i+1), "10.0.0.0/24")
+			h = realm.AddHost(spec.name, "10.0.0.2")
+		}
+		d, err := natpunch.Open(h.Transport(), spec.name, server.Endpoint(), opts...)
+		check(err)
+		defer d.Close()
+		players[spec.name] = d
+		ln, err := d.Listen()
+		check(err)
+		// Every player reads game traffic off every inbound session.
+		go func() {
+			for {
+				conn, err := ln.AcceptConn()
+				if err != nil {
+					return
+				}
+				go func() {
+					buf := make([]byte, 256)
+					for {
+						if _, err := conn.Read(buf); err != nil {
+							return
+						}
+						mu.Lock()
+						received++
+						mu.Unlock()
+					}
+				}()
+			}
+		}()
+	}
 
-	// Build the mesh: every ordered pair (i<j) punches once.
-	methods := map[[2]string]punch.Method{}
+	// Build the mesh: every unordered pair punches once and sends a
+	// greeting over whatever path won.
+	paths := map[[2]string]string{}
 	for i, a := range specs {
 		for _, b := range specs[i+1:] {
-			key := [2]string{a.name, b.name}
-			var got *punch.UDPSession
-			players[a.name].ConnectUDP(b.name, punch.UDPCallbacks{
-				Established: func(s *punch.UDPSession) { got = s },
-			})
-			deadline := in.Net.Sched.Now() + 30*time.Second
-			in.Net.Sched.RunWhile(func() bool {
-				return got == nil && in.Net.Sched.Now() < deadline
-			})
-			if got != nil {
-				methods[key] = got.Via
-				got.Send([]byte("gg")) // game traffic over whatever path won
+			conn, err := players[a.name].Dial(b.name)
+			if err != nil {
+				continue
 			}
+			paths[[2]string{a.name, b.name}] = conn.Path()
+			conn.Write([]byte("gg"))
 		}
 	}
 
-	fmt.Println("connectivity matrix (method used per pair):")
+	fmt.Println("connectivity matrix (path class per pair):")
 	fmt.Printf("%-6s", "")
 	for _, s := range specs {
 		fmt.Printf("%-9s", s.name)
@@ -92,26 +110,43 @@ func main() {
 			case i == j:
 				fmt.Printf("%-9s", "-")
 			case i < j:
-				m, ok := methods[[2]string{a.name, b.name}]
+				p, ok := paths[[2]string{a.name, b.name}]
 				if !ok {
 					fmt.Printf("%-9s", "FAIL")
 					continue
 				}
 				total++
-				if m == punch.MethodRelay {
+				if p == "relay" {
 					relayCount++
 				}
-				fmt.Printf("%-9s", m)
+				fmt.Printf("%-9s", p)
 			default:
 				fmt.Printf("%-9s", ".")
 			}
 		}
 		fmt.Println()
 	}
-	in.RunFor(2 * time.Second) // let the greetings land
+	// Let the greetings land before reading the relay load.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		ok := received >= total
+		mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	fmt.Printf("\n%d/%d pairs connected; %d needed the relay (symmetric NAT pairs)\n",
 		total, len(specs)*(len(specs)-1)/2, relayCount)
-	fmt.Printf("server relayed %d greeting messages for the relay pairs\n", server.Stats().RelayedMessages)
+	fmt.Printf("server relayed %d greeting messages for the relay pairs\n",
+		server.Stats().RelayedMessages)
 }
 
-func behPtr(b nat.Behavior) *nat.Behavior { return &b }
+func natPtr(b simnet.NAT) *simnet.NAT { return &b }
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

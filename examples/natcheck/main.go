@@ -1,15 +1,13 @@
 // NAT Check example: run the reproduced §6.1 measurement tool against
-// three devices drawn from the Table 1 vendor populations and print
-// what a survey volunteer would have submitted.
+// three devices drawn from the Table 1 vendor populations — via the
+// public natcheckapi surface — and print what a survey volunteer
+// would have submitted.
 package main
 
 import (
 	"fmt"
 
-	"natpunch/internal/host"
-	"natpunch/internal/natcheck"
-	"natpunch/internal/topo"
-	"natpunch/internal/vendors"
+	"natpunch/natcheckapi"
 )
 
 func main() {
@@ -24,34 +22,14 @@ func main() {
 		{"Draytek", 10},
 	}
 	for _, pick := range picks {
-		var dev vendors.Device
-		for _, row := range vendors.Table1 {
-			if row.Name == pick.vendor {
-				dev = vendors.Devices(row)[pick.index]
-			}
-		}
-		fmt.Printf("=== %s (device %d): %s ===\n", dev.Vendor, dev.Index, dev.Behavior)
-
-		in := topo.NewInternet(int64(pick.index) + 1)
-		core := in.CoreRealm()
-		s1 := core.AddHost("s1", "18.181.0.31", host.BSDStyle)
-		s2 := core.AddHost("s2", "18.181.0.32", host.BSDStyle)
-		s3 := core.AddHost("s3", "18.181.0.33", host.BSDStyle)
-		sv, err := natcheck.NewServers(s1, s2, s3)
+		r, err := natcheckapi.CheckDevice(pick.vendor, pick.index, 1)
 		if err != nil {
 			panic(err)
 		}
-		realm := core.AddSite("NAT", dev.Behavior, "155.99.25.11", "10.0.0.0/24")
-		client := realm.AddHost("C", "10.0.0.1", host.BSDStyle)
-		var report natcheck.Report
-		if err := natcheck.Run(client, sv, 4321, func(r natcheck.Report) { report = r }); err != nil {
-			panic(err)
-		}
-		in.RunFor(natcheck.CheckDuration + 10e9)
-
+		fmt.Printf("=== %s (device %d): %s ===\n", r.Vendor, r.Device, r.Behavior)
 		fmt.Printf("  UDP: consistent=%v filters=%v hairpin=%v -> punch %v\n",
-			report.UDPConsistent, report.UDPFilters, report.UDPHairpin, report.SupportsUDPPunch())
+			r.UDPConsistent, r.UDPFilters, r.UDPHairpin, r.UDPPunch)
 		fmt.Printf("  TCP: consistent=%v unsolicited-SYN=%v hairpin=%v -> punch %v\n\n",
-			report.TCPConsistent, report.SYNBehavior, report.TCPHairpin, report.SupportsTCPPunch())
+			r.TCPConsistent, r.SYNBehavior, r.TCPHairpin, r.TCPPunch)
 	}
 }

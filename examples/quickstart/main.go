@@ -1,72 +1,86 @@
 // Quickstart: two clients behind different (well-behaved) NATs
 // establish a direct UDP session via hole punching and exchange
-// messages — the paper's Figure 5 scenario end to end.
+// messages — the paper's Figure 5 scenario end to end, driven
+// entirely through the public Dialer/Listener/Conn API.
+//
+// The same Open/Dial/Accept calls run unchanged over real sockets:
+// swap the simnet transports for natpunch/realudp ones (see
+// cmd/punch) and the peers punch across real NATs.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"natpunch/internal/nat"
-	"natpunch/internal/punch"
-	"natpunch/internal/rendezvous"
-	"natpunch/internal/topo"
+	"natpunch"
+	"natpunch/rendezvousapi"
+	"natpunch/simnet"
 )
 
 func main() {
 	// The paper's canonical topology: server S at 18.181.0.31,
 	// client A (10.0.0.1) behind NAT A (155.99.25.11), client B
 	// (10.1.1.3) behind NAT B (138.76.29.7).
-	world := topo.NewCanonical(42, nat.Cone(), nat.Cone())
-	server, err := rendezvous.New(world.S, 1234, 0)
-	if err != nil {
-		panic(err)
-	}
+	world := simnet.NewWorld(42)
+	defer world.Close()
+	core := world.Core()
+	s := core.AddHost("S", "18.181.0.31")
+	server, err := rendezvousapi.Serve(s.Transport(), 1234)
+	check(err)
 
-	alice := punch.NewClient(world.A, "alice", server.Endpoint(), punch.Config{})
-	bob := punch.NewClient(world.B, "bob", server.Endpoint(), punch.Config{})
+	realmA := core.AddSite("NAT-A", simnet.Cone(), "155.99.25.11", "10.0.0.0/24")
+	realmB := core.AddSite("NAT-B", simnet.Cone(), "138.76.29.7", "10.1.1.0/24")
+	hostA := realmA.AddHost("A", "10.0.0.1")
+	hostB := realmB.AddHost("B", "10.1.1.3")
 
-	// Both register from local port 4321 (the paper's example port).
-	check(alice.RegisterUDP(4321, nil))
-	check(bob.RegisterUDP(4321, nil))
-	world.RunFor(time.Second)
-	fmt.Printf("alice: private %v -> public %v\n", alice.PrivateUDP(), alice.PublicUDP())
-	fmt.Printf("bob:   private %v -> public %v\n", bob.PrivateUDP(), bob.PublicUDP())
+	// Both clients register with S (learning their public endpoints,
+	// §3.1) from local port 4321, the paper's example port.
+	alice, err := natpunch.Open(hostA.Transport(), "alice", server.Endpoint(),
+		natpunch.WithLocalPort(4321))
+	check(err)
+	defer alice.Close()
+	bob, err := natpunch.Open(hostB.Transport(), "bob", server.Endpoint(),
+		natpunch.WithLocalPort(4321))
+	check(err)
+	defer bob.Close()
+	fmt.Printf("alice: private %v -> public %v\n", alice.LocalAddr(), alice.PublicAddr())
+	fmt.Printf("bob:   private %v -> public %v\n", bob.LocalAddr(), bob.PublicAddr())
 
-	// Bob accepts inbound sessions and echoes greetings.
-	bob.InboundUDP = punch.UDPCallbacks{
-		Established: func(s *punch.UDPSession) {
-			fmt.Printf("bob: session from %s via %s endpoint %v\n", s.Peer, s.Via, s.Remote)
-		},
-		Data: func(s *punch.UDPSession, p []byte) {
-			fmt.Printf("bob: received %q\n", p)
-			s.Send([]byte("hi alice, punching works"))
-		},
-	}
+	// Bob accepts inbound sessions and answers greetings.
+	ln, err := bob.Listen()
+	check(err)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			return
+		}
+		fmt.Printf("bob: session from %s via %s endpoint %v\n",
+			conn.Peer(), conn.Path(), conn.RemoteAddr())
+		buf := make([]byte, 1500)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		fmt.Printf("bob: received %q\n", buf[:n])
+		conn.Write([]byte("hi alice, punching works"))
+	}()
 
 	// Alice punches through to bob.
-	var session *punch.UDPSession
-	alice.ConnectUDP("bob", punch.UDPCallbacks{
-		Established: func(s *punch.UDPSession) {
-			session = s
-			fmt.Printf("alice: session to %s via %s endpoint %v\n", s.Peer, s.Via, s.Remote)
-			s.Send([]byte("hello through the NATs!"))
-		},
-		Data: func(s *punch.UDPSession, p []byte) {
-			fmt.Printf("alice: received %q\n", p)
-		},
-		Failed: func(peer string, err error) {
-			fmt.Printf("alice: punch to %s failed: %v\n", peer, err)
-		},
-	})
-
-	world.RunFor(30 * time.Second)
-	if session == nil {
-		fmt.Println("no session established")
-		return
-	}
-	fmt.Printf("done: %d datagrams sent, %d received on alice's session\n",
-		session.SentDatagrams, session.RecvDatagrams)
+	conn, err := alice.Dial("bob")
+	check(err)
+	fmt.Printf("alice: session to %s via %s endpoint %v\n",
+		conn.Peer(), conn.Path(), conn.RemoteAddr())
+	_, err = conn.Write([]byte("hello through the NATs!"))
+	check(err)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1500)
+	n, err := conn.Read(buf)
+	check(err)
+	fmt.Printf("alice: received %q\n", buf[:n])
+	<-done
+	fmt.Println("done: punched UDP session carried traffic both ways")
 }
 
 func check(err error) {

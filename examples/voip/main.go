@@ -1,91 +1,133 @@
 // VoIP example: the teleconferencing motivation from the paper's
-// introduction. A 50-packet/s "voice" stream runs once over a punched
-// direct path and once relayed through the server, and the example
-// reports per-path latency — the reason relaying is the fallback, not
-// the default (§2.2).
+// introduction. A 100-frame "voice" stream runs once over a punched
+// direct path and once relayed through the server (forced by
+// symmetric NATs on both sides), and the example reports per-path
+// one-way latency — the reason relaying is the fallback, not the
+// default (§2.2). Everything goes through the public
+// Dialer/Listener/Conn API; frames carry virtual-time send stamps and
+// the receiver diffs them against its own clock.
 package main
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
-	"natpunch/internal/nat"
-	"natpunch/internal/punch"
-	"natpunch/internal/rendezvous"
-	"natpunch/internal/topo"
+	"natpunch"
+	"natpunch/rendezvousapi"
+	"natpunch/simnet"
 )
 
-const (
-	frameInterval = 20 * time.Millisecond // 50 packets/s
-	callLength    = 2 * time.Second
-)
+const frames = 100
 
-// runCall measures one simulated "call" and returns the average
-// one-way latency.
-func runCall(forceRelay bool) (avg time.Duration, via punch.Method, frames int) {
-	behA, behB := nat.Cone(), nat.Cone()
+// runCall measures one simulated "call" and returns the median
+// one-way frame latency and the path used.
+func runCall(forceRelay bool) (median time.Duration, path string) {
+	natA, natB := simnet.Cone(), simnet.Cone()
 	if forceRelay {
-		// Symmetric NATs force the relay fallback.
-		behA, behB = nat.Symmetric(), nat.Symmetric()
+		// Symmetric NATs on both sides defeat punching; the relay
+		// floor carries the call.
+		natA, natB = simnet.Symmetric(), simnet.Symmetric()
 	}
-	world := topo.NewCanonical(7, behA, behB)
-	server, err := rendezvous.New(world.S, 1234, 0)
-	if err != nil {
-		panic(err)
-	}
-	cfg := punch.Config{PunchTimeout: 3 * time.Second, RelayFallback: true}
-	alice := punch.NewClient(world.A, "alice", server.Endpoint(), cfg)
-	bob := punch.NewClient(world.B, "bob", server.Endpoint(), cfg)
-	alice.RegisterUDP(4321, nil)
-	bob.RegisterUDP(4321, nil)
-	world.RunFor(time.Second)
+	world := simnet.NewWorld(7)
+	defer world.Close()
+	core := world.Core()
+	s := core.AddHost("S", "18.181.0.31")
+	server, err := rendezvousapi.Serve(s.Transport(), 1234)
+	check(err)
+	hostA := core.AddSite("NAT-A", natA, "155.99.25.11", "10.0.0.0/24").AddHost("A", "10.0.0.1")
+	hostB := core.AddSite("NAT-B", natB, "138.76.29.7", "10.1.1.0/24").AddHost("B", "10.1.1.3")
 
-	// Bob timestamps arrivals; frames carry their send time.
-	var total time.Duration
-	bob.InboundUDP = punch.UDPCallbacks{
-		Data: func(s *punch.UDPSession, p []byte) {
-			var sentAt time.Duration
-			fmt.Sscanf(string(p), "%d", &sentAt)
-			total += world.Net.Sched.Now() - sentAt
-			frames++
-		},
+	opts := []natpunch.Option{
+		natpunch.WithRelayFallback(),
+		natpunch.WithPunchTimeout(3 * time.Second),
 	}
+	alice, err := natpunch.Open(hostA.Transport(), "alice", server.Endpoint(), opts...)
+	check(err)
+	defer alice.Close()
+	bob, err := natpunch.Open(hostB.Transport(), "bob", server.Endpoint(), opts...)
+	check(err)
+	defer bob.Close()
 
-	var session *punch.UDPSession
-	alice.ConnectUDP("bob", punch.UDPCallbacks{
-		Established: func(s *punch.UDPSession) { session = s },
-	})
-	world.Net.Sched.RunWhile(func() bool {
-		return session == nil && world.Net.Sched.Now() < 30*time.Second
-	})
-	if session == nil {
-		panic("no session")
-	}
-
-	var sendFrame func()
-	start := world.Net.Sched.Now()
-	sendFrame = func() {
-		if world.Net.Sched.Now()-start >= callLength {
+	// Bob timestamps arrivals; frames carry their virtual send time.
+	ln, err := bob.Listen()
+	check(err)
+	latencies := make(chan time.Duration, frames)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
 			return
 		}
-		session.Send([]byte(fmt.Sprintf("%d", world.Net.Sched.Now())))
-		world.Net.Sched.After(frameInterval, sendFrame)
-	}
-	sendFrame()
-	world.RunFor(callLength + time.Second)
+		buf := make([]byte, 64)
+		for i := 0; i < frames; i++ {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			var sentAt int64
+			fmt.Sscanf(string(buf[:n]), "%d", &sentAt)
+			latencies <- world.Now() - time.Duration(sentAt)
+		}
+		close(latencies)
+	}()
 
-	if frames == 0 {
-		return 0, session.Via, 0
+	conn, err := alice.Dial("bob")
+	check(err)
+	defer conn.Close()
+
+	var got []time.Duration
+	collect := func() {
+		for {
+			select {
+			case l, ok := <-latencies:
+				if !ok {
+					return
+				}
+				got = append(got, l)
+			default:
+				return
+			}
+		}
 	}
-	return total / time.Duration(frames), session.Via, frames
+	for i := 0; i < frames; i++ {
+		_, err := conn.Write([]byte(fmt.Sprintf("%d", int64(world.Now()))))
+		check(err)
+		collect()
+	}
+	deadline := time.After(10 * time.Second)
+	for len(got) < frames {
+		select {
+		case l, ok := <-latencies:
+			if !ok {
+				goto done
+			}
+			got = append(got, l)
+		case <-deadline:
+			goto done
+		}
+	}
+done:
+	if len(got) == 0 {
+		return 0, conn.Path()
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return got[len(got)/2], conn.Path()
 }
 
 func main() {
-	direct, viaD, framesD := runCall(false)
-	relayed, viaR, framesR := runCall(true)
-	fmt.Println("VoIP one-way latency (50 pkt/s voice stream):")
-	fmt.Printf("  %-18s %4d frames  avg %v\n", "via "+viaD.String()+":", framesD, direct)
-	fmt.Printf("  %-18s %4d frames  avg %v\n", "via "+viaR.String()+":", framesR, relayed)
-	fmt.Printf("relaying costs %.1fx the latency of the punched path (§2.2)\n",
-		float64(relayed)/float64(direct))
+	direct, pathD := runCall(false)
+	relayed, pathR := runCall(true)
+	fmt.Printf("VoIP one-way frame latency (%d-frame voice stream):\n", frames)
+	fmt.Printf("  %-12s median %v\n", "via "+pathD+":", direct)
+	fmt.Printf("  %-12s median %v\n", "via "+pathR+":", relayed)
+	if direct > 0 {
+		fmt.Printf("relaying costs %.1fx the latency of the punched path (§2.2)\n",
+			float64(relayed)/float64(direct))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -1,0 +1,50 @@
+package host
+
+import (
+	"math/rand"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/transport"
+)
+
+// simTransport adapts a simulated host to the engine's transport
+// seam. Everything already runs single-threaded inside the simulation
+// event loop, so Invoke degenerates to a direct call; the simnet
+// package wraps this adapter with a mutex when application goroutines
+// drive the world concurrently.
+type simTransport struct {
+	h *Host
+}
+
+// Transport returns the host's view of the transport seam. The
+// returned transport's serialized context is the simulation event
+// loop itself.
+func (h *Host) Transport() transport.Transport { return simTransport{h} }
+
+// BindUDP binds a simulated UDP socket; *UDPSocket satisfies
+// transport.UDPConn directly.
+func (t simTransport) BindUDP(port inet.Port) (transport.UDPConn, error) {
+	return t.h.UDPBind(port)
+}
+
+// After schedules on the simulation scheduler; *sim.Timer satisfies
+// transport.Timer directly.
+func (t simTransport) After(d time.Duration, fn func()) transport.Timer {
+	return t.h.Sched().After(d, fn)
+}
+
+// Now returns virtual time.
+func (t simTransport) Now() time.Duration { return t.h.Sched().Now() }
+
+// Rand returns the simulation's deterministic random source.
+func (t simTransport) Rand() *rand.Rand { return t.h.Sched().Rand() }
+
+// Invoke runs fn directly: pure-simulation callers are already inside
+// the (single-threaded) event loop.
+func (t simTransport) Invoke(fn func()) { fn() }
+
+// SimHost exposes the underlying simulated host. The engine asserts
+// for this capability to unlock features that need the full host
+// stack (TCP hole punching); transports without it are UDP-only.
+func (t simTransport) SimHost() *Host { return t.h }

@@ -7,7 +7,7 @@ import (
 	"natpunch/internal/inet"
 	"natpunch/internal/proto"
 	"natpunch/internal/punch"
-	"natpunch/internal/sim"
+	"natpunch/transport"
 )
 
 // Callbacks are the application-visible events of one negotiation.
@@ -73,7 +73,7 @@ func (a *Agent) Close() {
 // Config returns the agent's effective configuration.
 func (a *Agent) Config() Config { return a.cfg }
 
-func (a *Agent) sched() *sim.Scheduler { return a.c.Host().Sched() }
+func (a *Agent) tr() transport.Transport { return a.c.Transport() }
 
 func (a *Agent) tracef(format string, args ...any) {
 	if a.Trace != nil {
@@ -91,7 +91,7 @@ type negotiation struct {
 	gotDetails bool
 	checks     []*check
 	byEP       map[inet.Endpoint]*check
-	deadline   *sim.Timer
+	deadline   transport.Timer
 	done       bool
 }
 
@@ -99,7 +99,7 @@ type negotiation struct {
 type check struct {
 	cand    Candidate
 	started bool
-	timer   *sim.Timer // start (pacing) or retransmission timer
+	timer   transport.Timer // start (pacing) or retransmission timer
 }
 
 func (n *negotiation) stop() {
@@ -159,7 +159,7 @@ func (a *Agent) Connect(peer string, cb Callbacks) {
 	}
 	a.negs[n.nonce] = n
 	a.byPeer[peer] = n
-	n.deadline = a.sched().After(a.cfg.Timeout, func() { a.timeout(n) })
+	n.deadline = a.tr().After(a.cfg.Timeout, func() { a.timeout(n) })
 	a.c.SendUDPMessage(a.c.Server(), &proto.Message{
 		Type: proto.TypeNegotiate, From: a.c.Name(), Target: peer,
 		Nonce: n.nonce, Candidates: a.localCandidates(),
@@ -182,6 +182,15 @@ func (a *Agent) intercept(from inet.Endpoint, m *proto.Message) bool {
 		if n := a.negs[m.Nonce]; n != nil && !n.done {
 			a.nominate(n, from, m)
 			return true
+		}
+	case proto.TypeData:
+		// The peer's first data datagram can overtake its check-ack;
+		// a correctly-nonced payload from the negotiation's peer is at
+		// least as strong evidence, so nominate on it — and return
+		// false so the client delivers the payload to the session the
+		// nomination just adopted.
+		if n := a.negs[m.Nonce]; n != nil && !n.done && n.peer == m.From {
+			a.nominate(n, from, m)
 		}
 	case proto.TypeError:
 		// S could not broker the negotiation (peer unknown/offline).
@@ -214,7 +223,7 @@ func (a *Agent) handleDetails(m *proto.Message) {
 			byEP: make(map[inet.Endpoint]*check),
 		}
 		a.negs[n.nonce] = n
-		n.deadline = a.sched().After(a.cfg.Timeout, func() { a.timeout(n) })
+		n.deadline = a.tr().After(a.cfg.Timeout, func() { a.timeout(n) })
 	}
 	if n.gotDetails || n.done {
 		return
@@ -235,7 +244,7 @@ func (a *Agent) handleDetails(m *proto.Message) {
 		// arrive (RFC 8445 §6.1.4), so high-priority candidates get a
 		// head start without serializing the whole schedule.
 		d := time.Duration(i) * a.cfg.Pace
-		ch.timer = a.sched().After(d, func() { a.startCheck(n, ch) })
+		ch.timer = a.tr().After(d, func() { a.startCheck(n, ch) })
 	}
 }
 
@@ -248,7 +257,7 @@ func (a *Agent) startCheck(n *negotiation, ch *check) {
 	a.c.SendUDPMessage(ch.cand.Endpoint, &proto.Message{
 		Type: proto.TypePunch, From: a.c.Name(), Nonce: n.nonce,
 	})
-	ch.timer = a.sched().After(a.cfg.ProbeInterval, func() { a.startCheck(n, ch) })
+	ch.timer = a.tr().After(a.cfg.ProbeInterval, func() { a.startCheck(n, ch) })
 }
 
 // handleCheck answers a connectivity check for an active negotiation:
@@ -332,6 +341,29 @@ func (a *Agent) timeout(n *negotiation) {
 		n.cb.Failed(n.peer, punch.ErrPunchTimeout)
 	}
 }
+
+// Abort cancels every in-flight negotiation we initiated with peer
+// without firing callbacks — the release path for context-cancelled
+// dials. Responder-side negotiations are untouched so a cancelled
+// dial cannot kill the peer's crossing dial. It reports whether
+// anything was cancelled.
+func (a *Agent) Abort(peer string) bool {
+	aborted := false
+	for _, n := range a.negs {
+		if n.peer == peer && n.requester && !n.done {
+			a.finish(n)
+			aborted = true
+		}
+	}
+	if aborted {
+		a.tracef("negotiation with %s aborted", peer)
+	}
+	return aborted
+}
+
+// PendingNegotiations counts in-flight negotiations — the accounting
+// hook that cancellation tests recount against.
+func (a *Agent) PendingNegotiations() int { return len(a.negs) }
 
 // finish retires a negotiation: stop timers, release indexes.
 func (a *Agent) finish(n *negotiation) {

@@ -8,19 +8,23 @@
 // by the registration connection to S, a listener, and all outgoing
 // connection attempts (§4.1, Figure 7).
 //
-// All callbacks run inside the simulation event loop; the package is
-// deliberately lock-free and single-threaded, like the simulator.
+// The package is deliberately lock-free and single-threaded: all
+// state changes happen inside the owning transport's serialized
+// context (the simulation event loop, or the real-socket transport's
+// dispatch loop — see natpunch/transport's concurrency contract), so
+// the same engine runs unchanged over simulated and real networks.
 package punch
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"natpunch/internal/host"
 	"natpunch/internal/inet"
 	"natpunch/internal/proto"
-	"natpunch/internal/sim"
+	"natpunch/transport"
 )
 
 // Errors surfaced through session callbacks.
@@ -30,6 +34,11 @@ var (
 	ErrNotRegistered = errors.New("punch: client not registered")
 	ErrBusy          = errors.New("punch: attempt to this peer already in progress")
 	ErrRegisterFail  = errors.New("punch: registration with rendezvous server failed")
+	ErrAborted       = errors.New("punch: attempt aborted")
+	// ErrTCPUnsupported is returned by the TCP surface when the
+	// client's transport does not provide a full host stack (real-UDP
+	// transports carry only the UDP procedures).
+	ErrTCPUnsupported = errors.New("punch: transport does not support TCP hole punching")
 )
 
 // Method classifies how a session was ultimately established. The
@@ -123,6 +132,10 @@ func (c Config) withDefaults() Config {
 
 // Client is a hole-punching endpoint application.
 type Client struct {
+	tr transport.Transport
+	// h is the simulated host when the transport provides one (the
+	// SimHost capability); nil over real-socket transports, where the
+	// TCP punching surface is unavailable.
 	h      *host.Host
 	name   string
 	server inet.Endpoint
@@ -130,14 +143,14 @@ type Client struct {
 	obf    proto.Obfuscator
 
 	// UDP state.
-	udp           *host.UDPSocket
+	udp           transport.UDPConn
 	udpPublic     inet.Endpoint
 	udpPrivate    inet.Endpoint
 	udpRegistered bool
 	udpRegDone    func(error)
-	udpRegRetry   *sim.Timer
+	udpRegRetry   transport.Timer
 	udpRegTries   int
-	udpKeepAlive  *sim.Timer
+	udpKeepAlive  transport.Timer
 
 	udpAttempts map[uint64]*udpAttempt
 	udpSessions map[string]*UDPSession
@@ -162,16 +175,28 @@ type Client struct {
 	closed bool
 }
 
-// NewClient creates a punching client for host h, identified to the
-// rendezvous server at server by name.
+// NewClient creates a punching client for simulated host h,
+// identified to the rendezvous server at server by name.
 func NewClient(h *host.Host, name string, server inet.Endpoint, cfg Config) *Client {
+	return NewClientOver(h.Transport(), name, server, cfg)
+}
+
+// NewClientOver creates a punching client over an arbitrary
+// transport. The full engine — UDP punching, keep-alives, idle
+// death, relay fallback, and (via internal/ice) candidate
+// negotiation — is available on any transport; the TCP procedures
+// additionally require the transport's SimHost capability.
+func NewClientOver(tr transport.Transport, name string, server inet.Endpoint, cfg Config) *Client {
 	c := &Client{
-		h:           h,
+		tr:          tr,
 		name:        name,
 		server:      server,
 		cfg:         cfg.withDefaults(),
 		udpAttempts: make(map[uint64]*udpAttempt),
 		udpSessions: make(map[string]*UDPSession),
+	}
+	if hp, ok := tr.(interface{ SimHost() *host.Host }); ok {
+		c.h = hp.SimHost()
 	}
 	if c.cfg.Obfuscate {
 		c.obf = proto.ObfuscatedEndpoints
@@ -183,11 +208,21 @@ func NewClient(h *host.Host, name string, server inet.Endpoint, cfg Config) *Cli
 // Name returns the client's rendezvous identity.
 func (c *Client) Name() string { return c.name }
 
-// Host returns the underlying simulated host.
+// Host returns the underlying simulated host, or nil when the client
+// runs over a transport without one.
 func (c *Client) Host() *host.Host { return c.h }
 
-// sched returns the simulation scheduler.
-func (c *Client) sched() *sim.Scheduler { return c.h.Sched() }
+// Transport returns the transport the client runs over.
+func (c *Client) Transport() transport.Transport { return c.tr }
+
+// after schedules fn on the client's transport.
+func (c *Client) after(d time.Duration, fn func()) transport.Timer { return c.tr.After(d, fn) }
+
+// now returns the transport clock.
+func (c *Client) now() time.Duration { return c.tr.Now() }
+
+// rand returns the transport's randomness source.
+func (c *Client) rand() *rand.Rand { return c.tr.Rand() }
 
 func (c *Client) tracef(format string, args ...any) {
 	if c.Trace != nil {
@@ -222,7 +257,7 @@ func (c *Client) Close() {
 // nonce draws a session authentication nonce (§3.4: "a random nonce
 // pre-arranged through S").
 func (c *Client) nonce() uint64 {
-	n := c.sched().Rand().Uint64()
+	n := c.rand().Uint64()
 	if n == 0 {
 		n = 1
 	}
@@ -236,6 +271,12 @@ func (c *Client) nonce() uint64 {
 // at a time (internal/ice installs itself here).
 func (c *Client) SetUDPIntercept(fn func(from inet.Endpoint, m *proto.Message) bool) {
 	c.udpIntercept = fn
+}
+
+// UDPIntercept returns the installed interceptor (nil when none), so
+// test harnesses can chain fault-injection filters in front of it.
+func (c *Client) UDPIntercept() func(from inet.Endpoint, m *proto.Message) bool {
+	return c.udpIntercept
 }
 
 // Server returns the rendezvous server's endpoint.
@@ -272,9 +313,37 @@ func (c *Client) AdoptUDPSession(peer string, remote inet.Endpoint, via Method, 
 		prev.Close()
 	}
 	s := &UDPSession{c: c, Peer: peer, Remote: remote, Via: via, Nonce: nonce, cb: cb}
-	s.lastRecvT = c.sched().Now()
+	s.lastRecvT = c.now()
 	c.udpSessions[peer] = s
 	s.scheduleKeepAlive()
 	c.tracef("udp session with %s adopted at %s (%s)", peer, remote, via)
 	return s
 }
+
+// AbortUDP cancels an in-flight punching attempt we initiated toward
+// peer without firing its callbacks — the release path for
+// context-cancelled dials. It reports whether an attempt was
+// cancelled. Responder-side attempts (the peer dialing us, §3.2 step
+// 2's forwarded request) and established sessions are not affected:
+// cancelling our dial must not kill the peer's crossing dial.
+func (c *Client) AbortUDP(peer string) bool {
+	aborted := false
+	for n, a := range c.udpAttempts {
+		if a.peer == peer && a.requester && !a.done {
+			a.stop()
+			delete(c.udpAttempts, n)
+			aborted = true
+		}
+	}
+	if aborted {
+		c.tracef("udp attempt to %s aborted", peer)
+	}
+	return aborted
+}
+
+// PendingUDPAttempts counts in-flight punching attempts — the
+// accounting hook that cancellation tests recount against.
+func (c *Client) PendingUDPAttempts() int { return len(c.udpAttempts) }
+
+// UDPSessionCount counts live UDP sessions.
+func (c *Client) UDPSessionCount() int { return len(c.udpSessions) }

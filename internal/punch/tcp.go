@@ -7,8 +7,8 @@ import (
 	"natpunch/internal/host"
 	"natpunch/internal/inet"
 	"natpunch/internal/proto"
-	"natpunch/internal/sim"
 	"natpunch/internal/tcp"
+	"natpunch/transport"
 )
 
 // TCPCallbacks are the application-visible events of a TCP session.
@@ -50,6 +50,7 @@ type tcpState struct {
 	tcpPrivate    inet.Endpoint
 	tcpRegistered bool
 	tcpRegDone    func(error)
+	tcpKeepAlive  transport.Timer
 
 	tcpAttempts map[uint64]*tcpAttempt
 	tcpSessions map[string]*TCPSession
@@ -66,6 +67,9 @@ func (c *Client) tcpInit() {
 func (c *Client) tcpClose() {
 	for _, a := range c.tcpAttempts {
 		a.stop(nil)
+	}
+	if c.tcpKeepAlive != nil {
+		c.tcpKeepAlive.Stop()
 	}
 	if c.tcpListener != nil {
 		c.tcpListener.Close()
@@ -89,8 +93,8 @@ type tcpAttempt struct {
 	gotDetails bool
 
 	conns       map[*tcp.Conn]bool // outstanding unauthenticated conns
-	retryTimers []*sim.Timer
-	deadline    *sim.Timer
+	retryTimers []transport.Timer
+	deadline    transport.Timer
 	sequential  bool
 	done        bool
 }
@@ -112,8 +116,13 @@ func (a *tcpAttempt) stop(winner *tcp.Conn) {
 }
 
 // RegisterTCP binds the client's TCP port (listener + registration
-// connection to S, both with address reuse, §4.1) and registers.
+// connection to S, both with address reuse, §4.1) and registers. It
+// requires a transport with the full simulated host stack; real-UDP
+// transports return ErrTCPUnsupported.
 func (c *Client) RegisterTCP(localPort inet.Port, done func(error)) error {
+	if c.h == nil {
+		return ErrTCPUnsupported
+	}
 	l, err := c.h.TCPListen(localPort, true, c.handleAccepted)
 	if err != nil {
 		return err
@@ -164,6 +173,9 @@ func (c *Client) handleServerStream(p []byte) {
 				c.tcpRegistered = true
 				c.tcpPublic = m.Public
 				c.tracef("tcp registered: private=%s public=%s", c.tcpPrivate, c.tcpPublic)
+				if !c.cfg.DisableRegistrationKeepAlive {
+					c.scheduleTCPServerKeepAlive()
+				}
 				if c.tcpRegDone != nil {
 					c.tcpRegDone(nil)
 				}
@@ -182,6 +194,21 @@ func (c *Client) handleServerStream(p []byte) {
 			c.tcpServerError(m)
 		}
 	}
+}
+
+// scheduleTCPServerKeepAlive keeps the registration connection's NAT
+// session alive (§3.6): without periodic traffic an idle NAT expires
+// the TCP mapping and S can no longer signal this client.
+func (c *Client) scheduleTCPServerKeepAlive() {
+	c.tcpKeepAlive = c.after(c.cfg.KeepAliveInterval, func() {
+		if c.closed || c.tcpServer == nil {
+			return
+		}
+		c.tcpServer.Write(proto.AppendFrame(nil, &proto.Message{
+			Type: proto.TypeKeepAlive, From: c.name,
+		}, c.obf))
+		c.scheduleTCPServerKeepAlive()
+	})
 }
 
 // ConnectTCP starts parallel TCP hole punching toward peer (§4.2).
@@ -214,7 +241,7 @@ func (c *Client) newTCPAttempt(peer string, nonce uint64, cb TCPCallbacks) *tcpA
 		conns: make(map[*tcp.Conn]bool),
 	}
 	c.tcpAttempts[nonce] = a
-	a.deadline = c.sched().After(c.cfg.PunchTimeout, func() { c.tcpAttemptTimeout(a) })
+	a.deadline = c.after(c.cfg.PunchTimeout, func() { c.tcpAttemptTimeout(a) })
 	return a
 }
 
@@ -249,7 +276,7 @@ func (c *Client) dialCandidate(a *tcpAttempt, ep inet.Endpoint) {
 		if a.done {
 			return
 		}
-		a.retryTimers = append(a.retryTimers, c.sched().After(c.cfg.ConnectRetryInterval, func() {
+		a.retryTimers = append(a.retryTimers, c.after(c.cfg.ConnectRetryInterval, func() {
 			c.dialCandidate(a, ep)
 		}))
 	}
@@ -308,7 +335,7 @@ func (c *Client) attemptForRemote(ep inet.Endpoint) *tcpAttempt {
 func (c *Client) handleAccepted(conn *tcp.Conn) {
 	dec := &proto.StreamDecoder{}
 	authed := false
-	authTimer := c.sched().After(c.cfg.AuthTimeout, func() {
+	authTimer := c.after(c.cfg.AuthTimeout, func() {
 		if !authed {
 			conn.Abort() // §4.2 step 5: close unauthenticated streams
 		}
@@ -439,6 +466,29 @@ func (c *Client) tcpAttemptTimeout(a *tcpAttempt) {
 		a.cb.Failed(a.peer, ErrPunchTimeout)
 	}
 }
+
+// AbortTCP cancels in-flight TCP punching attempts we initiated
+// toward peer without firing their callbacks — the release path for
+// context-cancelled dials. Responder-side attempts are untouched so a
+// cancelled dial cannot kill the peer's crossing dial. It reports
+// whether anything was cancelled.
+func (c *Client) AbortTCP(peer string) bool {
+	aborted := false
+	for n, a := range c.tcpAttempts {
+		if a.peer == peer && a.requester && !a.done {
+			a.stop(nil)
+			delete(c.tcpAttempts, n)
+			aborted = true
+		}
+	}
+	if aborted {
+		c.tracef("tcp attempt to %s aborted", peer)
+	}
+	return aborted
+}
+
+// PendingTCPAttempts counts in-flight TCP punching attempts.
+func (c *Client) PendingTCPAttempts() int { return len(c.tcpAttempts) }
 
 func (c *Client) tcpServerError(m *proto.Message) {
 	for n, a := range c.tcpAttempts {
@@ -597,7 +647,7 @@ func (c *Client) handleSeqRequest(m *proto.Message) {
 	// fail (timeout or RST); its purpose is the hole.
 	doomed, err := c.h.TCPDial(m.Public, host.DialOpts{LocalPort: c.tcpLocalPort, ReuseAddr: true}, tcp.Callbacks{})
 	if err == nil {
-		c.sched().After(SeqHoleDelay, func() {
+		c.after(SeqHoleDelay, func() {
 			doomed.Abort()
 			if a.done {
 				return

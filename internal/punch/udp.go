@@ -5,7 +5,7 @@ import (
 
 	"natpunch/internal/inet"
 	"natpunch/internal/proto"
-	"natpunch/internal/sim"
+	"natpunch/transport"
 )
 
 // UDPCallbacks are the application-visible events of a UDP session.
@@ -35,8 +35,8 @@ type UDPSession struct {
 
 	cb        UDPCallbacks
 	seq       uint32
-	lastRecvT time.Duration // virtual time of last inbound traffic
-	keepTimer *sim.Timer
+	lastRecvT time.Duration // transport-clock time of last inbound traffic
+	keepTimer transport.Timer
 	closed    bool
 
 	// Stats.
@@ -54,8 +54,8 @@ type udpAttempt struct {
 	// endpoints (§3.2 step 2).
 	pub, priv  inet.Endpoint
 	gotDetails bool
-	probeTimer *sim.Timer
-	deadline   *sim.Timer
+	probeTimer transport.Timer
+	deadline   transport.Timer
 	done       bool
 }
 
@@ -69,18 +69,33 @@ func (a *udpAttempt) stop() {
 	}
 }
 
-// RegisterUDP binds the client's UDP socket to localPort and
-// registers with S, learning the public endpoint. done is invoked
-// with nil on success or an error after retries are exhausted.
-func (c *Client) RegisterUDP(localPort inet.Port, done func(error)) error {
-	s, err := c.h.UDPBind(localPort)
+// BindUDP binds the client's UDP socket to localPort without yet
+// registering with S. Most callers use RegisterUDP; binding alone
+// supports adapters that must own a socket before the rendezvous
+// server is reachable.
+func (c *Client) BindUDP(localPort inet.Port) error {
+	if c.udp != nil {
+		return nil
+	}
+	s, err := c.tr.BindUDP(localPort)
 	if err != nil {
 		return err
 	}
 	c.udp = s
 	c.udpPrivate = s.Local()
-	c.udpRegDone = done
 	s.OnRecv(c.handleUDPPacket)
+	return nil
+}
+
+// RegisterUDP binds the client's UDP socket to localPort and
+// registers with S, learning the public endpoint. done is invoked
+// with nil on success or an error after retries are exhausted.
+func (c *Client) RegisterUDP(localPort inet.Port, done func(error)) error {
+	if err := c.BindUDP(localPort); err != nil {
+		return err
+	}
+	c.udpRegDone = done
+	c.udpRegTries = 0
 	c.sendRegisterUDP()
 	return nil
 }
@@ -99,7 +114,7 @@ func (c *Client) sendRegisterUDP() {
 	c.sendToServer(&proto.Message{
 		Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
 	})
-	c.udpRegRetry = c.sched().After(time.Second, c.sendRegisterUDP)
+	c.udpRegRetry = c.after(time.Second, c.sendRegisterUDP)
 }
 
 // sendToServer transmits a message to S over UDP.
@@ -119,9 +134,13 @@ func (c *Client) PrivateUDP() inet.Endpoint { return c.udpPrivate }
 
 // ConnectUDP starts hole punching toward peer (§3.2 step 1: "A asks S
 // for help establishing a UDP session with B"). The outcome arrives
-// via cb.
+// via cb. The socket must be bound; normally the caller has
+// registered first (RegisterUDP). A merely-bound client may still
+// try — blocking adapters rely on that — but unless S already knows
+// this client the request fails with ErrPeerUnknown (S's error reply
+// blames the pair, not the missing registration).
 func (c *Client) ConnectUDP(peer string, cb UDPCallbacks) {
-	if !c.udpRegistered {
+	if c.udp == nil {
 		if cb.Failed != nil {
 			cb.Failed(peer, ErrNotRegistered)
 		}
@@ -136,7 +155,7 @@ func (c *Client) ConnectUDP(peer string, cb UDPCallbacks) {
 	n := c.nonce()
 	a := &udpAttempt{c: c, peer: peer, nonce: n, requester: true, cb: cb}
 	c.udpAttempts[n] = a
-	a.deadline = c.sched().After(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
+	a.deadline = c.after(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
 	c.sendToServer(&proto.Message{
 		Type: proto.TypeConnectRequest, From: c.name, Target: peer, Nonce: n,
 	})
@@ -196,7 +215,7 @@ func (c *Client) handleRegisterOK(m *proto.Message) {
 // scheduleServerKeepAlive keeps the registration's NAT mapping alive
 // (§3.6).
 func (c *Client) scheduleServerKeepAlive() {
-	c.udpKeepAlive = c.sched().After(c.cfg.KeepAliveInterval, func() {
+	c.udpKeepAlive = c.after(c.cfg.KeepAliveInterval, func() {
 		if c.closed {
 			return
 		}
@@ -215,7 +234,7 @@ func (c *Client) handleConnectDetails(m *proto.Message) {
 		// We are the target side: adopt the inbound-session callbacks.
 		a = &udpAttempt{c: c, peer: m.From, nonce: m.Nonce, cb: c.InboundUDP}
 		c.udpAttempts[m.Nonce] = a
-		a.deadline = c.sched().After(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
+		a.deadline = c.after(c.cfg.PunchTimeout, func() { c.udpAttemptTimeout(a) })
 	}
 	if a.gotDetails || a.done {
 		return
@@ -239,7 +258,7 @@ func (c *Client) probe(a *udpAttempt) {
 	if a.priv != a.pub && !a.priv.IsZero() {
 		c.udp.SendTo(a.priv, wire)
 	}
-	a.probeTimer = c.sched().After(c.cfg.PunchInterval, func() { c.probe(a) })
+	a.probeTimer = c.after(c.cfg.PunchInterval, func() { c.probe(a) })
 }
 
 // handlePunch answers an authenticated probe (§3.2 step 3). Probes
@@ -299,7 +318,7 @@ func (c *Client) handlePunchAck(from inet.Endpoint, m *proto.Message) {
 	s := &UDPSession{
 		c: c, Peer: a.peer, Remote: from, Via: via, Nonce: m.Nonce, cb: a.cb,
 	}
-	s.lastRecvT = c.sched().Now()
+	s.lastRecvT = c.now()
 	c.udpSessions[a.peer] = s
 	s.scheduleKeepAlive()
 	c.tracef("udp session with %s locked in at %s (%s)", a.peer, from, via)
@@ -318,12 +337,12 @@ func (c *Client) udpAttemptTimeout(a *udpAttempt) {
 		// §2.2: relaying always works as long as both clients can
 		// reach S.
 		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
-		s.lastRecvT = c.sched().Now()
+		s.lastRecvT = c.now()
 		c.udpSessions[a.peer] = s
-		// Relay sessions need the same idle watch as punched ones:
-		// §3.6's death detection is what tells the application its
-		// peer is gone (the timer sends no keep-alive datagrams for
-		// relayed sessions, but still fires Dead on idleness).
+		// Relay sessions get the same §3.6 maintenance as punched
+		// ones: the timer sends keep-alives across the relay (empty
+		// Seq-0 RelayTo) and fires Dead on idleness, which is what
+		// tells the application its peer is gone.
 		s.scheduleKeepAlive()
 		c.tracef("udp punch to %s failed; falling back to relay", a.peer)
 		if a.cb.Established != nil {
@@ -356,7 +375,33 @@ func (c *Client) handleServerError(m *proto.Message) {
 
 func (c *Client) handleSessionData(from inet.Endpoint, m *proto.Message) {
 	s := c.udpSessions[m.From]
-	if s == nil || s.closed || s.Nonce != m.Nonce {
+	if s == nil {
+		// With both sides punching, the peer's first data datagram can
+		// overtake the punch-ack that would lock in our side (UDP
+		// preserves no ordering across the crossing probes). A
+		// correctly-nonced payload from the expected peer is at least
+		// as strong evidence as an ack, so lock the session in with it
+		// instead of dropping the data.
+		a := c.udpAttempts[m.Nonce]
+		if a == nil || a.done || a.peer != m.From || m.From == c.name {
+			return // unauthenticated (§3.4)
+		}
+		a.stop()
+		delete(c.udpAttempts, m.Nonce)
+		via := MethodPublic
+		if from == a.priv && a.priv != a.pub {
+			via = MethodPrivate
+		}
+		s = &UDPSession{c: c, Peer: a.peer, Remote: from, Via: via, Nonce: m.Nonce, cb: a.cb}
+		s.lastRecvT = c.now()
+		c.udpSessions[a.peer] = s
+		s.scheduleKeepAlive()
+		c.tracef("udp session with %s locked in by early data at %s (%s)", a.peer, from, via)
+		if a.cb.Established != nil {
+			a.cb.Established(s)
+		}
+	}
+	if s.closed || s.Nonce != m.Nonce {
 		return // unauthenticated (§3.4)
 	}
 	s.touch()
@@ -380,6 +425,9 @@ func (c *Client) handleRelayed(m *proto.Message) {
 		return
 	}
 	s.touch()
+	if m.Seq == 0 && len(m.Data) == 0 {
+		return // §3.6 keep-alive across the relay; not application data
+	}
 	s.RecvDatagrams++
 	if s.cb.Data != nil {
 		s.cb.Data(s, m.Data)
@@ -428,16 +476,16 @@ func (s *UDPSession) Close() {
 	}
 }
 
-func (s *UDPSession) touch() { s.lastRecvT = s.c.sched().Now() }
+func (s *UDPSession) touch() { s.lastRecvT = s.c.now() }
 
 // scheduleKeepAlive sends periodic keep-alives so the NATs' per-
 // session timers do not expire (§3.6), and watches for session death.
 func (s *UDPSession) scheduleKeepAlive() {
-	s.keepTimer = s.c.sched().After(s.c.cfg.KeepAliveInterval, func() {
+	s.keepTimer = s.c.after(s.c.cfg.KeepAliveInterval, func() {
 		if s.closed || s.c.closed {
 			return
 		}
-		idle := s.c.sched().Now() - s.lastRecvT
+		idle := s.c.now() - s.lastRecvT
 		if idle > s.c.cfg.DeadAfter {
 			// §3.6: detect that the session no longer works; the
 			// application re-runs hole punching on demand.
@@ -447,7 +495,14 @@ func (s *UDPSession) scheduleKeepAlive() {
 			}
 			return
 		}
-		if s.Via != MethodRelay {
+		if s.Via == MethodRelay {
+			// §3.6 applies to relayed sessions too: an empty RelayTo
+			// (Seq 0) refreshes both ends' NAT state and idle clocks
+			// without surfacing as application data.
+			s.c.sendToServer(&proto.Message{
+				Type: proto.TypeRelayTo, From: s.c.name, Target: s.Peer,
+			})
+		} else {
 			s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
 				Type: proto.TypeKeepAlive, From: s.c.name, Nonce: s.Nonce,
 			}, s.c.obf))

@@ -17,7 +17,7 @@ import (
 
 	"natpunch/internal/host"
 	"natpunch/internal/inet"
-	"natpunch/internal/sim"
+	"natpunch/transport"
 )
 
 // Wire tags for the allocation protocol.
@@ -47,15 +47,15 @@ type Stats struct {
 type allocation struct {
 	server  *Server
 	client  inet.Endpoint // the client's public endpoint (as seen here)
-	sock    *host.UDPSocket
+	sock    transport.UDPConn
 	permits map[inet.Endpoint]bool
-	timer   *sim.Timer
+	timer   transport.Timer
 }
 
 // Server is the relay.
 type Server struct {
-	h    *host.Host
-	ctrl *host.UDPSocket
+	tr   transport.Transport
+	ctrl transport.UDPConn
 	// byClient maps a client's observed public endpoint to its
 	// allocation.
 	byClient map[inet.Endpoint]*allocation
@@ -63,11 +63,16 @@ type Server struct {
 	stats    Stats
 }
 
-// New starts a relay server on h at ctrlPort; allocations get
-// consecutive ports above it.
+// New starts a relay server on simulated host h at ctrlPort;
+// allocations get consecutive ports above it.
 func New(h *host.Host, ctrlPort inet.Port) (*Server, error) {
-	s := &Server{h: h, byClient: make(map[inet.Endpoint]*allocation), nextPort: ctrlPort + 1}
-	ctrl, err := h.UDPBind(ctrlPort)
+	return NewOver(h.Transport(), ctrlPort)
+}
+
+// NewOver starts a relay server over an arbitrary transport.
+func NewOver(tr transport.Transport, ctrlPort inet.Port) (*Server, error) {
+	s := &Server{tr: tr, byClient: make(map[inet.Endpoint]*allocation), nextPort: ctrlPort + 1}
+	ctrl, err := tr.BindUDP(ctrlPort)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +125,7 @@ func (s *Server) handleCtrl(from inet.Endpoint, p []byte) {
 func (s *Server) allocate(client inet.Endpoint) {
 	a := s.byClient[client]
 	if a == nil {
-		sock, err := s.h.UDPBind(s.nextPort)
+		sock, err := s.tr.BindUDP(s.nextPort)
 		if err != nil {
 			return
 		}
@@ -162,7 +167,7 @@ func (a *allocation) touch() {
 	if a.timer != nil {
 		a.timer.Stop()
 	}
-	a.timer = a.server.h.Sched().After(AllocationTimeout, func() {
+	a.timer = a.server.tr.After(AllocationTimeout, func() {
 		a.sock.Close()
 		if a.server.byClient[a.client] == a {
 			delete(a.server.byClient, a.client)
@@ -174,7 +179,7 @@ func (a *allocation) touch() {
 
 // Client drives an allocation on a relay server.
 type Client struct {
-	sock   *host.UDPSocket
+	sock   transport.UDPConn
 	server inet.Endpoint
 	// Relayed is the allocated public endpoint peers should send to.
 	Relayed inet.Endpoint
@@ -188,7 +193,7 @@ type Client struct {
 // NewClient allocates a relay endpoint using the given (already
 // bound) UDP socket; the socket's existing receive handler is
 // replaced.
-func NewClient(sock *host.UDPSocket, server inet.Endpoint) *Client {
+func NewClient(sock transport.UDPConn, server inet.Endpoint) *Client {
 	c := &Client{sock: sock, server: server}
 	sock.OnRecv(c.handle)
 	sock.SendTo(server, []byte{tagAllocate})

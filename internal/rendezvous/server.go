@@ -14,6 +14,7 @@ import (
 	"natpunch/internal/inet"
 	"natpunch/internal/proto"
 	"natpunch/internal/tcp"
+	"natpunch/transport"
 )
 
 // Stats counts server activity, including the relay load that makes
@@ -50,11 +51,15 @@ type client struct {
 
 // Server is the rendezvous server S.
 type Server struct {
+	tr transport.Transport
+	// h is the simulated host when the transport provides one; over
+	// UDP-only transports (real sockets) it is nil and the TCP
+	// registration surface is absent.
 	h    *host.Host
 	port inet.Port
 	obf  proto.Obfuscator
 
-	udp      *host.UDPSocket
+	udp      transport.UDPConn
 	listener *host.TCPListener
 	clients  map[string]*client
 	stats    Stats
@@ -63,27 +68,49 @@ type Server struct {
 	Trace func(format string, args ...any)
 }
 
-// New starts a rendezvous server on h at port (UDP and TCP).
+// New starts a rendezvous server on simulated host h at port (UDP and
+// TCP).
 func New(h *host.Host, port inet.Port, obf proto.Obfuscator) (*Server, error) {
-	s := &Server{h: h, port: port, obf: obf, clients: make(map[string]*client)}
-	u, err := h.UDPBind(port)
+	return NewOver(h.Transport(), port, obf)
+}
+
+// NewOver starts a rendezvous server over an arbitrary transport at
+// port. UDP service — registration, endpoint exchange, candidate
+// negotiation, relaying — works on any transport; the TCP side is
+// bound only when the transport carries the full simulated host
+// stack.
+func NewOver(tr transport.Transport, port inet.Port, obf proto.Obfuscator) (*Server, error) {
+	s := &Server{tr: tr, port: port, obf: obf, clients: make(map[string]*client)}
+	if hp, ok := tr.(interface{ SimHost() *host.Host }); ok {
+		s.h = hp.SimHost()
+	}
+	u, err := tr.BindUDP(port)
 	if err != nil {
 		return nil, err
 	}
 	s.udp = u
+	s.port = u.Local().Port
 	u.OnRecv(s.handleUDP)
-	l, err := h.TCPListen(port, false, s.handleAccept)
-	if err != nil {
-		u.Close()
-		return nil, err
+	if s.h != nil {
+		l, err := s.h.TCPListen(s.port, false, s.handleAccept)
+		if err != nil {
+			u.Close()
+			return nil, err
+		}
+		s.listener = l
 	}
-	s.listener = l
 	return s, nil
 }
 
 // Endpoint returns S's public endpoint (same port for UDP and TCP).
-func (s *Server) Endpoint() inet.Endpoint {
-	return inet.Endpoint{Addr: s.h.Addr(), Port: s.port}
+func (s *Server) Endpoint() inet.Endpoint { return s.udp.Local() }
+
+// Close releases the server's sockets.
+func (s *Server) Close() {
+	s.udp.Close()
+	if s.listener != nil {
+		s.listener.Close()
+	}
 }
 
 // Stats returns a copy of the counters.
@@ -213,6 +240,10 @@ func (s *Server) handleTCPMessage(conn *tcp.Conn, dec *proto.StreamDecoder, owne
 
 	case proto.TypeSeqRequest, proto.TypeSeqGo:
 		s.seqSignal(m)
+
+	case proto.TypeKeepAlive:
+		// Registration-connection keep-alive (§3.6): the traffic
+		// itself refreshes NAT state on the path; nothing to record.
 	}
 	return owner
 }
@@ -343,8 +374,12 @@ func (s *Server) relay(m *proto.Message) {
 		s.stats.Errors++
 		return
 	}
-	s.stats.RelayedMessages++
-	s.stats.RelayedBytes += uint64(len(m.Data))
+	if m.Seq != 0 || len(m.Data) > 0 {
+		// Empty Seq-0 relays are §3.6 keep-alives, not the relay load
+		// §2.2 warns about; forward them but keep the stats honest.
+		s.stats.RelayedMessages++
+		s.stats.RelayedBytes += uint64(len(m.Data))
+	}
 	out := &proto.Message{
 		Type: proto.TypeRelayed, From: m.From, Target: m.Target,
 		Seq: m.Seq, Data: m.Data,

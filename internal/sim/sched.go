@@ -208,6 +208,12 @@ func (s *Scheduler) step() bool {
 	return true
 }
 
+// Step executes the earliest pending event, reporting false when the
+// queue is empty. External drivers (the simnet world's waiter-driven
+// loop) use it to advance virtual time one event at a time while
+// interleaving with application goroutines.
+func (s *Scheduler) Step() bool { return s.step() }
+
 // Run executes events until the queue drains or Stop is called. It
 // returns the number of events executed by this call.
 func (s *Scheduler) Run() uint64 {

@@ -1,0 +1,120 @@
+// Package natcheckapi exposes the reproduced NAT Check measurement
+// tool (§6.1 of the paper) through a public surface: pick a device
+// from the Table 1 vendor populations (or a behavior profile by
+// name), run the three-server check against it in a fresh simulated
+// world, and read off what a survey volunteer would have submitted.
+package natcheckapi
+
+import (
+	"fmt"
+
+	"natpunch/internal/host"
+	"natpunch/internal/natcheck"
+	"natpunch/internal/topo"
+	"natpunch/internal/vendors"
+)
+
+// Result is NAT Check's outcome for one device, mirroring the Table 1
+// columns.
+type Result struct {
+	Vendor   string
+	Device   int
+	Behavior string
+
+	// UDP results (§6.1.1).
+	UDPConsistent bool // consistent translation, the §5.1 precondition
+	UDPFilters    bool // unsolicited UDP was filtered
+	UDPHairpin    bool
+	UDPPunch      bool // §6.2 criterion
+
+	// TCP results (§6.1.2).
+	TCPConsistent bool
+	SYNBehavior   string // what happened to the unsolicited SYN
+	TCPHairpin    bool
+	TCPPunch      bool // §6.2 criterion
+}
+
+// Vendors lists the Table 1 vendor names.
+func Vendors() []string {
+	names := make([]string, len(vendors.Table1))
+	for i, row := range vendors.Table1 {
+		names[i] = row.Name
+	}
+	return names
+}
+
+// DeviceCount returns how many simulated devices the named vendor's
+// Table 1 row expands into (0 for unknown vendors).
+func DeviceCount(vendor string) int {
+	for _, row := range vendors.Table1 {
+		if row.Name == vendor {
+			return len(vendors.Devices(row))
+		}
+	}
+	return 0
+}
+
+// CheckDevice runs NAT Check against device index of the named
+// Table 1 vendor, in a fresh world derived from seed.
+func CheckDevice(vendor string, index int, seed int64) (Result, error) {
+	for _, row := range vendors.Table1 {
+		if row.Name != vendor {
+			continue
+		}
+		devs := vendors.Devices(row)
+		if index < 0 || index >= len(devs) {
+			return Result{}, fmt.Errorf("natcheckapi: %s has no device %d", vendor, index)
+		}
+		dev := devs[index]
+		r, err := run(dev, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		r.Vendor = vendor
+		r.Device = dev.Index
+		r.Behavior = dev.Behavior.String()
+		return r, nil
+	}
+	return Result{}, fmt.Errorf("natcheckapi: unknown vendor %q", vendor)
+}
+
+// run builds the canonical three-server measurement topology, places
+// the device under test in front of one client, and runs the check to
+// completion. The world derives from (seed, device) so seed sweeps
+// genuinely vary the run.
+func run(dev vendors.Device, seed int64) (Result, error) {
+	in := topo.NewInternet(seed + int64(dev.Index))
+	core := in.CoreRealm()
+	s1 := core.AddHost("s1", "18.181.0.31", host.BSDStyle)
+	s2 := core.AddHost("s2", "18.181.0.32", host.BSDStyle)
+	s3 := core.AddHost("s3", "18.181.0.33", host.BSDStyle)
+	sv, err := natcheck.NewServers(s1, s2, s3)
+	if err != nil {
+		return Result{}, err
+	}
+	realm := core.AddSite("NAT", dev.Behavior, "155.99.25.11", "10.0.0.0/24")
+	client := realm.AddHost("C", "10.0.0.1", host.BSDStyle)
+
+	var report natcheck.Report
+	gotReport := false
+	if err := natcheck.Run(client, sv, 4321, func(r natcheck.Report) {
+		report = r
+		gotReport = true
+	}); err != nil {
+		return Result{}, err
+	}
+	in.RunFor(natcheck.CheckDuration + 10e9)
+	if !gotReport {
+		return Result{}, fmt.Errorf("natcheckapi: check did not complete")
+	}
+	return Result{
+		UDPConsistent: report.UDPConsistent,
+		UDPFilters:    report.UDPFilters,
+		UDPHairpin:    report.UDPHairpin,
+		UDPPunch:      report.SupportsUDPPunch(),
+		TCPConsistent: report.TCPConsistent,
+		SYNBehavior:   report.SYNBehavior.String(),
+		TCPHairpin:    report.TCPHairpin,
+		TCPPunch:      report.SupportsTCPPunch(),
+	}, nil
+}

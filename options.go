@@ -1,0 +1,100 @@
+package natpunch
+
+import (
+	"time"
+
+	"natpunch/internal/ice"
+	"natpunch/internal/punch"
+	"natpunch/transport"
+)
+
+// config collects the effective settings assembled from Options.
+type config struct {
+	punch           punch.Config
+	useICE          bool
+	iceCfg          ice.Config
+	useTCP          bool
+	localPort       transport.Port
+	registerTimeout time.Duration
+}
+
+func defaultConfig() config {
+	return config{registerTimeout: 15 * time.Second}
+}
+
+// Option tunes Open. The zero set yields plain UDP hole punching
+// (§3.2-3.4) with the engine's default timers and no fallback.
+type Option func(*config)
+
+// WithICE layers the candidate-negotiation engine (ICE-lite,
+// internal/ice) over the punching client: dials gather and exchange
+// full candidate lists through S, run prioritized paced connectivity
+// checks with peer-reflexive discovery, and nominate the first
+// candidate that answers — covering same-NAT private paths (§3.3),
+// punched public paths (§3.4), and hairpin paths under multi-level
+// NAT (§3.5) with one policy.
+func WithICE() Option { return func(c *config) { c.useICE = true } }
+
+// WithRelayFallback enables falling back to relaying through S when
+// punching (or every candidate check) fails — the §2.2 floor that
+// always works while both peers can reach S.
+func WithRelayFallback() Option { return func(c *config) { c.punch.RelayFallback = true } }
+
+// WithKeepAlive tunes §3.6 session maintenance: interval paces
+// session and registration keep-alives; deadAfter declares a session
+// dead when nothing has been received for that long (surfaced as a
+// read error on the Conn, after which the application may re-dial).
+func WithKeepAlive(interval, deadAfter time.Duration) Option {
+	return func(c *config) {
+		c.punch.KeepAliveInterval = interval
+		c.punch.DeadAfter = deadAfter
+	}
+}
+
+// WithTCP switches dialing to TCP hole punching (§4): Conns become
+// reliable byte streams punched with the parallel procedure of §4.2.
+// Requires a transport with the full simulated host stack; real-UDP
+// transports fail Open with an error.
+func WithTCP() Option { return func(c *config) { c.useTCP = true } }
+
+// WithObfuscation one's-complements addresses inside message bodies
+// (§3.1) to defeat NATs that blindly rewrite payload bytes resembling
+// private addresses (§5.3).
+func WithObfuscation() Option { return func(c *config) { c.punch.Obfuscate = true } }
+
+// WithPunchTimeout bounds each dial's punching (or negotiation)
+// phase; at the deadline the relay is nominated when enabled,
+// otherwise the dial fails.
+func WithPunchTimeout(d time.Duration) Option {
+	return func(c *config) {
+		c.punch.PunchTimeout = d
+		c.iceCfg.Timeout = d
+	}
+}
+
+// WithPunchInterval sets the probe retransmission interval.
+func WithPunchInterval(d time.Duration) Option {
+	return func(c *config) {
+		c.punch.PunchInterval = d
+		c.iceCfg.ProbeInterval = d
+	}
+}
+
+// WithCheckPacing staggers successive ICE candidate first-probes
+// (RFC 8445 §6.1.4's pacing, collapsed to one knob). Only meaningful
+// with WithICE.
+func WithCheckPacing(d time.Duration) Option {
+	return func(c *config) { c.iceCfg.Pace = d }
+}
+
+// WithLocalPort binds the endpoint's socket(s) to a specific local
+// port instead of an ephemeral one.
+func WithLocalPort(p uint16) Option {
+	return func(c *config) { c.localPort = transport.Port(p) }
+}
+
+// WithRegisterTimeout bounds how long Open waits (in wall-clock time)
+// for registration with the rendezvous server to complete.
+func WithRegisterTimeout(d time.Duration) Option {
+	return func(c *config) { c.registerTimeout = d }
+}

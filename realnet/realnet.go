@@ -1,16 +1,19 @@
 // Package realnet carries the repository's rendezvous and UDP hole
-// punching protocol over real network sockets (package net), so the
-// same message flow that the simulator validates can run between
-// actual hosts: a rendezvous server observing registrants' public
-// endpoints, clients exchanging candidate endpoints through it, and
-// simultaneous punch probes with nonce authentication.
+// punching protocol over real network sockets, with the blocking,
+// channel-synchronized API the cmd-line tools and tests historically
+// used.
 //
-// It also exposes the SO_REUSEADDR/SO_REUSEPORT socket helpers TCP
-// hole punching needs (§4.1): binding a listener and multiple
-// outgoing connections to one local TCP port.
-//
-// Unlike the simulator packages, this package is concurrent: sockets
-// are read on goroutines and all state is mutex-guarded.
+// Since the transport redesign it is a thin adapter: the rendezvous
+// server is internal/rendezvous running over a natpunch/realudp
+// transport, and the client is internal/punch — the same engine the
+// simulator validates — over another. The adapter therefore inherits
+// everything the engine knows that the old parallel implementation
+// did not: §3.6 keep-alives and idle-death detection, the §2.2 relay
+// fallback, and (through the server) candidate-negotiation brokering
+// for ICE-style clients. New code should prefer the public facade
+// (package natpunch) directly; this package remains for its
+// minimal blocking API and the §4.1 TCP socket-reuse helpers
+// (tcpreuse.go).
 package realnet
 
 import (
@@ -20,175 +23,118 @@ import (
 	"time"
 
 	"natpunch/internal/inet"
-	"natpunch/internal/proto"
+	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
+	"natpunch/realudp"
 )
 
-// toInetEndpoint converts a real UDP address to the wire endpoint
-// representation shared with the simulator's protocol.
-func toInetEndpoint(a *net.UDPAddr) (inet.Endpoint, error) {
-	ip4 := a.IP.To4()
-	if ip4 == nil {
-		return inet.Endpoint{}, fmt.Errorf("realnet: not an IPv4 address: %v", a)
-	}
-	return inet.Endpoint{
-		Addr: inet.AddrFrom4(ip4[0], ip4[1], ip4[2], ip4[3]),
-		Port: inet.Port(a.Port),
-	}, nil
-}
-
-// toUDPAddr converts a wire endpoint back to a dialable address.
-func toUDPAddr(ep inet.Endpoint) *net.UDPAddr {
-	o := ep.Addr.Octets()
-	return &net.UDPAddr{IP: net.IPv4(o[0], o[1], o[2], o[3]), Port: int(ep.Port)}
-}
-
-// Server is a real-socket rendezvous server (UDP only): it records
+// Server is a real-socket rendezvous server (UDP only): the shared
+// internal/rendezvous engine over a realudp transport. It records
 // each registrant's private endpoint (from the message body) and
-// public endpoint (from the datagram source), answers RegisterOK, and
-// forwards connection requests with both endpoint pairs (§3.1-3.2).
+// public endpoint (from the datagram source), answers RegisterOK,
+// forwards connection requests with both endpoint pairs (§3.1-3.2),
+// brokers candidate negotiations, and relays (§2.2).
 type Server struct {
-	conn *net.UDPConn
-
-	mu      sync.Mutex
-	clients map[string]serverClient
-	closed  bool
-}
-
-type serverClient struct {
-	public  inet.Endpoint
-	private inet.Endpoint
-	addr    *net.UDPAddr
+	tr *realudp.Transport
+	rs *rendezvous.Server
 }
 
 // ListenServer starts a rendezvous server on the given UDP address
 // (e.g. "127.0.0.1:0").
 func ListenServer(addr string) (*Server, error) {
-	uaddr, err := net.ResolveUDPAddr("udp4", addr)
+	tr, err := realudp.New(addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp4", uaddr)
+	var rs *rendezvous.Server
+	tr.Invoke(func() { rs, err = rendezvous.NewOver(tr, 0, 0) })
 	if err != nil {
+		tr.Close()
 		return nil, err
 	}
-	s := &Server{conn: conn, clients: make(map[string]serverClient)}
-	go s.loop()
-	return s, nil
+	return &Server{tr: tr, rs: rs}, nil
 }
 
 // Addr returns the server's bound UDP address.
-func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+func (s *Server) Addr() *net.UDPAddr { return s.tr.LocalAddr() }
+
+// Stats returns a copy of the engine's counters.
+func (s *Server) Stats() rendezvous.Stats {
+	var st rendezvous.Stats
+	s.tr.Invoke(func() { st = s.rs.Stats() })
+	return st
+}
 
 // Close stops the server.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	return s.conn.Close()
-}
-
-func (s *Server) loop() {
-	buf := make([]byte, 64<<10)
-	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			return
-		}
-		m, err := proto.Decode(buf[:n])
-		if err != nil {
-			continue
-		}
-		s.handle(m, from)
-	}
-}
-
-func (s *Server) handle(m *proto.Message, from *net.UDPAddr) {
-	pub, err := toInetEndpoint(from)
-	if err != nil {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch m.Type {
-	case proto.TypeRegister:
-		s.clients[m.From] = serverClient{public: pub, private: m.Private, addr: from}
-		s.send(from, &proto.Message{
-			Type: proto.TypeRegisterOK, Target: m.From,
-			Public: pub, Private: m.Private,
-		})
-	case proto.TypeKeepAlive:
-		if c, ok := s.clients[m.From]; ok {
-			c.public, c.addr = pub, from
-			s.clients[m.From] = c
-		}
-	case proto.TypeConnectRequest:
-		a, aok := s.clients[m.From]
-		b, bok := s.clients[m.Target]
-		if !aok || !bok {
-			s.send(from, &proto.Message{Type: proto.TypeError, From: m.Target, Target: m.From})
-			return
-		}
-		// §3.2 step 2: both sides learn both endpoint pairs.
-		s.send(a.addr, &proto.Message{
-			Type: proto.TypeConnectDetails, From: m.Target, Target: m.From,
-			Public: b.public, Private: b.private, Nonce: m.Nonce, Requester: true,
-		})
-		s.send(b.addr, &proto.Message{
-			Type: proto.TypeConnectDetails, From: m.From, Target: m.Target,
-			Public: a.public, Private: a.private, Nonce: m.Nonce,
-		})
-	case proto.TypeRelayTo:
-		if b, ok := s.clients[m.Target]; ok {
-			s.send(b.addr, &proto.Message{
-				Type: proto.TypeRelayed, From: m.From, Target: m.Target,
-				Seq: m.Seq, Data: m.Data,
-			})
-		}
-	}
-}
-
-func (s *Server) send(to *net.UDPAddr, m *proto.Message) {
-	s.conn.WriteToUDP(proto.Encode(m, 0), to)
-}
+func (s *Server) Close() error { return s.tr.Close() }
 
 // --- client ---
 
-// Session is an established real-network UDP session with a peer.
+// Session is an established real-network UDP session with a peer
+// (direct or relayed through S).
 type Session struct {
 	Peer   string
 	Remote *net.UDPAddr
 	Nonce  uint64
 	c      *Client
+	ps     *punch.UDPSession
 }
 
 // Send transmits an authenticated datagram to the peer.
 func (s *Session) Send(data []byte) error {
-	m := &proto.Message{Type: proto.TypeData, From: s.c.name, Nonce: s.Nonce, Data: data}
-	_, err := s.c.conn.WriteToUDP(proto.Encode(m, 0), s.Remote)
+	var err error
+	s.c.tr.Invoke(func() { err = s.ps.Send(data) })
 	return err
 }
 
-// Client is a real-socket punching client.
+// Client is a real-socket punching client: the shared internal/punch
+// engine over a realudp transport, with blocking Register/Connect
+// wrappers.
 type Client struct {
-	name   string
-	server *net.UDPAddr
-	conn   *net.UDPConn
+	name string
+	tr   *realudp.Transport
+	pc   *punch.Client
 
-	mu         sync.Mutex
-	registered chan struct{}
-	regOnce    sync.Once
-	public     inet.Endpoint
-	private    inet.Endpoint
-	attempts   map[uint64]*attempt
-	sessions   map[string]*Session
-
-	// onSession fires for sessions initiated by peers; onData for
-	// authenticated session datagrams. Both are set via SetOnSession/
-	// SetOnData so registration synchronizes with the read loop.
+	mu        sync.Mutex
+	sessions  map[string]*Session
 	onSession func(*Session)
 	onData    func(*Session, []byte)
 
-	closed bool
+	// cbq dispatches application callbacks off the transport loop, so
+	// a callback may freely call back into Send/Connect.
+	cbq *callbackQueue
+}
+
+// NewClient binds a UDP socket on laddr (e.g. "127.0.0.1:0") and
+// prepares to talk to the rendezvous server at serverAddr.
+func NewClient(name, laddr, serverAddr string) (*Client, error) {
+	server, err := realudp.ResolveEndpoint(serverAddr)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := realudp.New(laddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		name:     name,
+		tr:       tr,
+		sessions: make(map[string]*Session),
+		cbq:      newCallbackQueue(),
+	}
+	tr.Invoke(func() {
+		c.pc = punch.NewClientOver(tr, name, server, punch.Config{})
+		err = c.pc.BindUDP(0)
+		c.pc.InboundUDP = punch.UDPCallbacks{
+			Established: func(s *punch.UDPSession) { c.established(s, true) },
+			Data:        c.data,
+		}
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // SetOnSession installs the callback fired for sessions initiated by
@@ -207,244 +153,166 @@ func (c *Client) SetOnData(fn func(*Session, []byte)) {
 	c.mu.Unlock()
 }
 
-type attempt struct {
-	peer    string
-	nonce   uint64
-	passive bool // created by a forwarded connection request
-	result  chan *Session
-	stopped chan struct{}
-	once    sync.Once
-}
-
-// stop halts the attempt's probing loop.
-func (a *attempt) stop() { a.once.Do(func() { close(a.stopped) }) }
-
-// NewClient binds a UDP socket on laddr (e.g. "127.0.0.1:0") and
-// prepares to talk to the rendezvous server at serverAddr.
-func NewClient(name, laddr, serverAddr string) (*Client, error) {
-	srv, err := net.ResolveUDPAddr("udp4", serverAddr)
-	if err != nil {
-		return nil, err
-	}
-	local, err := net.ResolveUDPAddr("udp4", laddr)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := net.ListenUDP("udp4", local)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		name:       name,
-		server:     srv,
-		conn:       conn,
-		registered: make(chan struct{}),
-		attempts:   make(map[uint64]*attempt),
-		sessions:   make(map[string]*Session),
-	}
-	go c.loop()
-	return c, nil
-}
-
 // Close releases the socket.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	c.closed = true
-	c.mu.Unlock()
-	return c.conn.Close()
+	c.tr.Invoke(func() { c.pc.Close() })
+	c.cbq.close()
+	return c.tr.Close()
 }
 
-// Register sends registrations until the server acknowledges or the
-// timeout expires, then returns the observed public endpoint.
+// established wraps an engine session, records it, and (for
+// peer-initiated sessions) schedules the OnSession callback.
+// Runs in engine context.
+func (c *Client) established(ps *punch.UDPSession, inbound bool) *Session {
+	s := &Session{Peer: ps.Peer, Remote: realudp.ToUDPAddr(ps.Remote), Nonce: ps.Nonce, c: c, ps: ps}
+	c.mu.Lock()
+	c.sessions[ps.Peer] = s
+	fn := c.onSession
+	c.mu.Unlock()
+	if inbound {
+		c.cbq.post(func() {
+			if fn != nil {
+				fn(s)
+			}
+		})
+	}
+	return s
+}
+
+// data delivers a session datagram to the application callback.
+// Runs in engine context.
+func (c *Client) data(ps *punch.UDPSession, p []byte) {
+	c.mu.Lock()
+	s := c.sessions[ps.Peer]
+	fn := c.onData
+	c.mu.Unlock()
+	if s == nil || s.ps != ps {
+		return
+	}
+	c.cbq.post(func() {
+		if fn != nil {
+			fn(s, p)
+		}
+	})
+}
+
+// Register sends registrations until the server acknowledges (the
+// engine retries once per second) or the timeout expires, then
+// returns the observed public endpoint.
 func (c *Client) Register(timeout time.Duration) (public inet.Endpoint, err error) {
-	local, err := toInetEndpoint(c.conn.LocalAddr().(*net.UDPAddr))
+	done := make(chan error, 1)
+	c.tr.Invoke(func() {
+		err = c.pc.RegisterUDP(0, func(e error) {
+			select {
+			case done <- e:
+			default:
+			}
+		})
+	})
 	if err != nil {
 		return inet.Endpoint{}, err
 	}
-	c.mu.Lock()
-	c.private = local
-	c.mu.Unlock()
-
-	deadline := time.Now().Add(timeout)
-	for {
-		c.sendToServer(&proto.Message{Type: proto.TypeRegister, From: c.name, Private: local})
-		select {
-		case <-c.registered:
-			c.mu.Lock()
-			pub := c.public
-			c.mu.Unlock()
-			return pub, nil
-		case <-time.After(250 * time.Millisecond):
-			if time.Now().After(deadline) {
-				return inet.Endpoint{}, fmt.Errorf("realnet: registration timed out")
-			}
+	select {
+	case e := <-done:
+		if e != nil {
+			return inet.Endpoint{}, e
 		}
+		var pub inet.Endpoint
+		c.tr.Invoke(func() { pub = c.pc.PublicUDP() })
+		return pub, nil
+	case <-time.After(timeout):
+		return inet.Endpoint{}, fmt.Errorf("realnet: registration timed out")
 	}
 }
 
 // Connect punches a session to the named peer, blocking up to
 // timeout.
 func (c *Client) Connect(peer string, timeout time.Duration) (*Session, error) {
-	nonce := uint64(time.Now().UnixNano()) | 1
-	at := &attempt{peer: peer, nonce: nonce, result: make(chan *Session, 1), stopped: make(chan struct{})}
-	c.mu.Lock()
-	c.attempts[nonce] = at
-	c.mu.Unlock()
-	defer func() {
-		at.stop()
-		c.mu.Lock()
-		delete(c.attempts, nonce)
-		c.mu.Unlock()
-	}()
-
-	c.sendToServer(&proto.Message{Type: proto.TypeConnectRequest, From: c.name, Target: peer, Nonce: nonce})
+	type result struct {
+		s   *Session
+		err error
+	}
+	res := make(chan result, 1)
+	c.tr.Invoke(func() {
+		c.pc.ConnectUDP(peer, punch.UDPCallbacks{
+			Established: func(ps *punch.UDPSession) {
+				res <- result{s: c.established(ps, false)}
+			},
+			Failed: func(_ string, err error) {
+				res <- result{err: err}
+			},
+			Data: c.data,
+		})
+	})
 	select {
-	case s := <-at.result:
-		return s, nil
+	case r := <-res:
+		if r.err != nil {
+			return nil, fmt.Errorf("realnet: punch to %s failed: %w", peer, r.err)
+		}
+		return r.s, nil
 	case <-time.After(timeout):
+		c.tr.Invoke(func() { c.pc.AbortUDP(peer) })
+		// The attempt may have resolved while we were acquiring the
+		// loop; prefer that result over the timeout.
+		select {
+		case r := <-res:
+			if r.err == nil {
+				return r.s, nil
+			}
+		default:
+		}
 		return nil, fmt.Errorf("realnet: punch to %s timed out", peer)
 	}
 }
 
-func (c *Client) sendToServer(m *proto.Message) {
-	c.conn.WriteToUDP(proto.Encode(m, 0), c.server)
+// callbackQueue serializes application callbacks on a goroutine of
+// their own: the engine posts from inside the transport loop without
+// blocking (unbounded buffer), and handlers run lock-free so they may
+// re-enter the client.
+type callbackQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
 }
 
-func (c *Client) loop() {
-	buf := make([]byte, 64<<10)
+func newCallbackQueue() *callbackQueue {
+	q := &callbackQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	go q.run()
+	return q
+}
+
+func (q *callbackQueue) post(fn func()) {
+	q.mu.Lock()
+	if !q.closed {
+		q.queue = append(q.queue, fn)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *callbackQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *callbackQueue) run() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	for {
-		n, from, err := c.conn.ReadFromUDP(buf)
-		if err != nil {
-			return
-		}
-		m, err := proto.Decode(buf[:n])
-		if err != nil {
-			continue // stray traffic (§3.4)
-		}
-		c.handle(m, from)
-	}
-}
-
-func (c *Client) handle(m *proto.Message, from *net.UDPAddr) {
-	switch m.Type {
-	case proto.TypeRegisterOK:
-		c.mu.Lock()
-		c.public = m.Public
-		c.mu.Unlock()
-		c.regOnce.Do(func() { close(c.registered) })
-
-	case proto.TypeConnectDetails:
-		// Both sides probe both candidate endpoints (§3.2 step 3).
-		go c.probe(m)
-
-	case proto.TypePunch:
-		c.mu.Lock()
-		_, known := c.attempts[m.Nonce]
-		if !known {
-			for _, s := range c.sessions {
-				if s.Nonce == m.Nonce {
-					known = true
-					break
-				}
+		for len(q.queue) == 0 {
+			if q.closed {
+				return
 			}
+			q.cond.Wait()
 		}
-		c.mu.Unlock()
-		if known {
-			reply := &proto.Message{Type: proto.TypePunchAck, From: c.name, Nonce: m.Nonce}
-			c.conn.WriteToUDP(proto.Encode(reply, 0), from)
-		}
-
-	case proto.TypePunchAck:
-		c.mu.Lock()
-		at := c.attempts[m.Nonce]
-		var sess *Session
-		if at != nil {
-			delete(c.attempts, m.Nonce)
-			sess = &Session{Peer: at.peer, Remote: from, Nonce: m.Nonce, c: c}
-			c.sessions[at.peer] = sess
-		}
-		onSession := c.onSession
-		c.mu.Unlock()
-		if at == nil {
-			return
-		}
-		at.stop()
-		if at.passive {
-			// Peer-initiated session: surface via the callback.
-			if onSession != nil {
-				onSession(sess)
-			}
-			return
-		}
-		at.result <- sess // buffered; Connect is waiting
-
-	case proto.TypeData, proto.TypeRelayed:
-		c.mu.Lock()
-		s := c.sessions[m.From]
-		var at *attempt
-		var onSession func(*Session)
-		if s == nil && m.Type == proto.TypeData {
-			// With both sides punching, the peer's first data
-			// datagram can overtake the punch-ack that would lock in
-			// our side of the session (UDP preserves no ordering
-			// across the crossing probes). A correctly-nonced payload
-			// from the expected peer is at least as strong evidence
-			// as an ack, so resolve the attempt with it instead of
-			// dropping the data.
-			if a := c.attempts[m.Nonce]; a != nil && a.peer == m.From {
-				at = a
-				delete(c.attempts, m.Nonce)
-				s = &Session{Peer: a.peer, Remote: from, Nonce: m.Nonce, c: c}
-				c.sessions[a.peer] = s
-				onSession = c.onSession
-			}
-		}
-		onData := c.onData
-		c.mu.Unlock()
-		if at != nil {
-			at.stop()
-			if at.passive {
-				if onSession != nil {
-					onSession(s)
-				}
-			} else {
-				at.result <- s // buffered; Connect is waiting
-			}
-		}
-		if s != nil && (m.Type == proto.TypeRelayed || s.Nonce == m.Nonce) && onData != nil {
-			onData(s, m.Data)
-		}
-	}
-}
-
-// probe sends authenticated punch datagrams to the peer's public and
-// private endpoints until the attempt resolves.
-func (c *Client) probe(details *proto.Message) {
-	c.mu.Lock()
-	at := c.attempts[details.Nonce]
-	if at == nil {
-		// Passive side: create the attempt so acks resolve it.
-		at = &attempt{
-			peer: details.From, nonce: details.Nonce, passive: true,
-			result: make(chan *Session, 1), stopped: make(chan struct{}),
-		}
-		c.attempts[details.Nonce] = at
-	}
-	c.mu.Unlock()
-
-	msg := proto.Encode(&proto.Message{Type: proto.TypePunch, From: c.name, Nonce: details.Nonce}, 0)
-	pub, priv := toUDPAddr(details.Public), toUDPAddr(details.Private)
-	ticker := time.NewTicker(100 * time.Millisecond)
-	defer ticker.Stop()
-	for i := 0; i < 100; i++ {
-		c.conn.WriteToUDP(msg, pub)
-		if details.Private != details.Public && !details.Private.IsZero() {
-			c.conn.WriteToUDP(msg, priv)
-		}
-		select {
-		case <-at.stopped:
-			return
-		case <-ticker.C:
-		}
+		fn := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		fn()
+		q.mu.Lock()
 	}
 }

@@ -1,0 +1,246 @@
+// Package realudp implements the natpunch transport seam over real
+// UDP sockets (package net), so the exact engine the simulator
+// validates — internal/punch's hole punching, internal/ice's
+// candidate negotiation, internal/rendezvous's brokering, §3.6
+// keep-alives and idle death, and the §2.2 relay floor — runs
+// between actual hosts.
+//
+// The engine is single-threaded by contract (see natpunch/transport):
+// this implementation serializes everything that enters engine code —
+// socket read loops, wall-clock timer callbacks, and Invoke — on one
+// mutex per Transport. Timer.Stop/Active are only ever called from
+// inside that serialized context, which keeps them lock-free.
+package realudp
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"natpunch/transport"
+)
+
+// seedCounter decorrelates the nonce streams of transports created in
+// the same wall-clock nanosecond.
+var seedCounter atomic.Int64
+
+// Transport carries the natpunch engine over real UDP sockets bound
+// near a configured local address.
+type Transport struct {
+	mu    sync.Mutex
+	laddr *net.UDPAddr
+	start time.Time
+	rng   *rand.Rand
+	conns []*Conn
+	first *Conn
+	done  chan struct{}
+}
+
+// New prepares a transport whose sockets bind at laddr (e.g.
+// "0.0.0.0:0" or "127.0.0.1:0"). No socket is bound until the engine
+// calls BindUDP.
+func New(laddr string) (*Transport, error) {
+	a, err := net.ResolveUDPAddr("udp4", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Transport{
+		laddr: a,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano() + seedCounter.Add(1)<<32)),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// BindUDP binds a socket. Port 0 uses the transport's configured
+// local address verbatim; a non-zero port overrides the configured
+// port (relay allocations bind consecutive ports this way).
+func (t *Transport) BindUDP(port transport.Port) (transport.UDPConn, error) {
+	addr := *t.laddr
+	if port != 0 {
+		addr.Port = int(port)
+	}
+	uc, err := net.ListenUDP("udp4", &addr)
+	if err != nil {
+		return nil, err
+	}
+	local, err := ToEndpoint(uc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		uc.Close()
+		return nil, err
+	}
+	c := &Conn{t: t, c: uc, local: local}
+	t.conns = append(t.conns, c)
+	if t.first == nil {
+		t.first = c
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// After schedules fn on a wall-clock timer, serialized with datagram
+// delivery.
+func (t *Transport) After(d time.Duration, fn func()) transport.Timer {
+	tm := &timer{}
+	tm.t = time.AfterFunc(d, func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if tm.stopped {
+			return
+		}
+		select {
+		case <-t.done:
+			return // transport closed
+		default:
+		}
+		tm.fired = true
+		fn()
+	})
+	return tm
+}
+
+// Now returns monotonic elapsed wall time since the transport was
+// created.
+func (t *Transport) Now() time.Duration { return time.Since(t.start) }
+
+// Rand returns the transport's (wall-clock seeded) randomness source.
+func (t *Transport) Rand() *rand.Rand { return t.rng }
+
+// Invoke runs fn serialized with delivery and timer callbacks. It
+// must not be called from inside an engine callback (the engine never
+// does; adapters dispatch application callbacks off-loop instead).
+func (t *Transport) Invoke(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fn()
+}
+
+// LocalAddr returns the real bound address of the transport's first
+// socket, or nil before any BindUDP.
+func (t *Transport) LocalAddr() *net.UDPAddr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.first == nil {
+		return nil
+	}
+	return t.first.c.LocalAddr().(*net.UDPAddr)
+}
+
+// Close tears down every socket; read loops exit and pending timers
+// become no-ops.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		return nil
+	default:
+		close(t.done)
+	}
+	for _, c := range t.conns {
+		c.closed = true
+		c.c.Close()
+	}
+	t.conns = nil
+	return nil
+}
+
+// timer is a wall-clock transport.Timer. Stop/Active run only inside
+// the transport's serialized context (engine contract), so plain
+// fields suffice.
+type timer struct {
+	t       *time.Timer
+	fired   bool
+	stopped bool
+}
+
+func (tm *timer) Stop() bool {
+	if tm.fired || tm.stopped {
+		return false
+	}
+	tm.stopped = true
+	tm.t.Stop()
+	return true
+}
+
+func (tm *timer) Active() bool { return !tm.fired && !tm.stopped }
+
+// Conn is one bound real UDP socket.
+type Conn struct {
+	t      *Transport
+	c      *net.UDPConn
+	local  transport.Endpoint
+	onRecv func(from transport.Endpoint, payload []byte)
+	closed bool
+}
+
+// Local returns the socket's bound endpoint (the private endpoint of
+// §3.1; 0.0.0.0 when bound to the wildcard address, exactly as the
+// kernel reports it).
+func (c *Conn) Local() transport.Endpoint { return c.local }
+
+// OnRecv installs the delivery callback (engine context only).
+func (c *Conn) OnRecv(fn func(from transport.Endpoint, payload []byte)) { c.onRecv = fn }
+
+// SendTo transmits one datagram.
+func (c *Conn) SendTo(to transport.Endpoint, payload []byte) error {
+	_, err := c.c.WriteToUDP(payload, ToUDPAddr(to))
+	return err
+}
+
+// Close releases the socket; the read loop exits.
+func (c *Conn) Close() {
+	c.closed = true
+	c.c.Close()
+}
+
+func (c *Conn) readLoop() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := c.c.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		ep, err := ToEndpoint(from)
+		if err != nil {
+			continue
+		}
+		payload := append([]byte(nil), buf[:n]...)
+		c.t.mu.Lock()
+		if !c.closed && c.onRecv != nil {
+			c.onRecv(ep, payload)
+		}
+		c.t.mu.Unlock()
+	}
+}
+
+// ToEndpoint converts a real UDP address to the engine's wire
+// endpoint representation.
+func ToEndpoint(a *net.UDPAddr) (transport.Endpoint, error) {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return transport.Endpoint{}, fmt.Errorf("realudp: not an IPv4 address: %v", a)
+	}
+	var addr transport.Addr
+	addr = transport.Addr(uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3]))
+	return transport.Endpoint{Addr: addr, Port: transport.Port(a.Port)}, nil
+}
+
+// ToUDPAddr converts a wire endpoint back to a dialable address.
+func ToUDPAddr(ep transport.Endpoint) *net.UDPAddr {
+	o := ep.Addr.Octets()
+	return &net.UDPAddr{IP: net.IPv4(o[0], o[1], o[2], o[3]), Port: int(ep.Port)}
+}
+
+// ResolveEndpoint resolves "host:port" (names allowed) to a wire
+// endpoint.
+func ResolveEndpoint(s string) (transport.Endpoint, error) {
+	a, err := net.ResolveUDPAddr("udp4", s)
+	if err != nil {
+		return transport.Endpoint{}, err
+	}
+	return ToEndpoint(a)
+}

@@ -1,0 +1,65 @@
+// Package rendezvousapi runs the well-known rendezvous server S of
+// the paper (§3.1-3.2) over any natpunch transport: registration with
+// observed-public-endpoint reporting, connection-request forwarding
+// with both endpoint pairs, candidate-negotiation brokering for
+// WithICE dialers, relaying (§2.2), and reversal/sequential-punch
+// signalling.
+//
+// One Serve call covers both worlds: pass a simnet host's Transport
+// to anchor a simulated deployment, or a realudp Transport to run the
+// production server on a real socket (cmd/rendezvous does exactly
+// that). Over a simulated host the server additionally listens on
+// TCP for the §4 procedures; UDP-only transports serve the UDP
+// surface alone.
+package rendezvousapi
+
+import (
+	"natpunch/internal/rendezvous"
+	"natpunch/transport"
+)
+
+// Stats counts server activity, including the relay load that makes
+// pure relaying unattractive (§2.2).
+type Stats = rendezvous.Stats
+
+// Server is a running rendezvous server.
+type Server struct {
+	tr transport.Transport
+	s  *rendezvous.Server
+}
+
+// Serve starts a rendezvous server on tr at port (0 uses the
+// transport's configured or an ephemeral port).
+func Serve(tr transport.Transport, port uint16) (*Server, error) {
+	var s *rendezvous.Server
+	var err error
+	tr.Invoke(func() { s, err = rendezvous.NewOver(tr, transport.Port(port), 0) })
+	if err != nil {
+		return nil, err
+	}
+	return &Server{tr: tr, s: s}, nil
+}
+
+// Endpoint returns the server's bound endpoint. Over a transport
+// bound to a specific address (every simnet host, or realudp on
+// "127.0.0.1:0") this is directly dialable; over a wildcard-bound
+// realudp transport ("0.0.0.0:7000") it reports 0.0.0.0 verbatim —
+// advertise the host's routable address to remote clients instead,
+// as cmd/rendezvous operators do.
+func (s *Server) Endpoint() transport.Endpoint {
+	var ep transport.Endpoint
+	s.tr.Invoke(func() { ep = s.s.Endpoint() })
+	return ep
+}
+
+// Stats returns a copy of the server's counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	s.tr.Invoke(func() { st = s.s.Stats() })
+	return st
+}
+
+// Close releases the server's sockets.
+func (s *Server) Close() {
+	s.tr.Invoke(func() { s.s.Close() })
+}

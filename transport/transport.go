@@ -1,0 +1,121 @@
+// Package transport defines the seam between the natpunch engine and
+// the network it runs on: a small sockets-and-timers interface that
+// the hole-punching client (internal/punch), the candidate-negotiation
+// engine (internal/ice), the rendezvous server (internal/rendezvous),
+// and the TURN-style relay (internal/relay) are written against.
+//
+// Two implementations ship with the repository:
+//
+//   - the deterministic discrete-event simulator (a *host.Host adapts
+//     itself via Host.Transport; package natpunch/simnet wraps whole
+//     simulated worlds for the public facade), and
+//   - real UDP sockets (package natpunch/realudp), where timers are
+//     wall-clock timers and datagrams cross genuine kernel sockets.
+//
+// Because the engine speaks only this interface, the same protocol
+// code — registration, punching, candidate checks, relay fallback,
+// §3.6 keep-alives and idle-death — runs identically over both. That
+// is the repository's layering: facade (natpunch) → engine
+// (internal/*) → transport (this package and its implementations).
+//
+// # Concurrency contract
+//
+// The engine is single-threaded by construction: it never locks. A
+// Transport implementation must therefore serialize everything that
+// enters engine code — datagram delivery callbacks, timer callbacks,
+// and work submitted through Invoke all run mutually excluded, and
+// the engine only ever calls BindUDP, After, Now, and Rand from
+// inside that serialized context. Application-side callers (the
+// facade, adapters, tests) must enter the engine exclusively through
+// Invoke.
+//
+// Timer.Stop and Timer.Active are likewise only called from inside
+// the serialized context, which is what lets the real-socket
+// implementation keep them lock-free.
+package transport
+
+import (
+	"math/rand"
+	"time"
+
+	"natpunch/internal/inet"
+)
+
+// Endpoint is a transport address: an (IPv4 address, port) pair, the
+// unit of NAT translation throughout the paper (§2.1). It is an alias
+// for the engine's wire-level endpoint type, so values flow between
+// the public API and the engine without conversion.
+type Endpoint = inet.Endpoint
+
+// Addr is an IPv4 address in host byte order.
+type Addr = inet.Addr
+
+// Port is a 16-bit transport port number.
+type Port = inet.Port
+
+// ParseEndpoint parses "addr:port" notation, e.g. "155.99.25.11:62000".
+func ParseEndpoint(s string) (Endpoint, error) { return inet.ParseEndpoint(s) }
+
+// MustParseEndpoint is ParseEndpoint that panics on error.
+func MustParseEndpoint(s string) Endpoint { return inet.MustParseEndpoint(s) }
+
+// ParseAddr parses a dotted-quad IPv4 address such as "155.99.25.11".
+func ParseAddr(s string) (Addr, error) { return inet.ParseAddr(s) }
+
+// Timer is a handle to a scheduled callback, allowing cancellation.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending
+	// (false if it already fired or was stopped).
+	Stop() bool
+	// Active reports whether the timer is still pending.
+	Active() bool
+}
+
+// UDPConn is one bound UDP socket.
+type UDPConn interface {
+	// Local returns the socket's bound endpoint — the client's
+	// *private endpoint* in the paper's terminology (§3.1).
+	Local() Endpoint
+	// OnRecv installs the datagram delivery callback. The callback
+	// runs inside the transport's serialized context.
+	OnRecv(fn func(from Endpoint, payload []byte))
+	// SendTo transmits one datagram to the given endpoint.
+	SendTo(to Endpoint, payload []byte) error
+	// Close releases the socket and its port.
+	Close()
+}
+
+// Transport is the engine's view of a network stack: sockets, timers,
+// a clock, and a randomness source. See the package comment for the
+// concurrency contract.
+type Transport interface {
+	// BindUDP binds a UDP socket. Port 0 requests an ephemeral port
+	// (or, for socket-per-transport implementations like realudp, the
+	// transport's configured local address).
+	BindUDP(port Port) (UDPConn, error)
+	// After schedules fn to run d from now in the transport's
+	// serialized context.
+	After(d time.Duration, fn func()) Timer
+	// Now returns the transport's clock: virtual time for the
+	// simulator, monotonic elapsed wall time for real sockets. Only
+	// differences of Now values are meaningful.
+	Now() time.Duration
+	// Rand returns the randomness source used for nonces and any
+	// randomized protocol behavior. Deterministic transports return a
+	// seeded source so runs are reproducible.
+	Rand() *rand.Rand
+	// Invoke runs fn serialized with all delivery and timer
+	// callbacks. It is the only way application-side code may enter
+	// engine state; fn must not call Invoke recursively.
+	Invoke(fn func())
+}
+
+// Waiter is an optional Transport capability for virtual-time
+// implementations: the facade brackets every blocking wait (dial,
+// read, accept) with AddWaiter/RemoveWaiter, and the simulated world
+// only advances virtual time while at least one waiter is blocked.
+// Real-time transports simply do not implement it.
+type Waiter interface {
+	AddWaiter()
+	RemoveWaiter()
+}

@@ -13,6 +13,11 @@
 // Add -ice for full candidate negotiation (private/public/hairpin
 // candidates with peer-reflexive discovery) and -relay to fall back
 // to relaying through the server when punching fails.
+//
+// Against a federated deployment, -servers pools extra rendezvous
+// servers (home by stable hashing, the rest is the failover order)
+// and -relay-servers parks the §2.2 fallback on dedicated relay
+// hosts (cmd/rendezvous -relay-only).
 package main
 
 import (
@@ -20,15 +25,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"natpunch"
 	"natpunch/realudp"
+	"natpunch/transport"
 )
 
 func main() {
 	name := flag.String("name", "", "client name to register")
 	server := flag.String("server", "127.0.0.1:7000", "rendezvous server address")
+	servers := flag.String("servers", "", "extra rendezvous servers to pool for failover (host:port,...)")
+	relayServers := flag.String("relay-servers", "", "standalone relay servers for the §2.2 fallback (host:port,...)")
 	peer := flag.String("peer", "", "peer name to punch to (empty: wait for peers)")
 	wait := flag.Bool("wait", false, "stay online waiting for inbound sessions")
 	timeout := flag.Duration("timeout", 15*time.Second, "punch timeout")
@@ -62,13 +71,35 @@ func main() {
 	if *useRelay {
 		opts = append(opts, natpunch.WithRelayFallback())
 	}
+	resolveList := func(csv string) []transport.Endpoint {
+		var eps []transport.Endpoint
+		if csv == "" {
+			return nil
+		}
+		for _, s := range strings.Split(csv, ",") {
+			ep, err := realudp.ResolveEndpoint(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			eps = append(eps, ep)
+		}
+		return eps
+	}
+	if pool := resolveList(*servers); len(pool) > 0 {
+		opts = append(opts, natpunch.Servers(pool...))
+	}
+	if relays := resolveList(*relayServers); len(relays) > 0 {
+		opts = append(opts, natpunch.WithRelayServers(relays...))
+	}
 	d, err := natpunch.Open(tr, *name, serverEP, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer d.Close()
-	fmt.Printf("registered as %q; public endpoint %s\n", *name, d.PublicAddr())
+	fmt.Printf("registered as %q; public endpoint %s, home server %s\n",
+		*name, d.PublicAddr(), d.ServerEndpoint())
 
 	ln, err := d.Listen()
 	if err != nil {

@@ -189,6 +189,114 @@ func classOf(path string) string {
 	return "direct"
 }
 
+// makeSimFedPair splits the rendezvous tier in two inside one
+// simulated world: alice homes on S1, bob on S2, servers federated.
+func makeSimFedPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
+	t.Helper()
+	natA, natB := simnet.Cone(), simnet.Cone()
+	if blockDirect {
+		natA, natB = simnet.Symmetric(), simnet.Symmetric()
+	}
+	w := simnet.NewWorld(42)
+	t.Cleanup(w.Close)
+	core := w.Core()
+	s1, err := rendezvousapi.Serve(core.AddHost("S1", "18.181.0.31").Transport(), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rendezvousapi.Serve(core.AddHost("S2", "18.181.0.32").Transport(), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Join(s2.Endpoint())
+	hostA := core.AddSite("NAT-A", natA, "155.99.25.11", "10.0.0.0/24").AddHost("A", "10.0.0.1")
+	hostB := core.AddSite("NAT-B", natB, "138.76.29.7", "10.1.1.0/24").AddHost("B", "10.1.1.3")
+	alice, err := Open(hostA.Transport(), "alice", s1.Endpoint(), conformanceOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { alice.Close() })
+	bob, err := Open(hostB.Transport(), "bob", s2.Endpoint(), conformanceOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bob.Close() })
+	return alice, bob
+}
+
+// makeRealFedPair is makeSimFedPair over loopback real sockets.
+func makeRealFedPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
+	t.Helper()
+	requireLoopbackUDP(t)
+	serve := func(peers ...transport.Endpoint) *rendezvousapi.Server {
+		tr, err := realudp.New("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		srv, err := rendezvousapi.Serve(tr, 0, rendezvousapi.WithPeers(peers...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	s1 := serve()
+	s2 := serve(s1.Endpoint())
+	open := func(name string, server transport.Endpoint) *Dialer {
+		tr, err := realudp.New("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		d, err := Open(tr, name, server, conformanceOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	alice, bob := open("alice", s1.Endpoint()), open("bob", s2.Endpoint())
+	if blockDirect {
+		dropProbes(alice)
+		dropProbes(bob)
+	}
+	return alice, bob
+}
+
+// TestConformanceCrossServer pins the federated deployment across
+// backends: a cross-server dial must land in the same outcome class
+// on the simulator and on loopback real UDP — and in the same class
+// as the single-server scenarios above.
+func TestConformanceCrossServer(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		blockDirect bool
+		want        string
+	}{
+		{"direct", false, "direct"},
+		{"relay-floor", true, "relay"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			simA, simB := makeSimFedPair(t, tc.blockDirect)
+			simDial, simAccept := runScenario(t, simA, simB)
+
+			realA, realB := makeRealFedPair(t, tc.blockDirect)
+			realDial, realAccept := runScenario(t, realA, realB)
+
+			for _, c := range []struct{ name, sim, real string }{
+				{"dial side", simDial, realDial},
+				{"accept side", simAccept, realAccept},
+			} {
+				if classOf(c.sim) != tc.want || classOf(c.real) != tc.want {
+					t.Errorf("%s: cross-server outcome classes diverge or are not %s: sim=%s real=%s",
+						c.name, tc.want, c.sim, c.real)
+				}
+			}
+		})
+	}
+}
+
 func TestConformanceDirectClass(t *testing.T) {
 	simA, simB := makeSimPair(t, false)
 	simDial, simAccept := runScenario(t, simA, simB)

@@ -9,6 +9,7 @@ import (
 
 	"natpunch/internal/ice"
 	"natpunch/internal/punch"
+	"natpunch/internal/rendezvous"
 	"natpunch/transport"
 )
 
@@ -27,6 +28,16 @@ var (
 	// ErrListening is returned by Listen when a listener is already
 	// active.
 	ErrListening = errors.New("natpunch: already listening")
+	// ErrUnknownPeer is returned by Dial when the rendezvous tier has
+	// no live registration for the peer — it never registered, or its
+	// registration's TTL expired after its §3.6 keep-alives stopped
+	// (a silent peer is purged rather than receiving forwards
+	// forever). The dial fails fast on the server's error reply, not
+	// by punch timeout.
+	ErrUnknownPeer = errors.New("natpunch: peer not registered with any rendezvous server")
+	// ErrNoServer is returned by Open when neither the server argument
+	// nor the Servers option supplies a rendezvous endpoint.
+	ErrNoServer = errors.New("natpunch: no rendezvous server given")
 )
 
 // Dialer is one named peer-to-peer endpoint: a transport socket
@@ -54,14 +65,34 @@ type Dialer struct {
 	closed   bool
 }
 
-// Open registers a named endpoint with the rendezvous server at
-// server and returns its Dialer. The call blocks until registration
-// completes (bounded by WithRegisterTimeout).
+// Open registers a named endpoint with the rendezvous tier and
+// returns its Dialer. The call blocks until registration completes
+// (bounded by WithRegisterTimeout).
+//
+// server is the rendezvous server's endpoint; the Servers option
+// pools more. With a pool, the endpoint's home server is chosen by
+// stable rendezvous hashing of name (the whole deployment agrees on
+// the owner) and the remaining members are the failover order. A
+// zero server endpoint is allowed when Servers supplies the pool.
 func Open(tr transport.Transport, name string, server transport.Endpoint, opts ...Option) (*Dialer, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
+	pool := make([]transport.Endpoint, 0, len(cfg.servers)+1)
+	seen := make(map[transport.Endpoint]bool)
+	for _, ep := range append([]transport.Endpoint{server}, cfg.servers...) {
+		if ep.IsZero() || seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		pool = append(pool, ep)
+	}
+	if len(pool) == 0 {
+		return nil, ErrNoServer
+	}
+	pool = rendezvous.Preference(name, pool)
+
 	d := &Dialer{tr: tr, name: name, cfg: cfg, conns: make(map[any]*Conn)}
 	if w, ok := tr.(transport.Waiter); ok {
 		d.waiter = w
@@ -71,7 +102,10 @@ func Open(tr transport.Transport, name string, server transport.Endpoint, opts .
 	regWait := 1
 	var err error
 	tr.Invoke(func() {
-		d.client = punch.NewClientOver(tr, name, server, cfg.punch)
+		d.client = punch.NewClientOver(tr, name, pool[0], cfg.punch)
+		if len(pool) > 1 {
+			d.client.SetServerPool(pool)
+		}
 		d.client.InboundUDP = punch.UDPCallbacks{
 			Established: func(s *punch.UDPSession) { d.inbound(d.newUDPConn(s)) },
 			Data:        d.udpData,
@@ -152,6 +186,23 @@ func (d *Dialer) LocalAddr() Addr {
 	return Addr{ep: ep}
 }
 
+// ServerEndpoint returns the rendezvous server currently homing this
+// endpoint — the pool head chosen by stable hashing, until failover
+// re-homes it.
+func (d *Dialer) ServerEndpoint() transport.Endpoint {
+	var ep transport.Endpoint
+	d.tr.Invoke(func() { ep = d.client.Server() })
+	return ep
+}
+
+// Failovers reports how many times this endpoint has re-homed to
+// another pool server after its home went silent.
+func (d *Dialer) Failovers() int {
+	var n int
+	d.tr.Invoke(func() { n = d.client.Failovers })
+	return n
+}
+
 // Dial establishes a session with the named peer using the default
 // background context.
 func (d *Dialer) Dial(peer string) (*Conn, error) {
@@ -213,6 +264,13 @@ func (d *Dialer) DialContext(ctx context.Context, peer string) (*Conn, error) {
 	select {
 	case r := <-ch:
 		if r.err != nil {
+			if errors.Is(r.err, punch.ErrPeerUnknown) {
+				// The rendezvous tier answered authoritatively: no live
+				// registration (never registered, or TTL-purged after
+				// its keep-alives stopped). Fail fast under the public
+				// name.
+				return nil, fmt.Errorf("natpunch: dial %s: %w", peer, ErrUnknownPeer)
+			}
 			return nil, fmt.Errorf("natpunch: dial %s: %w", peer, r.err)
 		}
 		return r.conn, nil

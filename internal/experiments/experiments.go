@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"E17", "Aggregate: connector method distribution over population", ConnectorAggregate},
 		{"E-FLEET", "Fleet: population-scale churn over the Table 1 NAT mix", FleetChurn},
 		{"E-ICE", "ICE: candidate negotiation across heterogeneous fleet topologies", ICECandidates},
+		{"E-FED", "Federation: sharded rendezvous tier, load skew, and mid-run server loss", Federation},
 	}
 }
 

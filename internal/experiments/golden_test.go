@@ -85,6 +85,32 @@ func TestFleetRenderGolden(t *testing.T) {
 	goldenCompare(t, "e_fleet_render.golden", fleetResult(scenarios, reports).String())
 }
 
+func TestFedRenderGolden(t *testing.T) {
+	scenarios := []fedScenario{
+		{name: "one", desc: "synthetic single server"},
+		{name: "pair-kill", desc: "synthetic pair with a kill"},
+	}
+	reports := []fleet.Report{
+		{
+			Seed: 1, Attempts: 30, Public: 24, Relay: 6,
+			PerServer: []fleet.ServerLoad{
+				{Index: 0, Homed: 20, Stats: rendezvous.Stats{RegistrationsUDP: 20, ConnectRequests: 28, RelayedMessages: 40}},
+			},
+			Server: rendezvous.Stats{RegistrationsUDP: 20, ConnectRequests: 28, RelayedMessages: 40},
+		},
+		{
+			Seed: 2, Attempts: 22, Public: 18, Relay: 4,
+			Failovers: 7, ServerKilledAt: 5 * time.Minute,
+			PerServer: []fleet.ServerLoad{
+				{Index: 0, Homed: 11, Stats: rendezvous.Stats{RegistrationsUDP: 11, ConnectRequests: 9, FedRecords: 30, FedForwards: 12}},
+				{Index: 1, Homed: 9, Stats: rendezvous.Stats{RegistrationsUDP: 20, ConnectRequests: 19, RelayedMessages: 25, FedRecords: 41, FedForwards: 8}},
+			},
+			Server: rendezvous.Stats{RegistrationsUDP: 31, ConnectRequests: 28, RelayedMessages: 25, FedRecords: 71, FedForwards: 20},
+		},
+	}
+	goldenCompare(t, "e_fed_render.golden", fedResult(scenarios, reports).String())
+}
+
 func TestICERenderGolden(t *testing.T) {
 	scenarios := []iceScenario{
 		{name: "gamma", desc: "synthetic topology mix"},

@@ -44,6 +44,18 @@ type Config struct {
 	// Peers is the total population (sites built at setup; each joins
 	// the overlay at its arrival time). Default 100.
 	Peers int
+	// Servers is the size of the federated rendezvous tier (default
+	// 1). Servers are full-meshed at startup; every peer's home
+	// server is chosen by stable rendezvous hashing of its name, and
+	// the rest of the tier is its failover pool.
+	Servers int
+	// KillServerAt, when positive, closes server KillServer's sockets
+	// at that simulated time — the mid-run failure the failover
+	// machinery must absorb. Peers homed there re-home to the next
+	// server in their preference order after their keep-alive grace.
+	KillServerAt time.Duration
+	// KillServer indexes the server KillServerAt kills.
+	KillServer int
 	// PublicFraction is the probability that a peer is un-NATed
 	// (attached directly to the public core). Default 0.
 	PublicFraction float64
@@ -108,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.AppDataEvery == 0 {
 		c.AppDataEvery = 20 * time.Second
 	}
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
 	if c.Mix == nil {
 		c.Mix = Table1Mix()
 	}
@@ -163,10 +178,11 @@ type attemptKeys struct {
 
 // Fleet owns one run. Construct with Run.
 type Fleet struct {
-	cfg Config
-	in  *topo.Internet
-	srv *rendezvous.Server
-	rng *rand.Rand
+	cfg  Config
+	in   *topo.Internet
+	srvs []*rendezvous.Server
+	eps  []inet.Endpoint
+	rng  *rand.Rand
 
 	peers  []*peer
 	byName map[string]*peer
@@ -176,6 +192,11 @@ type Fleet struct {
 	topos        map[string]*TopoStat
 	rep          Report
 	sessionsOpen int
+	// born timestamps initiated sessions, so a server kill can be
+	// audited: direct sessions established before the kill must
+	// survive it (they are peer-to-peer; only transient sessions from
+	// the failover window may die).
+	born map[*punch.UDPSession]time.Duration
 }
 
 // Run executes one fleet simulation and returns its aggregate report.
@@ -187,27 +208,47 @@ func Run(seed int64, cfg Config) Report {
 	return f.rep
 }
 
-// build constructs the topology (core, rendezvous server, every
-// site) and schedules the arrival process.
+// build constructs the topology (core, the federated rendezvous
+// tier, every site) and schedules the arrival process.
 func build(seed int64, cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
 	in := topo.NewInternet(seed)
 	core := in.CoreRealm()
-	s := core.AddHost("S", "18.181.0.31", host.BSDStyle)
-	srv, err := rendezvous.New(s, serverPort, 0)
-	if err != nil {
-		panic(err)
-	}
 	f := &Fleet{
 		cfg:    cfg,
 		in:     in,
-		srv:    srv,
 		rng:    in.Net.Sched.Rand(),
 		byName: make(map[string]*peer),
 		pairs:  make(map[string]*PairStat),
 		topos:  make(map[string]*TopoStat),
+		born:   make(map[*punch.UDPSession]time.Duration),
 	}
 	f.rep.Seed = seed
+	// The rendezvous tier: cfg.Servers hosts at consecutive public
+	// addresses, federated as a full mesh before any peer arrives.
+	for i := 0; i < cfg.Servers; i++ {
+		s := core.AddHost(fmt.Sprintf("S%d", i),
+			inet.AddrFrom4(18, 181, 0, byte(31+i)).String(), host.BSDStyle)
+		srv, err := rendezvous.New(s, serverPort, 0)
+		if err != nil {
+			panic(err)
+		}
+		f.srvs = append(f.srvs, srv)
+		f.eps = append(f.eps, srv.Endpoint())
+	}
+	for i, srv := range f.srvs {
+		for j, ep := range f.eps {
+			if i != j {
+				srv.Join(ep)
+			}
+		}
+	}
+	if cfg.KillServerAt > 0 && cfg.KillServer >= 0 && cfg.KillServer < len(f.srvs) {
+		in.Net.Sched.At(cfg.KillServerAt, func() {
+			f.srvs[cfg.KillServer].Close()
+			f.rep.ServerKilledAt = cfg.KillServerAt
+		})
+	}
 
 	mixTotal := 0
 	for _, w := range cfg.Mix {
@@ -341,7 +382,12 @@ func (f *Fleet) arrive(p *peer) {
 		f.rep.Arrivals++
 		p.everJoined = true
 	}
-	c := punch.NewClient(p.host, p.name, f.srv.Endpoint(), f.cfg.Punch)
+	order := rendezvous.Preference(p.name, f.eps)
+	c := punch.NewClient(p.host, p.name, order[0], f.cfg.Punch)
+	if len(order) > 1 {
+		c.SetServerPool(order)
+		c.OnServerSwitch = func(_, _ inet.Endpoint) { f.rep.Failovers++ }
+	}
 	c.InboundUDP = punch.UDPCallbacks{
 		Established: func(s *punch.UDPSession) { f.adopt(p, s, false) },
 		Data:        func(s *punch.UDPSession, payload []byte) { f.appData(p, s, payload) },
@@ -552,6 +598,7 @@ func (f *Fleet) adopt(p *peer, s *punch.UDPSession, initiated bool) {
 		if f.sessionsOpen > f.rep.PeakSessions {
 			f.rep.PeakSessions = f.sessionsOpen
 		}
+		f.born[s] = f.in.Net.Sched.Now()
 		f.schedulePing(p, s)
 	}
 	s.OnDead(func(ds *punch.UDPSession) { f.sessionDead(p, ds) })
@@ -570,6 +617,14 @@ func (f *Fleet) sessionDead(p *peer, s *punch.UDPSession) {
 	delete(p.initiated, s.Peer)
 	f.sessionsOpen--
 	f.rep.DeadSessions++
+	if birth, ok := f.born[s]; ok {
+		delete(f.born, s)
+		if f.rep.ServerKilledAt > 0 && birth < f.rep.ServerKilledAt && s.Via != punch.MethodRelay {
+			// A peer-to-peer session that predates the server kill died
+			// after it: the kill broke something it must not touch.
+			f.rep.PreKillDirectDeaths++
+		}
+	}
 	q := f.byName[s.Peer]
 	if _, busy := p.inflight[s.Peer]; p.online && q != nil && q.online && !busy {
 		f.rep.Repunches++
@@ -641,7 +696,25 @@ func (f *Fleet) finish() {
 	for _, ts := range f.topos {
 		f.rep.Topos = append(f.rep.Topos, *ts)
 	}
-	f.rep.Server = f.srv.Stats()
+	// Per-server load: stats per instance plus how many peers the
+	// stable hash homes there; Server stays the tier-wide aggregate.
+	homed := make([]int, len(f.srvs))
+	for _, p := range f.peers {
+		owner := rendezvous.Owner(p.name, f.eps)
+		for i, ep := range f.eps {
+			if ep == owner {
+				homed[i]++
+				break
+			}
+		}
+	}
+	for i, srv := range f.srvs {
+		st := srv.Stats()
+		f.rep.PerServer = append(f.rep.PerServer, ServerLoad{
+			Index: i, Endpoint: f.eps[i], Homed: homed[i], Stats: st,
+		})
+		f.rep.Server = f.rep.Server.Add(st)
+	}
 	f.rep.Fabric = f.in.Net.Stats()
 	f.rep.VirtualTime = f.in.Net.Sched.Now()
 	f.rep.Events = f.in.Net.Sched.Processed

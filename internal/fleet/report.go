@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"natpunch/internal/inet"
 	"natpunch/internal/nat"
 	"natpunch/internal/rendezvous"
 	"natpunch/internal/sim"
@@ -136,6 +137,18 @@ type TopoStat struct {
 	Outcomes
 }
 
+// ServerLoad is one rendezvous server's share of a federated tier's
+// work: how many peers the stable hash homes there and the server's
+// own counters (connect/negotiate brokering, §2.2 relay load,
+// federation traffic).
+type ServerLoad struct {
+	Index    int
+	Endpoint inet.Endpoint
+	// Homed counts peers whose preference order heads here.
+	Homed int
+	Stats rendezvous.Stats
+}
+
 // Report is the aggregate outcome of one fleet run.
 type Report struct {
 	Seed int64
@@ -145,6 +158,17 @@ type Report struct {
 	Rejoins    int // re-registrations after a departure
 	Departures int
 	PeakOnline int
+
+	// Federated rendezvous tier.
+	Failovers      int           // client re-homings after a server went silent
+	ServerKilledAt time.Duration // when KillServerAt fired (0 = never)
+	// PreKillDirectDeaths counts direct (peer-to-peer) sessions that
+	// were established before the server kill and died after it —
+	// must be zero: killing a rendezvous server may only disturb
+	// sessions that depend on it (relays through it, dials in
+	// flight).
+	PreKillDirectDeaths int
+	PerServer           []ServerLoad // per-instance load; Server is the sum
 
 	// Punch attempt outcomes (initiator side), fleet-wide.
 	Attempts  int
@@ -171,7 +195,7 @@ type Report struct {
 	// EstTimes holds every direct time-to-establish, sorted ascending.
 	EstTimes []time.Duration
 
-	// Server and fabric load.
+	// Server (tier-wide aggregate) and fabric load.
 	Server      rendezvous.Stats
 	Fabric      sim.Stats
 	VirtualTime time.Duration

@@ -332,7 +332,7 @@ func (a *Agent) timeout(n *negotiation) {
 			punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
 		a.tracef("checks for %s exhausted; nominating relay", n.peer)
 		if n.cb.Established != nil {
-			n.cb.Established(s, Candidate{Kind: KindRelay, Endpoint: a.c.Server()})
+			n.cb.Established(s, Candidate{Kind: KindRelay, Endpoint: a.c.RelayVia(n.peer)})
 		}
 		return
 	}

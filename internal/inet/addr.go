@@ -138,6 +138,15 @@ func (e Endpoint) String() string {
 // IsZero reports whether the endpoint is the zero value.
 func (e Endpoint) IsZero() bool { return e.Addr == 0 && e.Port == 0 }
 
+// Less imposes the canonical (address, then port) total order on
+// endpoints, for deterministic sorts of endpoint sets.
+func (e Endpoint) Less(o Endpoint) bool {
+	if e.Addr != o.Addr {
+		return e.Addr < o.Addr
+	}
+	return e.Port < o.Port
+}
+
 // Session identifies a transport session from one host's perspective:
 // the 4-tuple (local, remote) of §2.1.
 type Session struct {

@@ -108,18 +108,77 @@ func capturedCorpus(tb testing.TB) [][]byte {
 	c6 := topo.NewMultiLevel(5, nat.WellBehaved(), nat.Cone(), nat.Cone())
 	captureICE(c6.Internet, c6.S, c6.A, c6.B, punch.Config{Obfuscate: true})
 
+	// Server-to-server federation traffic: two federated servers
+	// introduce a cross-homed symmetric pair, so the capture includes
+	// FedHello, FedRecord replication (join sync + keep-alive
+	// refreshes), and FedForward-wrapped deliveries — including the
+	// federated §2.2 relay path.
+	captureFed := func(seed int64) {
+		in := topo.NewInternet(seed)
+		core := in.CoreRealm()
+		h1 := core.AddHost("S1", "18.181.0.31", host.BSDStyle)
+		h2 := core.AddHost("S2", "18.181.0.32", host.BSDStyle)
+		s1, err := rendezvous.New(h1, 1234, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s2, err := rendezvous.New(h2, 1234, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		in.Net.SetHook(func(kind sim.HookKind, _ *sim.Segment, _ *sim.Iface, pkt *inet.Packet) {
+			if kind != sim.HookSend || pkt.Proto != inet.UDP || len(pkt.Payload) == 0 {
+				return
+			}
+			if !seen[string(pkt.Payload)] {
+				seen[string(pkt.Payload)] = true
+				wires = append(wires, append([]byte(nil), pkt.Payload...))
+			}
+		})
+		s1.Join(s2.Endpoint())
+		realmA := core.AddSite("NAT-A", nat.Symmetric(), "155.99.25.11", "10.0.0.0/24")
+		realmB := core.AddSite("NAT-B", nat.Symmetric(), "138.76.29.7", "10.1.1.0/24")
+		cfg := punch.Config{RelayFallback: true, PunchTimeout: 2 * time.Second}
+		a := punch.NewClient(realmA.AddHost("A", "10.0.0.1", host.BSDStyle), "alice", s1.Endpoint(), cfg)
+		b := punch.NewClient(realmB.AddHost("B", "10.1.1.3", host.BSDStyle), "bob", s2.Endpoint(), cfg)
+		if err := a.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		if err := b.RegisterUDP(4321, nil); err != nil {
+			tb.Fatal(err)
+		}
+		in.RunFor(2 * time.Second)
+		b.InboundUDP = punch.UDPCallbacks{
+			Data: func(s *punch.UDPSession, p []byte) { s.Send([]byte("pong")) },
+		}
+		a.ConnectUDP("bob", punch.UDPCallbacks{
+			Established: func(s *punch.UDPSession) { s.Send([]byte("ping")) },
+		})
+		in.RunFor(30 * time.Second)
+	}
+	captureFed(6)
+
 	if len(wires) < 12 {
 		tb.Fatalf("capture produced only %d distinct messages", len(wires))
 	}
 	hasCandidates := false
+	fedTypes := map[proto.Type]bool{}
 	for _, w := range wires {
-		if m, err := proto.Decode(w); err == nil && len(m.Candidates) > 0 {
-			hasCandidates = true
-			break
+		if m, err := proto.Decode(w); err == nil {
+			if len(m.Candidates) > 0 {
+				hasCandidates = true
+			}
+			switch m.Type {
+			case proto.TypeFedHello, proto.TypeFedRecord, proto.TypeFedForward:
+				fedTypes[m.Type] = true
+			}
 		}
 	}
 	if !hasCandidates {
 		tb.Fatal("capture produced no candidate-bearing messages")
+	}
+	if len(fedTypes) != 3 {
+		tb.Fatalf("federation capture incomplete: got %v, want hello+record+forward", fedTypes)
 	}
 	return wires
 }

@@ -83,6 +83,27 @@ const (
 	// counterpart of TypeConnectDetails: carries the peer's full
 	// candidate list, the session nonce, and the requester flag.
 	TypeNegotiateDetails
+	// TypeFedHello: server -> server. Opens (or refreshes) a
+	// federation link between two rendezvous servers: the receiver
+	// records the sender — the datagram source — as a federation peer
+	// and answers with its own hello if the sender was previously
+	// unknown, then replays its locally homed registrations as
+	// TypeFedRecord messages so the link starts synchronized.
+	TypeFedHello
+	// TypeFedRecord: server -> server. Replicates one locally homed
+	// client registration (or its §3.6 keep-alive refresh) to a
+	// federation peer: From is the client name, Public/Private are the
+	// endpoint pair the home server recorded (§3.1), and the datagram
+	// source identifies the home server. The receiver stores the
+	// record as remote and restarts its TTL.
+	TypeFedRecord
+	// TypeFedForward: server -> server. Carries, in Data, the exact
+	// wire bytes the receiving server must deliver to its locally
+	// homed client Target. Federation needs this because a NATed
+	// client is reachable only through the mapping it keeps open to
+	// its *home* server — no other server's datagrams can traverse
+	// that filter state (§3.1).
+	TypeFedForward
 )
 
 // String names the message type.
@@ -95,6 +116,8 @@ func (t Type) String() string {
 		TypeReverseRequest: "reverse-request", TypeError: "error",
 		TypeSeqRequest: "seq-request", TypeSeqGo: "seq-go", TypeData: "data",
 		TypeNegotiate: "negotiate", TypeNegotiateDetails: "negotiate-details",
+		TypeFedHello: "fed-hello", TypeFedRecord: "fed-record",
+		TypeFedForward: "fed-forward",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -226,7 +249,7 @@ func Decode(b []byte) (*Message, error) {
 		return nil, ErrShort
 	}
 	m := &Message{Type: Type(b[1])}
-	if m.Type == 0 || m.Type > TypeNegotiateDetails {
+	if m.Type == 0 || m.Type > TypeFedForward {
 		return nil, ErrBadType
 	}
 	obf := Obfuscator(b[2])

@@ -18,7 +18,9 @@ package punch
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"sort"
 	"time"
 
 	"natpunch/internal/host"
@@ -103,8 +105,23 @@ type Config struct {
 	// punching fails (§2.2: "a useful fall-back strategy if maximum
 	// robustness is desired").
 	RelayFallback bool
+	// RelayServers lists standalone §2.2 relay services (package
+	// natpunch/relayapi). When non-empty, relay-fallback sessions
+	// route through one of these (chosen by a stable hash of the peer
+	// pair, so both ends agree) instead of loading the rendezvous
+	// server; the client registers and keep-alives with each so its
+	// NAT keeps a mapping open toward them.
+	RelayServers []inet.Endpoint
+	// ServerFailoverAfter is how long the rendezvous server may stay
+	// silent — no keep-alive acks, no replies of any kind — before a
+	// client with a server pool re-homes to the next server in its
+	// preference order. Default 3x KeepAliveInterval (under DeadAfter,
+	// so relayed sessions can re-route before idle death).
+	ServerFailoverAfter time.Duration
 	// DisableRegistrationKeepAlive turns off the periodic keep-alive
 	// to S (useful for tests that want the event queue to drain).
+	// Server-pool failover detection rides the keep-alive clock, so
+	// it is disabled too.
 	DisableRegistrationKeepAlive bool
 }
 
@@ -126,6 +143,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeadAfter == 0 {
 		c.DeadAfter = 60 * time.Second
+	}
+	if c.ServerFailoverAfter == 0 {
+		// Below DeadAfter, so relay sessions riding the home server can
+		// re-route to the new home before §3.6 declares them dead —
+		// clamped when long keep-alive intervals would push 3x past it.
+		c.ServerFailoverAfter = 3 * c.KeepAliveInterval
+		if c.ServerFailoverAfter >= c.DeadAfter {
+			c.ServerFailoverAfter = c.DeadAfter * 3 / 4
+		}
+	}
+	if len(c.RelayServers) > 1 {
+		// Canonical order, so the pair-hash index lands both peers on
+		// the same relay host no matter what order each listed the set
+		// in. Copied: the caller's slice is not ours to reorder.
+		sorted := append([]inet.Endpoint(nil), c.RelayServers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		c.RelayServers = sorted
 	}
 	return c
 }
@@ -151,6 +185,25 @@ type Client struct {
 	udpRegRetry   transport.Timer
 	udpRegTries   int
 	udpKeepAlive  transport.Timer
+
+	// Server pool state: pool is the preference-ordered rendezvous
+	// server list (pool[poolIdx] == server), lastServerSeen timestamps
+	// the last traffic from the current server, and serverConfirmed
+	// records whether the current server has acked a registration
+	// since the last failover.
+	pool            []inet.Endpoint
+	poolIdx         int
+	poolTried       int
+	lastServerSeen  time.Duration
+	serverConfirmed bool
+	// Failovers counts server switches; OnServerSwitch, if set, fires
+	// on each (old, new) re-homing.
+	Failovers      int
+	OnServerSwitch func(old, new inet.Endpoint)
+
+	// relayReg tracks which standalone relay servers have acked our
+	// registration (we keep re-registering until they do).
+	relayReg map[inet.Endpoint]bool
 
 	udpAttempts map[uint64]*udpAttempt
 	udpSessions map[string]*UDPSession
@@ -279,8 +332,57 @@ func (c *Client) UDPIntercept() func(from inet.Endpoint, m *proto.Message) bool 
 	return c.udpIntercept
 }
 
-// Server returns the rendezvous server's endpoint.
+// Server returns the current rendezvous server's endpoint (the pool
+// head, until failover re-homes the client).
 func (c *Client) Server() inet.Endpoint { return c.server }
+
+// SetServerPool installs a preference-ordered rendezvous server pool
+// (see rendezvous.Preference for the stable ordering clients and
+// servers agree on): the client registers with the head and fails
+// over down the list — wrapping around — when its current server goes
+// silent for ServerFailoverAfter. Call before RegisterUDP.
+func (c *Client) SetServerPool(eps []inet.Endpoint) {
+	if len(eps) == 0 {
+		return
+	}
+	c.pool = append([]inet.Endpoint(nil), eps...)
+	c.poolIdx = 0
+	c.server = c.pool[0]
+}
+
+// ServerPool returns the installed pool (nil for single-server
+// clients).
+func (c *Client) ServerPool() []inet.Endpoint {
+	return append([]inet.Endpoint(nil), c.pool...)
+}
+
+// relayRoute picks where a relay-fallback session's traffic goes: a
+// standalone relay server chosen by a stable hash of the unordered
+// peer pair (so both ends pick the same one), or — dynamically — the
+// client's current rendezvous server, which survives failover because
+// it is re-resolved on every send.
+func (c *Client) relayRoute(peer string) (ep inet.Endpoint, dynamic bool) {
+	if len(c.cfg.RelayServers) == 0 {
+		return c.server, true
+	}
+	a, b := c.name, peer
+	if b < a {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return c.cfg.RelayServers[h.Sum64()%uint64(len(c.cfg.RelayServers))], false
+}
+
+// RelayVia reports which server would carry a relay-fallback session
+// with peer (the candidate endpoint the ICE engine nominates for the
+// §2.2 floor).
+func (c *Client) RelayVia(peer string) inet.Endpoint {
+	ep, _ := c.relayRoute(peer)
+	return ep
+}
 
 // Closed reports whether the client has been closed.
 func (c *Client) Closed() bool { return c.closed }
@@ -313,6 +415,9 @@ func (c *Client) AdoptUDPSession(peer string, remote inet.Endpoint, via Method, 
 		prev.Close()
 	}
 	s := &UDPSession{c: c, Peer: peer, Remote: remote, Via: via, Nonce: nonce, cb: cb}
+	if via == MethodRelay {
+		s.relayVia, s.relayDynamic = c.relayRoute(peer)
+	}
 	s.lastRecvT = c.now()
 	c.udpSessions[peer] = s
 	s.scheduleKeepAlive()

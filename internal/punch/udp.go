@@ -32,6 +32,12 @@ type UDPSession struct {
 	Via Method
 	// Nonce authenticates the session's traffic (§3.4).
 	Nonce uint64
+	// relayVia routes MethodRelay traffic: a fixed standalone relay
+	// server, or — when relayDynamic — the client's *current*
+	// rendezvous server, re-resolved per send so relayed sessions
+	// survive server failover.
+	relayVia     inet.Endpoint
+	relayDynamic bool
 
 	cb        UDPCallbacks
 	seq       uint32
@@ -88,14 +94,25 @@ func (c *Client) BindUDP(localPort inet.Port) error {
 }
 
 // RegisterUDP binds the client's UDP socket to localPort and
-// registers with S, learning the public endpoint. done is invoked
-// with nil on success or an error after retries are exhausted.
+// registers with S — and with every configured standalone relay
+// server — learning the public endpoint. done is invoked with nil on
+// success or an error once the whole pool's retries are exhausted.
 func (c *Client) RegisterUDP(localPort inet.Port, done func(error)) error {
 	if err := c.BindUDP(localPort); err != nil {
 		return err
 	}
 	c.udpRegDone = done
 	c.udpRegTries = 0
+	c.poolTried = 1
+	if len(c.cfg.RelayServers) > 0 && c.relayReg == nil {
+		c.relayReg = make(map[inet.Endpoint]bool, len(c.cfg.RelayServers))
+		for _, ep := range c.cfg.RelayServers {
+			c.relayReg[ep] = false
+			c.udp.SendTo(ep, proto.Encode(&proto.Message{
+				Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
+			}, c.obf))
+		}
+	}
 	c.sendRegisterUDP()
 	return nil
 }
@@ -105,16 +122,49 @@ func (c *Client) sendRegisterUDP() {
 		return
 	}
 	c.udpRegTries++
-	if c.udpRegTries > 5 {
-		if c.udpRegDone != nil {
-			c.udpRegDone(ErrRegisterFail)
+	// With a pool, spend only two 1s tries per member before walking
+	// on: a mostly dead pool must reach its survivor inside Open's
+	// register timeout (2xN seconds for N members, vs 5s each).
+	maxTries := 5
+	if len(c.pool) > 1 {
+		maxTries = 2
+	}
+	if c.udpRegTries > maxTries {
+		// This pool member never answered; walk the preference order
+		// before giving up entirely.
+		if c.poolTried < len(c.pool) {
+			c.poolTried++
+			c.advanceServer()
+			c.udpRegTries = 1
+		} else {
+			if c.udpRegDone != nil {
+				c.udpRegDone(ErrRegisterFail)
+			}
+			return
 		}
-		return
 	}
 	c.sendToServer(&proto.Message{
 		Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
 	})
 	c.udpRegRetry = c.after(time.Second, c.sendRegisterUDP)
+}
+
+// advanceServer re-homes the client at the next server in its
+// preference order (wrapping around — a single-member pool retries
+// the same server, which covers server restarts). Every re-homing —
+// registration-time pool walking or runtime failover — counts in
+// Failovers and fires OnServerSwitch, so the two signals agree.
+func (c *Client) advanceServer() {
+	old := c.server
+	c.poolIdx = (c.poolIdx + 1) % len(c.pool)
+	c.server = c.pool[c.poolIdx]
+	c.serverConfirmed = false
+	c.lastServerSeen = c.now() // grace period before the next verdict
+	c.Failovers++
+	c.tracef("rendezvous server %s unresponsive; re-homing to %s", old, c.server)
+	if c.OnServerSwitch != nil {
+		c.OnServerSwitch(old, c.server)
+	}
 }
 
 // sendToServer transmits a message to S over UDP.
@@ -171,12 +221,17 @@ func (c *Client) handleUDPPacket(from inet.Endpoint, payload []byte) {
 	if err != nil {
 		return // stray datagram (wrong host scenarios of §3.4)
 	}
+	if from == c.server {
+		// Any traffic from the current rendezvous server proves it
+		// alive; the keep-alive clock uses this for failover detection.
+		c.lastServerSeen = c.now()
+	}
 	if c.udpIntercept != nil && c.udpIntercept(from, m) {
 		return
 	}
 	switch m.Type {
 	case proto.TypeRegisterOK:
-		c.handleRegisterOK(m)
+		c.handleRegisterOK(from, m)
 	case proto.TypeConnectDetails:
 		c.handleConnectDetails(m)
 	case proto.TypePunch:
@@ -194,8 +249,27 @@ func (c *Client) handleUDPPacket(from inet.Endpoint, payload []byte) {
 	}
 }
 
-func (c *Client) handleRegisterOK(m *proto.Message) {
+func (c *Client) handleRegisterOK(from inet.Endpoint, m *proto.Message) {
+	if ok, tracked := c.relayReg[from]; tracked {
+		if !ok {
+			c.relayReg[from] = true
+			c.tracef("registered with relay server %s", from)
+		}
+		if from != c.server {
+			return
+		}
+		// A relay host doubling as the home rendezvous server: fall
+		// through so the ack also counts for the server registration.
+	}
+	if from != c.server {
+		return // stale ack from a server we already failed away from
+	}
+	c.serverConfirmed = true
 	if c.udpRegistered {
+		// Keep-alive ack or re-registration: S's observation stays
+		// authoritative for our public endpoint (§3.1) — the NAT may
+		// have expired the old mapping and allocated a fresh one.
+		c.udpPublic = m.Public
 		return
 	}
 	c.udpRegistered = true
@@ -213,13 +287,39 @@ func (c *Client) handleRegisterOK(m *proto.Message) {
 }
 
 // scheduleServerKeepAlive keeps the registration's NAT mapping alive
-// (§3.6).
+// (§3.6). The same clock drives server-pool failover: a server that
+// has answered nothing — not even keep-alive acks — for
+// ServerFailoverAfter is abandoned for the next pool member.
 func (c *Client) scheduleServerKeepAlive() {
 	c.udpKeepAlive = c.after(c.cfg.KeepAliveInterval, func() {
 		if c.closed {
 			return
 		}
-		c.sendToServer(&proto.Message{Type: proto.TypeKeepAlive, From: c.name})
+		switch {
+		case len(c.pool) > 0 && c.now()-c.lastServerSeen > c.cfg.ServerFailoverAfter:
+			c.advanceServer()
+			c.sendToServer(&proto.Message{
+				Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
+			})
+		case !c.serverConfirmed && len(c.pool) > 0:
+			// The last (re-)registration was lost; keep registering
+			// until the server acks.
+			c.sendToServer(&proto.Message{
+				Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate,
+			})
+		default:
+			c.sendToServer(&proto.Message{Type: proto.TypeKeepAlive, From: c.name})
+		}
+		// Standalone relay servers get the same §3.6 maintenance, so
+		// their registrations and our NAT mappings toward them stay
+		// alive for the moment a relay fallback needs them.
+		for _, ep := range c.cfg.RelayServers {
+			m := &proto.Message{Type: proto.TypeKeepAlive, From: c.name}
+			if !c.relayReg[ep] {
+				m = &proto.Message{Type: proto.TypeRegister, From: c.name, Private: c.udpPrivate}
+			}
+			c.udp.SendTo(ep, proto.Encode(m, c.obf))
+		}
 		c.scheduleServerKeepAlive()
 	})
 }
@@ -335,8 +435,9 @@ func (c *Client) udpAttemptTimeout(a *udpAttempt) {
 	delete(c.udpAttempts, a.nonce)
 	if c.cfg.RelayFallback {
 		// §2.2: relaying always works as long as both clients can
-		// reach S.
+		// reach S (or a configured standalone relay server).
 		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
+		s.relayVia, s.relayDynamic = c.relayRoute(a.peer)
 		s.lastRecvT = c.now()
 		c.udpSessions[a.peer] = s
 		// Relay sessions get the same §3.6 maintenance as punched
@@ -450,11 +551,10 @@ func (s *UDPSession) Send(data []byte) error {
 	s.seq++
 	s.SentDatagrams++
 	if s.Via == MethodRelay {
-		s.c.sendToServer(&proto.Message{
+		return s.c.udp.SendTo(s.relayTarget(), proto.Encode(&proto.Message{
 			Type: proto.TypeRelayTo, From: s.c.name, Target: s.Peer,
 			Seq: s.seq, Data: data,
-		})
-		return nil
+		}, s.c.obf))
 	}
 	return s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
 		Type: proto.TypeData, From: s.c.name, Nonce: s.Nonce,
@@ -478,6 +578,17 @@ func (s *UDPSession) Close() {
 
 func (s *UDPSession) touch() { s.lastRecvT = s.c.now() }
 
+// relayTarget resolves where this relay session's traffic goes right
+// now: the fixed standalone relay server it was nominated onto, or
+// the client's current rendezvous server (re-resolved per send, so
+// relayed sessions ride through server failover).
+func (s *UDPSession) relayTarget() inet.Endpoint {
+	if s.relayDynamic || s.relayVia.IsZero() {
+		return s.c.server
+	}
+	return s.relayVia
+}
+
 // scheduleKeepAlive sends periodic keep-alives so the NATs' per-
 // session timers do not expire (§3.6), and watches for session death.
 func (s *UDPSession) scheduleKeepAlive() {
@@ -499,9 +610,9 @@ func (s *UDPSession) scheduleKeepAlive() {
 			// §3.6 applies to relayed sessions too: an empty RelayTo
 			// (Seq 0) refreshes both ends' NAT state and idle clocks
 			// without surfacing as application data.
-			s.c.sendToServer(&proto.Message{
+			s.c.udp.SendTo(s.relayTarget(), proto.Encode(&proto.Message{
 				Type: proto.TypeRelayTo, From: s.c.name, Target: s.Peer,
-			})
+			}, s.c.obf))
 		} else {
 			s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
 				Type: proto.TypeKeepAlive, From: s.c.name, Nonce: s.Nonce,

@@ -9,6 +9,15 @@
 // Relaying is the always-works fallback whose costs the Figure 2
 // experiment quantifies: every datagram consumes relay bandwidth and
 // takes two trips across the core instead of one.
+//
+// This package models TURN's allocation/permission protocol itself.
+// The production relay tier the punching engine actually falls back
+// onto is the relay-mode rendezvous server (internal/rendezvous
+// Config.RelayOnly, served publicly by natpunch/relayapi and selected
+// by clients via WithRelayServers): it reuses the engine's existing
+// registration/keep-alive machinery for reachability instead of
+// TURN-style per-peer permissions, so relay hosts scale out exactly
+// like rendezvous hosts.
 package relay
 
 import (

@@ -1,0 +1,279 @@
+package rendezvous
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"natpunch/internal/inet"
+)
+
+// Record is one client's UDP registration as the registry stores it:
+// the §3.1 endpoint pair (public observed by a server, private
+// reported by the client), which server the client is homed at, and
+// when the record expires unless a §3.6 keep-alive refreshes it.
+type Record struct {
+	// Name is the client's rendezvous identity.
+	Name string
+	// Public is the client's public endpoint as observed by its home
+	// server (§3.1: authoritative, read from the packet header).
+	Public inet.Endpoint
+	// Private is the client's own view of its endpoint, reported in
+	// the registration body (§3.1).
+	Private inet.Endpoint
+	// Home is the federation peer the client registered with, or the
+	// zero endpoint when the client is homed at the server holding
+	// this record. Only the home server's datagrams can traverse the
+	// client's NAT filter state, so all deliveries route through it.
+	Home inet.Endpoint
+	// ExpiresAt is the registry-clock instant after which the record
+	// is dead (a silent client whose keep-alives stopped, §3.6).
+	// Zero means the record never expires.
+	ExpiresAt time.Duration
+}
+
+// Local reports whether the record is homed at the holding server.
+func (r Record) Local() bool { return r.Home.IsZero() }
+
+// Expired reports whether the record is past its TTL at now.
+func (r Record) Expired(now time.Duration) bool {
+	return r.ExpiresAt > 0 && now > r.ExpiresAt
+}
+
+// Registry is the pluggable registration store behind a rendezvous
+// (or relay-mode) server. Implementations must be safe for concurrent
+// use: the default server drives it from one serialized transport
+// context, but a registry may also be shared across servers or
+// benchmarked from many goroutines.
+//
+// Expiry is lazy: Get filters (and evicts) records past their TTL, so
+// no background sweeper — which would keep a discrete-event
+// simulation's queue eternally non-empty — is required.
+type Registry interface {
+	// Put inserts or replaces the record under rec.Name.
+	Put(rec Record)
+	// Get returns the live record for name. A record past its TTL is
+	// evicted and reported as missing — the §3.6 contract that a
+	// silent peer stops being dialable.
+	Get(name string, now time.Duration) (Record, bool)
+	// Touch restarts the TTL of name's record (a keep-alive arrived)
+	// and optionally refreshes its public endpoint (the NAT may have
+	// expired the old mapping). It reports whether a live record
+	// existed.
+	Touch(name string, public inet.Endpoint, expiresAt, now time.Duration) bool
+	// Remove deletes name's record.
+	Remove(name string)
+	// Len counts live records at now.
+	Len(now time.Duration) int
+	// Range calls fn for every live record at now, in unspecified
+	// order, until fn returns false. Callers that act on the set (for
+	// example federation sync) must impose their own order first.
+	Range(now time.Duration, fn func(Record) bool)
+}
+
+// DefaultShards is the shard count of the registry a server builds
+// when none is supplied.
+const DefaultShards = 16
+
+// ShardedRegistry is the default Registry: records are spread over
+// independently locked shards by a stable hash of the name, so
+// registration and lookup scale with cores instead of serializing on
+// one table lock (see BenchmarkRegistryShards).
+type ShardedRegistry struct {
+	shards []registryShard
+}
+
+type registryShard struct {
+	mu   sync.RWMutex
+	recs map[string]Record
+}
+
+// NewShardedRegistry builds a registry with the given shard count
+// (values < 1 take DefaultShards).
+func NewShardedRegistry(shards int) *ShardedRegistry {
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	r := &ShardedRegistry{shards: make([]registryShard, shards)}
+	for i := range r.shards {
+		r.shards[i].recs = make(map[string]Record)
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *ShardedRegistry) Shards() int { return len(r.shards) }
+
+func (r *ShardedRegistry) shard(name string) *registryShard {
+	// Inlined FNV-1a: fnv.New32a escapes through its interface and
+	// would put one heap allocation on every registry operation.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &r.shards[h%uint32(len(r.shards))]
+}
+
+// Put implements Registry.
+func (r *ShardedRegistry) Put(rec Record) {
+	s := r.shard(rec.Name)
+	s.mu.Lock()
+	s.recs[rec.Name] = rec
+	s.mu.Unlock()
+}
+
+// Get implements Registry, evicting expired records lazily.
+func (r *ShardedRegistry) Get(name string, now time.Duration) (Record, bool) {
+	s := r.shard(name)
+	s.mu.RLock()
+	rec, ok := s.recs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return Record{}, false
+	}
+	if rec.Expired(now) {
+		s.mu.Lock()
+		// Re-check under the write lock: a concurrent refresh wins.
+		if cur, ok := s.recs[name]; ok && cur.Expired(now) {
+			delete(s.recs, name)
+		}
+		s.mu.Unlock()
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Touch implements Registry.
+func (r *ShardedRegistry) Touch(name string, public inet.Endpoint, expiresAt, now time.Duration) bool {
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[name]
+	if !ok || rec.Expired(now) {
+		if ok {
+			delete(s.recs, name)
+		}
+		return false
+	}
+	if !public.IsZero() {
+		rec.Public = public
+	}
+	rec.ExpiresAt = expiresAt
+	s.recs[name] = rec
+	return true
+}
+
+// Remove implements Registry.
+func (r *ShardedRegistry) Remove(name string) {
+	s := r.shard(name)
+	s.mu.Lock()
+	delete(s.recs, name)
+	s.mu.Unlock()
+}
+
+// Len implements Registry.
+func (r *ShardedRegistry) Len(now time.Duration) int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, rec := range s.recs {
+			if !rec.Expired(now) {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range implements Registry.
+func (r *ShardedRegistry) Range(now time.Duration, fn func(Record) bool) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		recs := make([]Record, 0, len(s.recs))
+		for _, rec := range s.recs {
+			if !rec.Expired(now) {
+				recs = append(recs, rec)
+			}
+		}
+		s.mu.RUnlock()
+		for _, rec := range recs {
+			if !fn(rec) {
+				return
+			}
+		}
+	}
+}
+
+// --- stable server ownership (rendezvous hashing) ---
+
+// ownerScore is the rendezvous ("highest random weight") hash of one
+// (name, server) pair. It depends only on the name and the server's
+// endpoint — never on registry shard counts or the order the server
+// list was supplied in — so every participant computes the same owner
+// for a name from the same server set.
+func ownerScore(name string, server inet.Endpoint) uint64 {
+	// Inlined allocation-free FNV-1a over name ++ endpoint bytes.
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime
+	}
+	for _, b := range [6]byte{
+		byte(server.Addr >> 24), byte(server.Addr >> 16),
+		byte(server.Addr >> 8), byte(server.Addr),
+		byte(server.Port >> 8), byte(server.Port),
+	} {
+		h = (h ^ uint64(b)) * prime
+	}
+	// splitmix64 finalizer: FNV alone mixes poorly over inputs that
+	// differ in one trailing byte (consecutive server addresses), which
+	// would skew ownership shares.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Preference orders a server pool for one client name, best first:
+// the head is the name's owner (its home server), the tail is the
+// deterministic failover order. The order is a pure function of the
+// name and the *set* of servers — input order and registry sharding
+// are irrelevant — which is what lets clients, servers, and the fleet
+// simulator all agree on who homes whom.
+func Preference(name string, servers []inet.Endpoint) []inet.Endpoint {
+	out := append([]inet.Endpoint(nil), servers...)
+	scores := make(map[inet.Endpoint]uint64, len(out))
+	for _, s := range out {
+		scores[s] = ownerScore(name, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := scores[out[i]], scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Less(out[j]) // total order even on hash ties
+	})
+	return out
+}
+
+// Owner returns the server that owns name in the given pool (the head
+// of Preference), or the zero endpoint for an empty pool.
+func Owner(name string, servers []inet.Endpoint) inet.Endpoint {
+	if len(servers) == 0 {
+		return inet.Endpoint{}
+	}
+	best := servers[0]
+	bestScore := ownerScore(name, best)
+	for _, s := range servers[1:] {
+		sc := ownerScore(name, s)
+		if sc > bestScore || (sc == bestScore && s.Less(best)) {
+			best, bestScore = s, sc
+		}
+	}
+	return best
+}

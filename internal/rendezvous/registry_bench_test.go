@@ -1,0 +1,47 @@
+package rendezvous_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"natpunch/internal/rendezvous"
+)
+
+// BenchmarkRegistryShards measures registration + lookup throughput
+// of the sharded registry across shard counts under parallel load —
+// the scaling knob a million-client rendezvous tier turns. One lock
+// (shards=1) serializes everything; more shards let registrations and
+// lookups proceed concurrently.
+func BenchmarkRegistryShards(b *testing.B) {
+	const population = 4096
+	names := make([]string, population)
+	for i := range names {
+		names[i] = fmt.Sprintf("peer-%d", i)
+	}
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			reg := rendezvous.NewShardedRegistry(shards)
+			for i, n := range names {
+				reg.Put(rendezvous.Record{Name: n, ExpiresAt: time.Hour, Public: ep(i % 250)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					name := names[i%population]
+					switch i % 8 {
+					case 0:
+						reg.Put(rendezvous.Record{Name: name, ExpiresAt: time.Hour})
+					case 1:
+						reg.Touch(name, ep(1), time.Hour, time.Minute)
+					default:
+						reg.Get(name, time.Minute)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

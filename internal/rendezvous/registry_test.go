@@ -1,0 +1,167 @@
+package rendezvous_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/rendezvous"
+)
+
+func ep(i int) inet.Endpoint {
+	return inet.Endpoint{Addr: inet.AddrFrom4(18, 181, 0, byte(30+i)), Port: 1234}
+}
+
+// TestOwnerStableAcrossShardCounts is the stable-hashing property:
+// which *server* owns a name is a function of the name and the server
+// set alone. Re-sharding any server's registry — 1-way to 64-way,
+// grown or shrunk, records migrated or not — never re-homes a single
+// client.
+func TestOwnerStableAcrossShardCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	servers := []inet.Endpoint{ep(1), ep(2), ep(3), ep(4)}
+	for trial := 0; trial < 500; trial++ {
+		name := fmt.Sprintf("peer-%d-%x", trial, rng.Uint64())
+		want := rendezvous.Owner(name, servers)
+		for _, shards := range []int{1, 2, 4, 16, 64} {
+			reg := rendezvous.NewShardedRegistry(shards)
+			reg.Put(rendezvous.Record{Name: name, Public: ep(9)})
+			if _, ok := reg.Get(name, 0); !ok {
+				t.Fatalf("shards=%d lost %q", shards, name)
+			}
+			if got := rendezvous.Owner(name, servers); got != want {
+				t.Fatalf("shards=%d changed owner of %q: %v != %v", shards, name, got, want)
+			}
+		}
+	}
+}
+
+// TestPreferenceIsStablePermutation: Preference is a permutation of
+// the input pool, deterministic, and a pure function of the *set* —
+// supplying the pool in any order yields the identical preference
+// list, so every participant agrees on homes and failover order.
+func TestPreferenceIsStablePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := []inet.Endpoint{ep(1), ep(2), ep(3), ep(4), ep(5)}
+	for trial := 0; trial < 300; trial++ {
+		name := fmt.Sprintf("n%x", rng.Uint64())
+		want := rendezvous.Preference(name, pool)
+		if len(want) != len(pool) {
+			t.Fatalf("preference dropped members: %v", want)
+		}
+		seen := map[inet.Endpoint]bool{}
+		for _, e := range want {
+			seen[e] = true
+		}
+		if len(seen) != len(pool) {
+			t.Fatalf("preference is not a permutation: %v", want)
+		}
+		if want[0] != rendezvous.Owner(name, pool) {
+			t.Fatalf("preference head %v != owner %v", want[0], rendezvous.Owner(name, pool))
+		}
+		shuffled := append([]inet.Endpoint(nil), pool...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := rendezvous.Preference(name, shuffled); !reflect.DeepEqual(got, want) {
+			t.Fatalf("pool order changed the preference:\n in order: %v\nshuffled: %v", want, got)
+		}
+	}
+}
+
+// TestOwnerMinimalReassignment: removing one server only re-homes the
+// names it owned (rendezvous hashing's minimal-disruption property) —
+// the reason failover churn is bounded by the dead server's share.
+func TestOwnerMinimalReassignment(t *testing.T) {
+	full := []inet.Endpoint{ep(1), ep(2), ep(3), ep(4)}
+	without := []inet.Endpoint{ep(1), ep(2), ep(3)}
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("peer%d", i)
+		before := rendezvous.Owner(name, full)
+		after := rendezvous.Owner(name, without)
+		if before == ep(4) {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("%q re-homed from %v to %v though its owner survived", name, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestOwnerSpreadsNames sanity-checks the load-balancing claim the
+// E-FED experiment measures: names spread over all pool members.
+func TestOwnerSpreadsNames(t *testing.T) {
+	pool := []inet.Endpoint{ep(1), ep(2), ep(3), ep(4)}
+	counts := map[inet.Endpoint]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[rendezvous.Owner(fmt.Sprintf("peer%d", i), pool)]++
+	}
+	for _, e := range pool {
+		share := float64(counts[e]) / n
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("server %v owns %.1f%% of names; want roughly a quarter", e, share*100)
+		}
+	}
+}
+
+func TestShardedRegistryTTLBasics(t *testing.T) {
+	reg := rendezvous.NewShardedRegistry(4)
+	reg.Put(rendezvous.Record{Name: "a", Public: ep(1), ExpiresAt: 100})
+	if _, ok := reg.Get("a", 99); !ok {
+		t.Fatal("live record missing")
+	}
+	if _, ok := reg.Get("a", 101); ok {
+		t.Fatal("expired record returned")
+	}
+	if _, ok := reg.Get("a", 99); ok {
+		t.Fatal("expired record not evicted on first miss")
+	}
+
+	reg.Put(rendezvous.Record{Name: "b", Public: ep(1), ExpiresAt: 100})
+	if !reg.Touch("b", ep(2), 200, 99) {
+		t.Fatal("touch on live record failed")
+	}
+	rec, ok := reg.Get("b", 150)
+	if !ok || rec.ExpiresAt != 200 || rec.Public != ep(2) {
+		t.Fatalf("touch did not refresh: %+v ok=%v", rec, ok)
+	}
+	if reg.Touch("b", ep(3), 300, 250) {
+		t.Fatal("touch revived an expired record")
+	}
+	if reg.Len(250) != 0 {
+		t.Fatalf("Len = %d, want 0", reg.Len(250))
+	}
+}
+
+// TestShardedRegistryConcurrent exercises the per-shard locking under
+// parallel writers/readers (run with -race).
+func TestShardedRegistryConcurrent(t *testing.T) {
+	reg := rendezvous.NewShardedRegistry(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := fmt.Sprintf("p%d", i%64)
+				reg.Put(rendezvous.Record{Name: name, Public: ep(w), ExpiresAt: time.Hour})
+				reg.Get(name, time.Minute)
+				reg.Touch(name, ep(w), 2*time.Hour, time.Minute)
+				reg.Range(time.Minute, func(rendezvous.Record) bool { return true })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := reg.Len(time.Minute); n != 64 {
+		t.Fatalf("Len = %d, want 64", n)
+	}
+}

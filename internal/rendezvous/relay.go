@@ -1,0 +1,41 @@
+package rendezvous
+
+import "natpunch/internal/proto"
+
+// The relay service: the §2.2 fallback that forwards application
+// payloads between clients who could not punch. It is part of every
+// full rendezvous server and is also the entire surface of a
+// relay-only deployment (Config.RelayOnly, package natpunch/relayapi)
+// — clients select dedicated relay hosts with WithRelayServers and
+// keep the §2.2 load off the brokering tier.
+
+// relay forwards the payload to the target over the target's
+// registered session: directly for local clients, through the
+// target's home server for federated ones, or down the TCP
+// registration connection when that is the only surface the target
+// has.
+func (s *Server) relay(m *proto.Message) {
+	out := &proto.Message{
+		Type: proto.TypeRelayed, From: m.From, Target: m.Target,
+		Seq: m.Seq, Data: m.Data,
+	}
+	count := func() {
+		if m.Seq != 0 || len(m.Data) > 0 {
+			// Empty Seq-0 relays are §3.6 keep-alives, not the relay load
+			// §2.2 warns about; forward them but keep the stats honest.
+			s.stats.RelayedMessages++
+			s.stats.RelayedBytes += uint64(len(m.Data))
+		}
+	}
+	if rec, ok := s.reg.Get(m.Target, s.now()); ok {
+		count()
+		s.deliver(rec, out)
+		return
+	}
+	if c, ok := s.tcpc[m.Target]; ok {
+		count()
+		s.sendTCP(c, out)
+		return
+	}
+	s.stats.Errors++
+}

@@ -1,10 +1,22 @@
-// Package rendezvous implements the well-known server S of the paper:
-// clients register over UDP and TCP, S records each client's private
-// endpoint (reported by the client in its registration body) and
-// public endpoint (observed from the packet/connection source, §3.1),
-// forwards connection requests carrying both endpoints to both peers
-// (§3.2 step 2), relays application data as the fallback of §2.2, and
-// forwards reversal (§2.3) and sequential-punch (§4.5) signals.
+// Package rendezvous implements the well-known server S of the paper
+// (§3.1) as a composition of small services sharing one wire surface:
+//
+//   - a pluggable Registry (registry.go) stores client registrations
+//     — §3.1's endpoint pairs — with §3.6 TTL eviction, sharded for
+//     concurrent scaling by default;
+//   - the forwarder (forwarder.go) implements §3.2 step 2's
+//     connection-request forwarding plus reversal (§2.3) and
+//     sequential-punch signalling (§4.5);
+//   - the broker (broker.go) runs candidate negotiation for the
+//     ICE-style engine (internal/ice);
+//   - the relay (relay.go) is the §2.2 always-works fallback, also
+//     servable on dedicated hosts as a standalone relay service
+//     (Config.RelayOnly, package natpunch/relayapi);
+//   - federation (federation.go) links multiple S instances over the
+//     ordinary transport seam, replicating registrations and routing
+//     deliveries through each client's home server, so a peer
+//     registered on S1 can dial, negotiate with, and relay to a peer
+//     registered on S2.
 package rendezvous
 
 import (
@@ -32,26 +44,77 @@ type Stats struct {
 	ReversalRequests  uint64
 	SeqSignals        uint64
 	Errors            uint64
+	// FedRecords counts replicated registrations received from
+	// federation peers; FedForwards counts federated deliveries
+	// executed on behalf of peers.
+	FedRecords  uint64
+	FedForwards uint64
 }
 
-// client is S's record of one registered client (§3.1: both endpoint
-// pairs).
-type client struct {
-	name string
+// Add returns the field-wise sum of two stat snapshots, for
+// aggregating multi-server deployments.
+func (s Stats) Add(o Stats) Stats {
+	s.RegistrationsUDP += o.RegistrationsUDP
+	s.RegistrationsTCP += o.RegistrationsTCP
+	s.ConnectRequests += o.ConnectRequests
+	s.NegotiateRequests += o.NegotiateRequests
+	s.RelayedMessages += o.RelayedMessages
+	s.RelayedBytes += o.RelayedBytes
+	s.ReversalRequests += o.ReversalRequests
+	s.SeqSignals += o.SeqSignals
+	s.Errors += o.Errors
+	s.FedRecords += o.FedRecords
+	s.FedForwards += o.FedForwards
+	return s
+}
 
-	udpSeen    bool
-	udpPublic  inet.Endpoint
-	udpPrivate inet.Endpoint
+// DefaultTTL is how long a registration lives without a §3.6
+// keep-alive refreshing it. Generous against the engine's 15s default
+// keep-alive pace, but finite: a client that dies without teardown
+// stops being dialable instead of receiving forwards forever.
+const DefaultTTL = 2 * time.Minute
 
-	tcpConn    *tcp.Conn
-	tcpDec     proto.StreamDecoder
-	tcpPublic  inet.Endpoint
-	tcpPrivate inet.Endpoint
+// Config shapes one server. The zero value serves the full rendezvous
+// surface with a fresh DefaultShards-way registry and DefaultTTL.
+type Config struct {
+	// Port is the UDP (and, over simulated hosts, TCP) service port;
+	// 0 takes an ephemeral port.
+	Port inet.Port
+	// Obf is the endpoint obfuscation mode for outgoing messages.
+	Obf proto.Obfuscator
+	// Registry is the registration store; nil builds a private
+	// NewShardedRegistry(DefaultShards). Supplying one allows sharing
+	// a store between servers or plugging an external backend.
+	Registry Registry
+	// TTL bounds a registration's life between keep-alives. 0 takes
+	// DefaultTTL; negative disables expiry.
+	TTL time.Duration
+	// Advertise, when non-zero, is the endpoint Endpoint() reports —
+	// the operator-routable address of a wildcard-bound server.
+	Advertise inet.Endpoint
+	// RelayOnly restricts the served surface to registration,
+	// keep-alives, and §2.2 relaying — the standalone relay service
+	// deployable on its own hosts (package natpunch/relayapi).
+	RelayOnly bool
+	// Peers lists federation peers to Join at startup (adapters
+	// consume this; rendezvous.Serve itself leaves joining to the
+	// caller so it happens inside the right transport context).
+	Peers []inet.Endpoint
+}
+
+// tcpClient is S's record of one client registered over the TCP
+// surface (simulated hosts only; §4's procedures).
+type tcpClient struct {
+	name    string
+	conn    *tcp.Conn
+	public  inet.Endpoint
+	private inet.Endpoint
 }
 
 // Server is the rendezvous server S.
 type Server struct {
-	tr transport.Transport
+	tr  transport.Transport
+	cfg Config
 	// h is the simulated host when the transport provides one; over
 	// UDP-only transports (real sockets) it is nil and the TCP
 	// registration surface is absent.
@@ -61,8 +124,15 @@ type Server struct {
 
 	udp      transport.UDPConn
 	listener *host.TCPListener
-	clients  map[string]*client
-	stats    Stats
+	reg      Registry
+	tcpc     map[string]*tcpClient
+
+	// Federation link state (federation.go). fedPeers preserves join
+	// order so replication fan-out is deterministic.
+	fedPeers []inet.Endpoint
+	fedSet   map[inet.Endpoint]bool
+
+	stats Stats
 
 	// Trace, if set, receives one line per handled message.
 	Trace func(format string, args ...any)
@@ -75,23 +145,40 @@ func New(h *host.Host, port inet.Port, obf proto.Obfuscator) (*Server, error) {
 }
 
 // NewOver starts a rendezvous server over an arbitrary transport at
-// port. UDP service — registration, endpoint exchange, candidate
-// negotiation, relaying — works on any transport; the TCP side is
-// bound only when the transport carries the full simulated host
-// stack.
+// port with default registry and TTL.
 func NewOver(tr transport.Transport, port inet.Port, obf proto.Obfuscator) (*Server, error) {
-	s := &Server{tr: tr, port: port, obf: obf, clients: make(map[string]*client)}
+	return Serve(tr, Config{Port: port, Obf: obf})
+}
+
+// Serve starts a rendezvous server over tr with explicit
+// configuration. UDP service — registration, endpoint exchange,
+// candidate negotiation, relaying, federation — works on any
+// transport; the TCP side is bound only when the transport carries
+// the full simulated host stack.
+func Serve(tr transport.Transport, cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = NewShardedRegistry(DefaultShards)
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	s := &Server{
+		tr: tr, cfg: cfg, port: cfg.Port, obf: cfg.Obf,
+		reg:    cfg.Registry,
+		tcpc:   make(map[string]*tcpClient),
+		fedSet: make(map[inet.Endpoint]bool),
+	}
 	if hp, ok := tr.(interface{ SimHost() *host.Host }); ok {
 		s.h = hp.SimHost()
 	}
-	u, err := tr.BindUDP(port)
+	u, err := tr.BindUDP(s.port)
 	if err != nil {
 		return nil, err
 	}
 	s.udp = u
 	s.port = u.Local().Port
 	u.OnRecv(s.handleUDP)
-	if s.h != nil {
+	if s.h != nil && !cfg.RelayOnly {
 		l, err := s.h.TCPListen(s.port, false, s.handleAccept)
 		if err != nil {
 			u.Close()
@@ -102,8 +189,19 @@ func NewOver(tr transport.Transport, port inet.Port, obf proto.Obfuscator) (*Ser
 	return s, nil
 }
 
-// Endpoint returns S's public endpoint (same port for UDP and TCP).
-func (s *Server) Endpoint() inet.Endpoint { return s.udp.Local() }
+// Endpoint returns the endpoint clients should dial: the configured
+// advertised endpoint when set (wildcard-bound real sockets report
+// 0.0.0.0 otherwise), else the bound endpoint.
+func (s *Server) Endpoint() inet.Endpoint {
+	if !s.cfg.Advertise.IsZero() {
+		return s.cfg.Advertise
+	}
+	return s.udp.Local()
+}
+
+// BoundEndpoint returns the transport-reported bound endpoint,
+// regardless of any advertised override.
+func (s *Server) BoundEndpoint() inet.Endpoint { return s.udp.Local() }
 
 // Close releases the server's sockets.
 func (s *Server) Close() {
@@ -116,26 +214,34 @@ func (s *Server) Close() {
 // Stats returns a copy of the counters.
 func (s *Server) Stats() Stats { return s.stats }
 
-// Registered reports whether a client name is known (via either
-// transport).
+// Registry returns the server's registration store.
+func (s *Server) Registry() Registry { return s.reg }
+
+// Registered reports whether a client name is live (on either
+// transport surface, homed anywhere in the federation).
 func (s *Server) Registered(name string) bool {
-	_, ok := s.clients[name]
+	if _, ok := s.reg.Get(name, s.now()); ok {
+		return true
+	}
+	_, ok := s.tcpc[name]
 	return ok
+}
+
+func (s *Server) now() time.Duration { return s.tr.Now() }
+
+// expiry computes the registry deadline for a registration refreshed
+// now (§3.6 keep-alives push it forward).
+func (s *Server) expiry() time.Duration {
+	if s.cfg.TTL < 0 {
+		return 0
+	}
+	return s.now() + s.cfg.TTL
 }
 
 func (s *Server) tracef(format string, args ...any) {
 	if s.Trace != nil {
 		s.Trace(format, args...)
 	}
-}
-
-func (s *Server) lookup(name string) *client {
-	c := s.clients[name]
-	if c == nil {
-		c = &client{name: name}
-		s.clients[name] = c
-	}
-	return c
 }
 
 // --- UDP transport ---
@@ -146,22 +252,24 @@ func (s *Server) handleUDP(from inet.Endpoint, payload []byte) {
 		return // stray traffic; §3.4 says endpoints must expect it
 	}
 	s.tracef("S/udp <- %s from=%s(%s)", m.Type, m.From, from)
+	if s.cfg.RelayOnly {
+		switch m.Type {
+		case proto.TypeRegister:
+			s.registerUDP(from, m)
+		case proto.TypeKeepAlive:
+			s.keepAliveUDP(from, m)
+		case proto.TypeRelayTo:
+			s.relay(m)
+		}
+		return // everything else is out of scope for a pure relay
+	}
 	switch m.Type {
 	case proto.TypeRegister:
-		c := s.lookup(m.From)
-		c.udpSeen = true
-		c.udpPublic = from       // observed from the packet header (§3.1)
-		c.udpPrivate = m.Private // reported by the client itself
-		s.stats.RegistrationsUDP++
-		s.sendUDP(from, &proto.Message{
-			Type: proto.TypeRegisterOK, Target: m.From,
-			Public:  from,
-			Private: c.udpPrivate,
-		})
+		s.registerUDP(from, m)
 
 	case proto.TypeConnectRequest:
 		s.stats.ConnectRequests++
-		s.forwardDetails(m, false)
+		s.forwardDetails(from, m, false)
 
 	case proto.TypeNegotiate:
 		s.stats.NegotiateRequests++
@@ -171,17 +279,58 @@ func (s *Server) handleUDP(from inet.Endpoint, payload []byte) {
 		s.relay(m)
 
 	case proto.TypeReverseRequest:
-		s.reverse(m)
+		s.reverse(from, m)
 
 	case proto.TypeSeqRequest, proto.TypeSeqGo:
 		s.seqSignal(m)
 
 	case proto.TypeKeepAlive:
-		// Refresh the registration's public endpoint (it can change
-		// if the NAT expired the mapping).
-		if c, ok := s.clients[m.From]; ok && c.udpSeen {
-			c.udpPublic = from
-		}
+		s.keepAliveUDP(from, m)
+
+	case proto.TypeFedHello:
+		s.handleFedHello(from)
+
+	case proto.TypeFedRecord:
+		s.handleFedRecord(from, m)
+
+	case proto.TypeFedForward:
+		s.handleFedForward(from, m)
+	}
+}
+
+// registerUDP implements §3.1: record the observed public endpoint
+// (from the packet header) and the self-reported private one, start
+// the TTL, echo both back, and replicate to federation peers.
+func (s *Server) registerUDP(from inet.Endpoint, m *proto.Message) {
+	rec := Record{
+		Name:      m.From,
+		Public:    from,      // observed from the packet header (§3.1)
+		Private:   m.Private, // reported by the client itself
+		ExpiresAt: s.expiry(),
+	}
+	s.reg.Put(rec)
+	s.stats.RegistrationsUDP++
+	s.sendUDP(from, &proto.Message{
+		Type: proto.TypeRegisterOK, Target: m.From,
+		Public:  from,
+		Private: rec.Private,
+	})
+	s.replicate(rec)
+}
+
+// keepAliveUDP implements §3.6 on the registration session: refresh
+// the record's TTL and public endpoint (the NAT may have expired the
+// old mapping), ack so clients can tell a live server from a dead one
+// (the facade's failover signal), and replicate the refresh.
+func (s *Server) keepAliveUDP(from inet.Endpoint, m *proto.Message) {
+	if !s.reg.Touch(m.From, from, s.expiry(), s.now()) {
+		return // unknown or expired; the client's refresh cycle re-registers
+	}
+	s.sendUDP(from, &proto.Message{
+		Type: proto.TypeRegisterOK, Target: m.From, Public: from,
+	})
+	if rec, ok := s.reg.Get(m.From, s.now()); ok && rec.Local() {
+		s.replicate(rec)
 	}
 }
 
@@ -189,12 +338,24 @@ func (s *Server) sendUDP(to inet.Endpoint, m *proto.Message) {
 	s.udp.SendTo(to, proto.Encode(m, s.obf))
 }
 
+// deliver routes a message to a registered client: directly when the
+// client is homed here, or wrapped in a federation forward to its
+// home server — the only party whose datagrams traverse the client's
+// NAT filter state (§3.1).
+func (s *Server) deliver(rec Record, m *proto.Message) {
+	if rec.Local() {
+		s.sendUDP(rec.Public, m)
+		return
+	}
+	s.fedForward(rec.Home, rec.Name, proto.Encode(m, s.obf))
+}
+
 // --- TCP transport ---
 
 func (s *Server) handleAccept(conn *tcp.Conn) {
 	// The client is identified once its Register frame arrives.
 	var dec proto.StreamDecoder
-	var owner *client
+	var owner *tcpClient
 	conn.OnData(func(cn *tcp.Conn, p []byte) {
 		msgs, err := dec.Feed(p)
 		if err != nil {
@@ -202,41 +363,44 @@ func (s *Server) handleAccept(conn *tcp.Conn) {
 			return
 		}
 		for _, m := range msgs {
-			owner = s.handleTCPMessage(cn, &dec, owner, m)
+			owner = s.handleTCPMessage(cn, owner, m)
 		}
 	})
 	conn.OnClosed(func(cn *tcp.Conn) {
-		if owner != nil && owner.tcpConn == cn {
-			owner.tcpConn = nil
+		if owner != nil && owner.conn == cn {
+			delete(s.tcpc, owner.name)
 		}
 	})
 }
 
-func (s *Server) handleTCPMessage(conn *tcp.Conn, dec *proto.StreamDecoder, owner *client, m *proto.Message) *client {
+func (s *Server) handleTCPMessage(conn *tcp.Conn, owner *tcpClient, m *proto.Message) *tcpClient {
 	s.tracef("S/tcp <- %s from=%s(%s)", m.Type, m.From, conn.Remote())
 	switch m.Type {
 	case proto.TypeRegister:
-		c := s.lookup(m.From)
-		c.tcpConn = conn
-		c.tcpPublic = conn.Remote() // observed (§3.1)
-		c.tcpPrivate = m.Private
+		c := &tcpClient{
+			name:    m.From,
+			conn:    conn,
+			public:  conn.Remote(), // observed (§3.1)
+			private: m.Private,
+		}
+		s.tcpc[m.From] = c
 		s.stats.RegistrationsTCP++
 		s.sendTCP(c, &proto.Message{
 			Type: proto.TypeRegisterOK, Target: m.From,
 			Public:  conn.Remote(),
-			Private: c.tcpPrivate,
+			Private: c.private,
 		})
 		return c
 
 	case proto.TypeConnectRequest:
 		s.stats.ConnectRequests++
-		s.forwardDetails(m, true)
+		s.forwardDetails(conn.Remote(), m, true)
 
 	case proto.TypeRelayTo:
 		s.relay(m)
 
 	case proto.TypeReverseRequest:
-		s.reverse(m)
+		s.reverse(conn.Remote(), m)
 
 	case proto.TypeSeqRequest, proto.TypeSeqGo:
 		s.seqSignal(m)
@@ -248,194 +412,26 @@ func (s *Server) handleTCPMessage(conn *tcp.Conn, dec *proto.StreamDecoder, owne
 	return owner
 }
 
-func (s *Server) sendTCP(c *client, m *proto.Message) {
-	if c.tcpConn == nil {
+func (s *Server) sendTCP(c *tcpClient, m *proto.Message) {
+	if c == nil || c.conn == nil {
 		return
 	}
-	c.tcpConn.Write(proto.AppendFrame(nil, m, s.obf))
+	c.conn.Write(proto.AppendFrame(nil, m, s.obf))
 }
 
-// --- request handling common to both transports ---
-
-// forwardDetails implements §3.2 step 2: "S replies to A with a
-// message containing B's public and private endpoints. At the same
-// time, S uses its session with B to send B a connection request
-// message containing A's public and private endpoints."
-func (s *Server) forwardDetails(m *proto.Message, viaTCP bool) {
-	a, aok := s.clients[m.From]
-	b, bok := s.clients[m.Target]
-	if !aok || !bok || !s.reachable(b, viaTCP) || !s.reachable(a, viaTCP) {
-		s.fail(m, viaTCP)
-		return
-	}
-	toA := &proto.Message{
-		Type: proto.TypeConnectDetails, From: m.Target, Target: m.From,
-		Nonce: m.Nonce, Requester: true,
-	}
-	toB := &proto.Message{
-		Type: proto.TypeConnectDetails, From: m.From, Target: m.Target,
-		Nonce: m.Nonce, Requester: false,
-	}
-	if viaTCP {
-		toA.Public, toA.Private = b.tcpPublic, b.tcpPrivate
-		toB.Public, toB.Private = a.tcpPublic, a.tcpPrivate
-		s.sendTCP(a, toA)
-		s.sendTCP(b, toB)
-	} else {
-		toA.Public, toA.Private = b.udpPublic, b.udpPrivate
-		toB.Public, toB.Private = a.udpPublic, a.udpPrivate
-		s.sendUDP(a.udpPublic, toA)
-		s.sendUDP(b.udpPublic, toB)
-	}
-	s.tracef("S: introduced %s <-> %s (nonce %d)", m.From, m.Target, m.Nonce)
-}
-
-// forwardCandidates brokers one candidate negotiation (UDP only):
-// the requester's advertised candidates go to the target, and a
-// candidate list synthesized from the target's registration comes
-// back — the ICE-style generalization of §3.2 step 2's endpoint
-// exchange. S substitutes the endpoint it observes on the wire for
-// any advertised public candidate, since the client's own idea of its
-// public endpoint can be stale (§3.1 makes S authoritative for it).
-func (s *Server) forwardCandidates(m *proto.Message, from inet.Endpoint) {
-	a, aok := s.clients[m.From]
-	b, bok := s.clients[m.Target]
-	if !aok || !bok || !a.udpSeen || !b.udpSeen {
-		s.fail(m, false)
-		return
-	}
-	toA := &proto.Message{
-		Type: proto.TypeNegotiateDetails, From: m.Target, Target: m.From,
-		Nonce: m.Nonce, Requester: true,
-		Public: b.udpPublic, Private: b.udpPrivate,
-		Candidates: registrationCandidates(b),
-	}
-	fromA := make([]proto.Candidate, 0, len(m.Candidates)+1)
-	seenPublic := false
-	for _, c := range m.Candidates {
-		if c.Kind == proto.CandPublic {
-			c.Endpoint = from // observed, authoritative (§3.1)
-			seenPublic = true
-		}
-		fromA = append(fromA, c)
-	}
-	if !seenPublic {
-		fromA = append(fromA, proto.Candidate{Kind: proto.CandPublic, Endpoint: from})
-	}
-	toB := &proto.Message{
-		Type: proto.TypeNegotiateDetails, From: m.From, Target: m.Target,
-		Nonce: m.Nonce, Requester: false,
-		Public: from, Private: a.udpPrivate,
-		Candidates: fromA,
-	}
-	s.sendUDP(a.udpPublic, toA)
-	s.sendUDP(b.udpPublic, toB)
-	s.tracef("S: negotiating %s <-> %s (nonce %d, %d candidates)",
-		m.From, m.Target, m.Nonce, len(fromA))
-}
-
-// registrationCandidates synthesizes a candidate list from what S
-// learned at registration: the self-reported private endpoint and the
-// observed public one.
-func registrationCandidates(c *client) []proto.Candidate {
-	cands := []proto.Candidate{{Kind: proto.CandPublic, Endpoint: c.udpPublic}}
-	if !c.udpPrivate.IsZero() && c.udpPrivate != c.udpPublic {
-		cands = append(cands, proto.Candidate{Kind: proto.CandPrivate, Endpoint: c.udpPrivate})
-	}
-	return cands
-}
-
-func (s *Server) reachable(c *client, viaTCP bool) bool {
-	if viaTCP {
-		return c.tcpConn != nil
-	}
-	return c.udpSeen
-}
-
-func (s *Server) fail(m *proto.Message, viaTCP bool) {
+// fail reports a brokering failure back to the requester over the
+// surface the request arrived on.
+func (s *Server) fail(from inet.Endpoint, m *proto.Message, viaTCP bool) {
 	s.stats.Errors++
 	e := &proto.Message{Type: proto.TypeError, Target: m.From, From: m.Target}
 	if viaTCP {
-		if a, ok := s.clients[m.From]; ok {
-			s.sendTCP(a, e)
-		}
+		s.sendTCP(s.tcpc[m.From], e)
 		return
 	}
-	if a, ok := s.clients[m.From]; ok && a.udpSeen {
-		s.sendUDP(a.udpPublic, e)
-	}
-}
-
-// relay implements the §2.2 fallback: S forwards the payload to the
-// target over the target's registered session.
-func (s *Server) relay(m *proto.Message) {
-	b, ok := s.clients[m.Target]
-	if !ok {
-		s.stats.Errors++
-		return
-	}
-	if m.Seq != 0 || len(m.Data) > 0 {
-		// Empty Seq-0 relays are §3.6 keep-alives, not the relay load
-		// §2.2 warns about; forward them but keep the stats honest.
-		s.stats.RelayedMessages++
-		s.stats.RelayedBytes += uint64(len(m.Data))
-	}
-	out := &proto.Message{
-		Type: proto.TypeRelayed, From: m.From, Target: m.Target,
-		Seq: m.Seq, Data: m.Data,
-	}
-	if b.tcpConn != nil && !b.udpSeen {
-		s.sendTCP(b, out)
-		return
-	}
-	if b.udpSeen {
-		s.sendUDP(b.udpPublic, out)
-	} else {
-		s.sendTCP(b, out)
-	}
-}
-
-// reverse implements §2.3: B (who cannot be reached directly) relays
-// a connection request through S asking the peer to attempt a
-// "reverse" connection back to B.
-func (s *Server) reverse(m *proto.Message) {
-	b, ok := s.clients[m.Target]
-	a, aok := s.clients[m.From]
-	if !ok || !aok {
-		s.stats.Errors++
-		return
-	}
-	s.stats.ReversalRequests++
-	out := &proto.Message{
-		Type: proto.TypeReverseRequest, From: m.From, Target: m.Target,
-		Nonce: m.Nonce,
-	}
-	if b.tcpConn != nil {
-		out.Public, out.Private = a.tcpPublic, a.tcpPrivate
-		s.sendTCP(b, out)
-		return
-	}
-	out.Public, out.Private = a.udpPublic, a.udpPrivate
-	if b.udpSeen {
-		s.sendUDP(b.udpPublic, out)
-	}
-}
-
-// seqSignal forwards sequential hole punching coordination (§4.5),
-// attaching the sender's registered TCP endpoints.
-func (s *Server) seqSignal(m *proto.Message) {
-	b, ok := s.clients[m.Target]
-	a, aok := s.clients[m.From]
-	if !ok || !aok || b.tcpConn == nil {
-		s.stats.Errors++
-		return
-	}
-	s.stats.SeqSignals++
-	out := &proto.Message{
-		Type: m.Type, From: m.From, Target: m.Target, Nonce: m.Nonce,
-		Public: a.tcpPublic, Private: a.tcpPrivate,
-	}
-	s.sendTCP(b, out)
+	// Reply to the observed source: the request just traversed the
+	// requester's NAT, so this path is always open — even for clients
+	// whose own registration has already expired.
+	s.sendUDP(from, e)
 }
 
 // KeepAliveInterval is how often idle clients should ping S to keep

@@ -16,6 +16,7 @@ type config struct {
 	useTCP          bool
 	localPort       transport.Port
 	registerTimeout time.Duration
+	servers         []transport.Endpoint
 }
 
 func defaultConfig() config {
@@ -39,6 +40,34 @@ func WithICE() Option { return func(c *config) { c.useICE = true } }
 // punching (or every candidate check) fails — the §2.2 floor that
 // always works while both peers can reach S.
 func WithRelayFallback() Option { return func(c *config) { c.punch.RelayFallback = true } }
+
+// Servers pools additional rendezvous servers with the one passed to
+// Open. The endpoint's home server is chosen from the pool by stable
+// rendezvous hashing of its name — every participant computes the
+// same owner, and changing unrelated deployment knobs (like registry
+// shard counts) never re-homes anyone — and the rest of the pool is
+// the failover order: a home server that goes silent past its
+// keep-alive grace is abandoned for the next member without tearing
+// down established sessions. Pool servers should be federated
+// (rendezvousapi.Server.Join / cmd/rendezvous -join) so peers homed
+// on different members can still reach each other.
+func Servers(eps ...transport.Endpoint) Option {
+	return func(c *config) { c.servers = append(c.servers, eps...) }
+}
+
+// WithRelayServers routes the §2.2 relay fallback through standalone
+// relay hosts (natpunch/relayapi, cmd/rendezvous -relay-only) instead
+// of the rendezvous server, keeping payload load off the brokering
+// tier. Each relayed session picks one host by a stable hash of the
+// peer pair, so both ends meet at the same relay; the endpoint
+// registers and keep-alives with every listed host so a fallback can
+// engage instantly. Implies WithRelayFallback.
+func WithRelayServers(eps ...transport.Endpoint) Option {
+	return func(c *config) {
+		c.punch.RelayServers = append(c.punch.RelayServers, eps...)
+		c.punch.RelayFallback = true
+	}
+}
 
 // WithKeepAlive tunes §3.6 session maintenance: interval paces
 // session and registration keep-alives; deadAfter declares a session

@@ -1,0 +1,63 @@
+// Command natlint runs the repository's invariant analyzers
+// (internal/analysis) over the whole module: determinism (no wall
+// clock or global randomness inside the engine), maporder (no map
+// iteration order on wire/render paths), layering (facade edges as
+// pinned in docs/API.md), and wiredispatch (exhaustive wire-message
+// handling). See docs/LINT.md.
+//
+// Usage:
+//
+//	go run ./cmd/natlint ./...
+//
+// The module enclosing the working directory is always analyzed in
+// full — the invariants are module-global, so package patterns are
+// accepted only for command-line familiarity. Exit status: 0 clean,
+// 1 unsuppressed diagnostics, 2 load or type-check failure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"natpunch/internal/analysis"
+)
+
+func main() {
+	// Arguments like "./..." are tolerated; anything flag-shaped is not.
+	for _, arg := range os.Args[1:] {
+		if len(arg) > 0 && arg[0] == '-' {
+			fmt.Fprintf(os.Stderr, "usage: natlint [./...]\n")
+			os.Exit(2)
+		}
+	}
+
+	mod, err := analysis.Load(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "natlint: %v\n", err)
+		os.Exit(2)
+	}
+	analyzers := analysis.Analyzers()
+	diags := analysis.Run(mod, analysis.DefaultConfig(), analyzers)
+
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Check]++
+		if rel, err := filepath.Rel(mod.Dir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+
+	summary := fmt.Sprintf("natlint: %d package(s)", len(mod.Packages))
+	for _, a := range analyzers {
+		summary += fmt.Sprintf(" · %s %d", a.Name, counts[a.Name])
+	}
+	if n := counts["pragma"]; n > 0 {
+		summary += fmt.Sprintf(" · pragma %d", n)
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Layering enforces the facade architecture (docs/API.md): facade
+// (natpunch) -> engine (internal/*) -> transport. Concretely:
+//
+//   - examples, cmds, and public packages may import
+//     <module>/internal/... only through the edges pinned in the
+//     API doc's "natlint:edges" block — anything else (including any
+//     future package, discovered by walking the module, not a
+//     hand-kept list) is a violation;
+//   - internal packages may import, among module packages, only other
+//     internal packages and the documented engine->public seams
+//     (Config.InternalAllowedPublic, i.e. natpunch/transport);
+//   - pinned edges that no longer exist in the import graph are
+//     reported as stale, so the doc cannot drift from the code.
+//
+// This replaces (and strictly subsumes) the shell `grep -rl
+// "natpunch/internal"` CI step.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "imports of internal packages must follow the facade edges pinned in the API doc",
+	Run:  runLayering,
+}
+
+// edge is one documented public->internal import permission.
+type edge struct {
+	from, to string
+	line     int
+	used     bool
+}
+
+const (
+	edgesBegin = "<!-- natlint:edges:begin -->"
+	edgesEnd   = "<!-- natlint:edges:end -->"
+)
+
+// parseEdges reads the pinned edge table out of the API doc. Lines
+// between the begin/end markers (code fences and blanks skipped) have
+// the form:
+//
+//	<importer-path> -> <internal-path> [<internal-path>...]
+func parseEdges(path string) ([]*edge, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var edges []*edge
+	in := false
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case edgesBegin:
+			in = true
+			continue
+		case edgesEnd:
+			in = false
+			continue
+		}
+		if !in || trimmed == "" || strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) < 3 || fields[1] != "->" {
+			return nil, fmt.Errorf("%s:%d: malformed edge line %q (want: from -> to [to...])", path, i+1, trimmed)
+		}
+		for _, to := range fields[2:] {
+			edges = append(edges, &edge{from: fields[0], to: to, line: i + 1})
+		}
+	}
+	return edges, nil
+}
+
+func runLayering(pass *Pass) {
+	mod := pass.Module
+	internalRoot := mod.Path + "/internal"
+	isInternal := func(p string) bool {
+		return p == internalRoot || strings.HasPrefix(p, internalRoot+"/")
+	}
+
+	docPath := filepath.Join(mod.Dir, pass.Config.APIDoc)
+	edges, err := parseEdges(docPath)
+	if err != nil {
+		pass.ReportAt(token.Position{Filename: docPath, Line: 1, Column: 1},
+			"cannot read layering contract: %v", err)
+		return
+	}
+	allowed := make(map[string]map[string]*edge)
+	for _, e := range edges {
+		if allowed[e.from] == nil {
+			allowed[e.from] = make(map[string]*edge)
+		}
+		allowed[e.from][e.to] = e
+	}
+
+	for _, pkg := range mod.Sorted() {
+		for _, f := range pkg.Files {
+			for _, spec := range f.Imports {
+				imp, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				inModule := imp == mod.Path || strings.HasPrefix(imp, mod.Path+"/")
+				if !inModule {
+					continue
+				}
+				if isInternal(pkg.Path) {
+					if !isInternal(imp) && !matchAny(imp, pass.Config.InternalAllowedPublic) {
+						pass.Reportf(spec.Pos(),
+							"internal package %s imports public package %s: the engine may only reach outward through %s",
+							pkg.Path, imp, strings.Join(pass.Config.InternalAllowedPublic, ", "))
+					}
+					continue
+				}
+				if !isInternal(imp) {
+					continue
+				}
+				if e, ok := allowed[pkg.Path][imp]; ok {
+					e.used = true
+					continue
+				}
+				pass.Reportf(spec.Pos(),
+					"%s imports %s, an edge not pinned in %s: stay on the public API, or document the facade edge",
+					pkg.Path, imp, pass.Config.APIDoc)
+			}
+		}
+	}
+
+	// Stale pins: an edge the import graph no longer has. Sorted for
+	// deterministic output.
+	sort.Slice(edges, func(i, j int) bool { return edges[i].line < edges[j].line })
+	for _, e := range edges {
+		if !e.used {
+			pass.ReportAt(token.Position{Filename: docPath, Line: e.line, Column: 1},
+				"stale layering edge %s -> %s: the import no longer exists, remove the pin", e.from, e.to)
+		}
+	}
+}

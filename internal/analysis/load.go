@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the
+// module under analysis.
+type Package struct {
+	// Path is the package's import path ("natpunch/internal/proto").
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the full load result: every package in one Go module,
+// type-checked against a shared FileSet so cross-package type
+// identities (e.g. proto.Type seen from internal/rendezvous) compare
+// by pointer.
+type Module struct {
+	// Path is the module path from go.mod ("natpunch").
+	Path string
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+	// Packages maps import path -> package, one entry per directory
+	// with non-test Go sources.
+	Packages map[string]*Package
+}
+
+// Sorted returns the module's packages in import-path order, the
+// canonical iteration order for deterministic diagnostics.
+func (m *Module) Sorted() []*Package {
+	paths := make([]string, 0, len(m.Packages))
+	for p := range m.Packages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, len(paths))
+	for i, p := range paths {
+		pkgs[i] = m.Packages[p]
+	}
+	return pkgs
+}
+
+// loader resolves imports: module-local paths load from source within
+// the module; everything else (the standard library) goes through the
+// go/importer "source" importer, which type-checks GOROOT/src and so
+// needs no precompiled export data.
+type loader struct {
+	mod     *Module
+	std     types.ImporterFrom
+	loading map[string]bool
+	dirs    map[string]string // import path -> source dir
+}
+
+// Load discovers, parses, and type-checks every package of the module
+// rooted at dir (the directory containing go.mod, or any directory
+// below it). Test files (_test.go) and testdata trees are excluded:
+// natlint's invariants govern shipped code, and tests legitimately use
+// wall-clock time.
+func Load(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks stdlib from GOROOT/src; with cgo
+	// disabled the pure-Go fallbacks (e.g. package net's netgo path)
+	// are selected, keeping the load toolchain-independent.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	mod := &Module{
+		Path:     modPath,
+		Dir:      root,
+		Fset:     fset,
+		Packages: make(map[string]*Package),
+	}
+	ld := &loader{
+		mod:     mod,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loading: make(map[string]bool),
+		dirs:    make(map[string]string),
+	}
+	if err := ld.discover(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := ld.load(p); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// discover maps every directory under the module root holding
+// non-test Go sources to its import path. testdata trees, hidden
+// directories, and nested modules are skipped, mirroring the go tool.
+func (ld *loader) discover() error {
+	return filepath.WalkDir(ld.mod.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.mod.Dir {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		files, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(ld.mod.Dir, path)
+		if err != nil {
+			return err
+		}
+		imp := ld.mod.Path
+		if rel != "." {
+			imp = ld.mod.Path + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[imp] = path
+		return nil
+	})
+}
+
+// sourceFiles lists dir's buildable non-test Go files, applying build
+// constraints (file suffixes and //go:build lines) for the current
+// platform so e.g. only one of sockopt_linux.go / sockopt_other.go is
+// type-checked.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+			strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// load parses and type-checks one module package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.mod.Packages[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer func() { ld.loading[path] = false }()
+
+	dir, ok := ld.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no package %s in module %s", path, ld.mod.Path)
+	}
+	names, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.mod.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.mod.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	ld.mod.Packages[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, ld.mod.Dir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local imports load
+// from the module source tree; all others resolve as standard library.
+func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == ld.mod.Path || strings.HasPrefix(path, ld.mod.Path+"/") {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, srcDir, mode)
+}

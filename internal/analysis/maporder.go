@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags direct `for … range <map>` iteration in the
+// wire/render-path packages (Config.WirePackages). Go randomizes map
+// iteration order per run, so any map order that reaches the packet
+// stream or a rendered table silently breaks the byte-identical
+// reproducibility the experiments are pinned on (PR 5's name-sorted
+// federation sync exists because exactly this bug class bit us). A
+// loop passes only if it is provably order-insensitive (commutative
+// integer accumulation, keyed writes, existence checks) or follows
+// the collect-keys-then-sort pattern; anything else must restructure
+// or carry a reasoned pragma.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "wire/render-path packages must not leak map iteration order",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, pkg := range pass.Module.Sorted() {
+		if !matchAny(pkg.Path, pass.Config.WirePackages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			// Function bodies, innermost-last, so each range statement
+			// can be matched to its tightest enclosing function for
+			// the collect-then-sort pattern.
+			var bodies []*ast.BlockStmt
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						bodies = append(bodies, fn.Body)
+					}
+				case *ast.FuncLit:
+					bodies = append(bodies, fn.Body)
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				mo := &mapOrderCheck{pkg: pkg, rs: rs}
+				if mo.orderInsensitive(rs.Body, nil) {
+					return true
+				}
+				if mo.collectThenSort(enclosingBody(bodies, rs)) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration order reaches the output in wire/render package %s: sort the keys first (or restructure to a provably order-insensitive loop)",
+					pkg.Path)
+				return true
+			})
+		}
+	}
+}
+
+// enclosingBody returns the smallest recorded function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+type mapOrderCheck struct {
+	pkg *Package
+	rs  *ast.RangeStmt
+}
+
+// keyIdent returns the loop's key variable, if it is a plain ident.
+func (mo *mapOrderCheck) keyIdent() *ast.Ident {
+	if id, ok := mo.rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		return id
+	}
+	return nil
+}
+
+// orderInsensitive reports whether every statement in the block
+// produces the same result regardless of iteration order: integer
+// accumulation (++/--, +=, -=, bitwise compound assigns), writes
+// keyed by the loop key (distinct keys touch distinct cells), deletes
+// keyed by the loop key, call-free guards, guarded min/max tracking,
+// constant-result returns (existence checks), and nested loops of the
+// same shape. guard carries the innermost if-condition, which is what
+// licenses `if v > max { max = v }`.
+func (mo *mapOrderCheck) orderInsensitive(block *ast.BlockStmt, guard ast.Expr) bool {
+	for _, stmt := range block.List {
+		if !mo.stmtInsensitive(stmt, guard) {
+			return false
+		}
+	}
+	return true
+}
+
+func (mo *mapOrderCheck) stmtInsensitive(stmt ast.Stmt, guard ast.Expr) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return mo.isInteger(s.X)
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+			token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+			return len(s.Lhs) == 1 && mo.isInteger(s.Lhs[0])
+		case token.ASSIGN:
+			if len(s.Lhs) != 1 {
+				return false
+			}
+			// Keyed write: m2[k] = … touches a distinct cell per
+			// iteration, whatever the order.
+			if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+				return mo.isLoopKey(ix.Index)
+			}
+			// Guarded min/max tracking: the assignment is licensed by
+			// an enclosing comparison over the assigned variable.
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				return guardCompares(guard, id.Name)
+			}
+			return false
+		default:
+			return false
+		}
+	case *ast.ExprStmt:
+		// delete(m2, k): removes a distinct cell per iteration.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "delete" && len(call.Args) == 2 {
+				return mo.isLoopKey(call.Args[1])
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || !callFree(s.Cond) {
+			return false
+		}
+		if !mo.orderInsensitive(s.Body, s.Cond) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return mo.orderInsensitive(e, guard)
+		case *ast.IfStmt:
+			return mo.stmtInsensitive(e, guard)
+		default:
+			return false
+		}
+	case *ast.ReturnStmt:
+		// Constant returns (existence / early-out checks) yield the
+		// same value whichever element triggered them.
+		for _, r := range s.Results {
+			if !isConstExpr(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.RangeStmt:
+		inner := &mapOrderCheck{pkg: mo.pkg, rs: s}
+		return inner.orderInsensitive(s.Body, nil)
+	default:
+		return false
+	}
+}
+
+func (mo *mapOrderCheck) isInteger(e ast.Expr) bool {
+	t := mo.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func (mo *mapOrderCheck) isLoopKey(e ast.Expr) bool {
+	key := mo.keyIdent()
+	if key == nil {
+		return false
+	}
+	keyObj := mo.pkg.Info.Defs[key]
+	if keyObj == nil {
+		keyObj = mo.pkg.Info.Uses[key] // `for k = range m` rebinding an existing var
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && keyObj != nil && mo.pkg.Info.Uses[id] == keyObj
+}
+
+// guardCompares reports whether the licensing guard is a comparison
+// mentioning the assigned variable (the min/max-tracking shape).
+func guardCompares(guard ast.Expr, name string) bool {
+	cmp, ok := guard.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(cmp, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callFree reports whether e contains no calls other than len/cap, so
+// evaluating it per element cannot have order-dependent side effects.
+func callFree(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if fn, isIdent := call.Fun.(*ast.Ident); !isIdent || (fn.Name != "len" && fn.Name != "cap") {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+func isConstExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false" || v.Name == "nil"
+	case *ast.UnaryExpr:
+		return isConstExpr(v.X)
+	default:
+		return false
+	}
+}
+
+// collectThenSort recognizes the canonical deterministic-iteration
+// pattern: the loop body only appends to one slice, and the enclosing
+// function later sorts that slice (package sort or slices) before the
+// order can escape.
+func (mo *mapOrderCheck) collectThenSort(fnBody *ast.BlockStmt) bool {
+	if fnBody == nil || len(mo.rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := mo.rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	target, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if len(call.Args) < 1 || !sameObject(mo.pkg, call.Args[0], target) {
+		return false
+	}
+	// A sort of the collected slice after the loop seals the order.
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < mo.rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := mo.pkg.Info.Uses[qual].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if sameObject(mo.pkg, arg, target) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// sameObject reports whether two identifier expressions denote the
+// same variable.
+func sameObject(pkg *Package, a ast.Expr, b *ast.Ident) bool {
+	ida, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa := pkg.Info.Uses[ida]
+	if oa == nil {
+		oa = pkg.Info.Defs[ida]
+	}
+	ob := pkg.Info.Uses[b]
+	if ob == nil {
+		ob = pkg.Info.Defs[b]
+	}
+	return oa != nil && oa == ob
+}

@@ -1,0 +1,44 @@
+// Package engine is a determinism-fixture engine package: wall-clock
+// time and global randomness are forbidden here.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the wall clock.
+func Bad() time.Time {
+	return time.Now() // want determinism "time.Now"
+}
+
+// BadSleep blocks on the wall clock.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want determinism "time.Sleep"
+}
+
+// BadTimer schedules on the wall clock.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want determinism "time.NewTimer"
+}
+
+// BadRand draws from the process-global source.
+func BadRand() int {
+	return rand.Intn(6) // want determinism "math/rand.Intn"
+}
+
+// Good constructs a seeded source — exactly how determinism is done.
+func Good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodDur uses time only for arithmetic, never the clock.
+func GoodDur(r *rand.Rand) time.Duration {
+	return time.Duration(r.Intn(10)) * time.Second
+}
+
+// Suppressed documents a deliberate exemption.
+func Suppressed() time.Time {
+	//natlint:ignore determinism fixture demonstrating a reasoned suppression
+	return time.Now()
+}

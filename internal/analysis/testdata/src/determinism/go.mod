@@ -1,0 +1,3 @@
+module detfix
+
+go 1.24

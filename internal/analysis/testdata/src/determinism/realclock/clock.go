@@ -1,0 +1,8 @@
+// Package realclock is outside the engine scope: real-world adapters
+// may use the wall clock freely.
+package realclock
+
+import "time"
+
+// Stamp is legal here: this package adapts to the real world.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,6 @@
+// Command demo is an example that must stay on the public API.
+package main
+
+import "layfix/internal/core" // want layering "not pinned"
+
+func main() { _ = core.Version }

@@ -1,0 +1,8 @@
+// Package layfix is the public facade: its internal/core import is a
+// pinned edge in docs/API.md.
+package layfix
+
+import "layfix/internal/core"
+
+// Version re-exports the engine version through the facade.
+func Version() int { return core.Version }

@@ -1,0 +1,7 @@
+// Package gadget imports engine internals without a pinned edge.
+package gadget
+
+import "layfix/internal/core" // want layering "not pinned"
+
+// V leaks the engine version.
+const V = core.Version

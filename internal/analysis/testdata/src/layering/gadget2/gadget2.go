@@ -1,0 +1,8 @@
+// Package gadget2 carries a reasoned suppression for its edge.
+package gadget2
+
+//natlint:ignore layering fixture demonstrating a tolerated undocumented edge
+import "layfix/internal/core"
+
+// V leaks the engine version, with a recorded excuse.
+const V = core.Version

@@ -1,0 +1,3 @@
+module layfix
+
+go 1.24

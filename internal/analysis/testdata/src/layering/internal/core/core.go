@@ -1,0 +1,5 @@
+// Package core is fixture engine internals.
+package core
+
+// Version is the engine version.
+const Version = 1

@@ -1,0 +1,11 @@
+// Package leak is an internal package that reaches outward illegally.
+package leak
+
+import (
+	"layfix/pub" // want layering "imports public package"
+
+	"layfix/seam"
+)
+
+// Total mixes a legal seam import with an illegal public one.
+const Total = seam.Width + len(pub.Name)

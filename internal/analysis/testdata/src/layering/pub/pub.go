@@ -1,0 +1,5 @@
+// Package pub is a public package with no internal imports.
+package pub
+
+// Name identifies the package.
+const Name = "pub"

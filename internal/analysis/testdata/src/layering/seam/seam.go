@@ -1,0 +1,6 @@
+// Package seam is the documented engine->public seam (the fixture's
+// analogue of natpunch/transport).
+package seam
+
+// Width is a seam constant.
+const Width = 2

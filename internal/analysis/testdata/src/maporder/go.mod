@@ -1,0 +1,3 @@
+module mapfix
+
+go 1.24

@@ -1,0 +1,103 @@
+// Package wire is a maporder-fixture wire/render-path package: map
+// iteration order must not reach the output.
+package wire
+
+import "sort"
+
+// Render leaks map order into the rendered string.
+func Render(m map[string]int) string {
+	s := ""
+	for k := range m { // want maporder "map iteration order"
+		s += k
+	}
+	return s
+}
+
+// Rows collects in map order and never sorts.
+func Rows(m map[string]int) [][2]any {
+	var rows [][2]any
+	for k, v := range m { // want maporder "map iteration order"
+		rows = append(rows, [2]any{k, v})
+	}
+	return rows
+}
+
+// SortedKeys is the canonical pattern: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedRows collects rows and seals the order with sort.Slice.
+func SortedRows(m map[string]int) [][2]string {
+	var rows [][2]string
+	for k := range m {
+		rows = append(rows, [2]string{k, "x"})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	return rows
+}
+
+// Count is commutative integer accumulation.
+func Count(m map[string]int) (n, total int) {
+	for _, v := range m {
+		if v > 0 {
+			n++
+			total += v
+		}
+	}
+	return
+}
+
+// Invert writes cells keyed by the loop key: distinct cells, any order.
+func Invert(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// PurgeZero deletes by the loop key.
+func PurgeZero(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Max is guarded min/max tracking.
+func Max(m map[string]int) int {
+	max := 0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// HasNegative is an existence check with constant returns.
+func HasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed documents a deliberate exemption.
+func Suppressed(m map[string]int) string {
+	s := ""
+	//natlint:ignore maporder fixture demonstrating a reasoned suppression
+	for k := range m {
+		s += k
+	}
+	return s
+}

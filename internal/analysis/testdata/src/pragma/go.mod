@@ -1,0 +1,3 @@
+module pragfix
+
+go 1.24

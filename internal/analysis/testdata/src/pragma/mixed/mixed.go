@@ -1,0 +1,31 @@
+// Package mixed exercises pragma scoping: a pragma suppresses exactly
+// its named check on its own line and the next, nothing else.
+package mixed
+
+import "time"
+
+// Mixed puts a maporder violation on the pragma's own line and a
+// determinism violation on the next: only determinism is excused.
+func Mixed(m map[string]string) (t time.Time, s string) {
+	for k := range m { //natlint:ignore determinism scope fixture excuses only the named check
+		t = time.Now()
+		s += k
+	}
+	return
+}
+
+// Malformed carries a reasonless pragma.
+func Malformed(m map[string]int) int {
+	n := 0
+	/*natlint:ignore maporder*/ // want pragma "malformed"
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Clean has no violation on the next line; its pragma is unused.
+func Clean() int {
+	/*natlint:ignore determinism nothing to excuse here*/ // want pragma "unused"
+	return 1
+}

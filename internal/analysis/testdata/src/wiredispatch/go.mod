@@ -1,0 +1,3 @@
+module wirefix
+
+go 1.24

@@ -1,0 +1,45 @@
+// Package proto is the wiredispatch fixture wire protocol.
+package proto
+
+// Type identifies a wire message.
+type Type uint8
+
+// Wire message types. TypeD is deliberately undispatched and TypeE
+// deliberately unnamed; Decode's bound is deliberately stale.
+const (
+	// TypeA is the first message.
+	TypeA Type = iota + 1
+	// TypeB is the second message.
+	TypeB
+	// TypeC is the third message.
+	TypeC
+	// TypeD is dispatched nowhere (fixture true positive).
+	TypeD
+	// TypeE is missing from String (suppressed fixture case).
+	TypeE
+)
+
+// String names the message type.
+//
+//natlint:ignore wiredispatch TypeE is deliberately unnamed to demonstrate suppression
+func (t Type) String() string {
+	names := map[Type]string{
+		TypeA: "a", TypeB: "b", TypeC: "c", TypeD: "d",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return "?"
+}
+
+// Decode validates a wire byte against a stale upper bound.
+func Decode(b []byte) (Type, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	t := Type(b[0])
+	if t == 0 || t > TypeD { // want wiredispatch "stale"
+		return 0, false
+	}
+	return t, true
+}

@@ -1,0 +1,17 @@
+// Package server dispatches fixture wire messages.
+package server
+
+import "wirefix/proto"
+
+// Handle dispatches one message; TypeD deliberately falls through.
+func Handle(t proto.Type) string {
+	switch t { // want wiredispatch "TypeD"
+	case proto.TypeA:
+		return "a"
+	case proto.TypeB, proto.TypeC:
+		return "bc"
+	case proto.TypeE:
+		return "e"
+	}
+	return ""
+}

@@ -24,9 +24,10 @@ func Fig1AddressRealms(seed int64) Result {
 	c := topo.NewCanonical(seed, nat.Cone(), nat.Cone())
 	// Echo responders on every host.
 	hosts := map[string]*host.Host{"S (public)": c.S, "A (private 1)": c.A, "B (private 2)": c.B}
+	order := []string{"S (public)", "A (private 1)", "B (private 2)"}
 	eps := map[string]inet.Endpoint{}
-	for name, h := range hosts {
-		sock, err := h.UDPBind(9)
+	for _, name := range order {
+		sock, err := hosts[name].UDPBind(9)
 		must(err)
 		eps[name] = sock.Local()
 		s := sock
@@ -34,7 +35,6 @@ func Fig1AddressRealms(seed int64) Result {
 	}
 	// For private hosts, the "address" another realm would try is the
 	// private address — unreachable, which is the architecture's point.
-	order := []string{"S (public)", "A (private 1)", "B (private 2)"}
 	var rows [][]string
 	reachable := 0
 	for _, src := range order {

@@ -28,6 +28,7 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"natpunch/internal/host"
@@ -690,12 +691,20 @@ func (f *Fleet) finish() {
 			f.rep.Abandoned++
 		}
 	}
+	// Collected in map order, sorted before they can reach the report
+	// renderer (finalize re-sorts, but the invariant is local here).
+	pairs := make([]PairStat, 0, len(f.pairs))
 	for _, ps := range f.pairs {
-		f.rep.Pairs = append(f.rep.Pairs, *ps)
+		pairs = append(pairs, *ps)
 	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Pair < pairs[j].Pair })
+	f.rep.Pairs = pairs
+	topos := make([]TopoStat, 0, len(f.topos))
 	for _, ts := range f.topos {
-		f.rep.Topos = append(f.rep.Topos, *ts)
+		topos = append(topos, *ts)
 	}
+	sort.Slice(topos, func(i, j int) bool { return topos[i].Topo < topos[j].Topo })
+	f.rep.Topos = topos
 	// Per-server load: stats per instance plus how many peers the
 	// stable hash homes there; Server stays the tier-wide aggregate.
 	homed := make([]int, len(f.srvs))

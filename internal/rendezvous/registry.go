@@ -177,6 +177,7 @@ func (r *ShardedRegistry) Len(now time.Duration) int {
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.RLock()
+		//natlint:ignore maporder counting with the pure Expired predicate is order-insensitive
 		for _, rec := range s.recs {
 			if !rec.Expired(now) {
 				n++
@@ -193,6 +194,7 @@ func (r *ShardedRegistry) Range(now time.Duration, fn func(Record) bool) {
 		s := &r.shards[i]
 		s.mu.RLock()
 		recs := make([]Record, 0, len(s.recs))
+		//natlint:ignore maporder Range's contract leaves order unspecified; order-sensitive callers sort (federation sync name-sorts, federation.go)
 		for _, rec := range s.recs {
 			if !rec.Expired(now) {
 				recs = append(recs, rec)

@@ -79,9 +79,13 @@ func makeSimPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
 // makeRealPair builds the scenario over real loopback sockets:
 // blockDirect models unpunchable paths by dropping all punch/check
 // probes and acks at bob, in front of the engine's own dispatch.
-func makeRealPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
+// Explicit opts replace the default conformance options.
+func makeRealPair(t *testing.T, blockDirect bool, opts ...Option) (*Dialer, *Dialer) {
 	t.Helper()
 	requireLoopbackUDP(t)
+	if len(opts) == 0 {
+		opts = conformanceOpts()
+	}
 	serverTr, err := realudp.New("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +103,7 @@ func makeRealPair(t *testing.T, blockDirect bool) (*Dialer, *Dialer) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { tr.Close() })
-		d, err := Open(tr, name, server, conformanceOpts()...)
+		d, err := Open(tr, name, server, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,5 +332,106 @@ func TestConformanceRelayFloorClass(t *testing.T) {
 		if classOf(c.sim) != "relay" || classOf(c.real) != "relay" {
 			t.Errorf("%s: outcome classes diverge or are not relay: sim=%s real=%s", c.name, c.sim, c.real)
 		}
+	}
+}
+
+// runRelayFirstUpgrade dials bob relay-first and keeps echo traffic
+// flowing while the background punch upgrades the live session,
+// returning the final path from both perspectives. Every echo round
+// must succeed — before, during, and after the cutover.
+func runRelayFirstUpgrade(t *testing.T, alice, bob *Dialer) (dialPath, acceptPath string) {
+	t.Helper()
+	ln, err := bob.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan *Conn, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			return
+		}
+		acceptCh <- conn
+		buf := make([]byte, 2048)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			conn.Write(append([]byte("echo:"), buf[:n]...))
+		}
+	}()
+
+	conn, err := alice.Dial("bob")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	var bconn *Conn
+	select {
+	case bconn = <-acceptCh:
+	case <-time.After(15 * time.Second):
+		t.Fatal("bob never surfaced the relay-first session")
+	}
+
+	buf := make([]byte, 256)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := conn.Write([]byte("ping")); err != nil {
+			t.Fatalf("write on %s path: %v", conn.Path(), err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatalf("echo broke mid-upgrade on %s path: %v", conn.Path(), err)
+		}
+		if string(buf[:n]) != "echo:ping" {
+			t.Fatalf("echo payload = %q", buf[:n])
+		}
+		if classOf(conn.Path()) == "direct" && classOf(bconn.Path()) == "direct" {
+			return conn.Path(), bconn.Path()
+		}
+		if !time.Now().Before(deadline) {
+			return conn.Path(), bconn.Path()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConformanceRelayFirstUpgrade: a relay-first dial on punchable
+// peers must converge on a direct path class — identically over the
+// simulator and over real loopback sockets, with both the plain
+// punching engine and the candidate engine — while the session keeps
+// carrying traffic throughout.
+func TestConformanceRelayFirstUpgrade(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		extra []Option
+	}{
+		{"plain", nil},
+		{"ice", []Option{WithICE()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithRelayFirst(),
+				WithPunchTimeout(1500 * time.Millisecond),
+			}, mode.extra...)
+
+			simA, simB, _, _ := simPair(t, simnet.Cone(), simnet.Cone(), opts...)
+			simDial, simAccept := runRelayFirstUpgrade(t, simA, simB)
+
+			realA, realB := makeRealPair(t, false, opts...)
+			realDial, realAccept := runRelayFirstUpgrade(t, realA, realB)
+
+			for _, c := range []struct{ name, sim, real string }{
+				{"dial side", simDial, realDial},
+				{"accept side", simAccept, realAccept},
+			} {
+				if classOf(c.sim) != "direct" || classOf(c.real) != "direct" {
+					t.Errorf("%s: relay-first session never upgraded to direct: sim=%s real=%s",
+						c.name, c.sim, c.real)
+				}
+			}
+		})
 	}
 }

@@ -50,9 +50,7 @@ func (a Addr) Endpoint() transport.Endpoint { return a.ep }
 type Conn struct {
 	d      *Dialer
 	peer   string
-	via    punch.Method
 	local  Addr
-	remote Addr
 	stream bool
 
 	// sess/tsess are engine objects: touched only under d.tr.Invoke.
@@ -61,11 +59,14 @@ type Conn struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	inbox     [][]byte // datagram queue (UDP mode)
-	buf       []byte   // stream buffer (TCP mode)
-	closed    bool     // closed locally
-	remoteEOF bool     // stream closed by peer
-	dead      bool     // §3.6 idle death
+	via       punch.Method // live path; moves on upgrade/failback
+	remote    Addr         // live remote endpoint, tracks via
+	inbox     [][]byte     // datagram queue (UDP mode)
+	buf       []byte       // stream buffer (TCP mode)
+	closed    bool         // closed locally
+	remoteEOF bool         // stream closed by peer
+	dead      bool         // terminal: §3.6 idle death or superseded
+	deadErr   error        // which terminal error Read/Write surface
 	rdl, wdl  time.Time
 	rdlTimer  *time.Timer
 }
@@ -80,15 +81,32 @@ func (d *Dialer) newUDPConn(s *punch.UDPSession) *Conn {
 		remote: Addr{ep: s.Remote, relay: s.Via == punch.MethodRelay},
 	}
 	c.cond = sync.NewCond(&c.mu)
+	s.OnPathChange(d.udpPathChanged)
 	d.adopt(s, c)
 	return c
+}
+
+// migrated tracks an engine path migration (engine context): the Conn
+// follows its session between relay and direct paths so Path() and
+// RemoteAddr() stay live, then the user's OnPathChange hook fires.
+func (c *Conn) migrated(s *punch.UDPSession, old, new punch.Method) {
+	c.mu.Lock()
+	c.via = new
+	c.remote = Addr{ep: s.Remote, relay: new == punch.MethodRelay}
+	c.mu.Unlock()
+	if fn := c.d.cfg.onPathChange; fn != nil {
+		fn(c.peer, old.String(), new.String())
+	}
 }
 
 // adopt records a new Conn and retires any previous Conn to the same
 // peer: the engine replaces sessions in place (a re-dial or a peer's
 // fresh negotiation closes the old session without firing Dead), so
 // the superseded Conn must be marked dead here or its readers would
-// block forever.
+// block forever. Retired Conns surface ErrSuperseded — distinct from
+// a genuine §3.6 death, though errors.Is(err, ErrSessionDead) still
+// holds — and drop their deadline timer, which would otherwise keep
+// firing into the abandoned Conn until its wall-clock deadline.
 func (d *Dialer) adopt(sess any, c *Conn) {
 	var stale []*Conn
 	d.mu.Lock()
@@ -103,6 +121,13 @@ func (d *Dialer) adopt(sess any, c *Conn) {
 	for _, old := range stale {
 		old.mu.Lock()
 		old.dead = true
+		if old.deadErr == nil {
+			old.deadErr = ErrSuperseded
+		}
+		if old.rdlTimer != nil {
+			old.rdlTimer.Stop()
+			old.rdlTimer = nil
+		}
 		old.cond.Broadcast()
 		old.mu.Unlock()
 	}
@@ -127,16 +152,27 @@ func (d *Dialer) newTCPConn(s *punch.TCPSession) *Conn {
 // Peer returns the remote endpoint's rendezvous name.
 func (c *Conn) Peer() string { return c.peer }
 
-// Path classifies how the session was established: "private" (§3.3),
-// "public" (punched or hairpinned, §3.4-3.5), or "relay" (§2.2).
-func (c *Conn) Path() string { return c.via.String() }
+// Path classifies the session's current path: "private" (§3.3),
+// "public" (punched or hairpinned, §3.4-3.5), or "relay" (§2.2). With
+// WithRelayFirst/WithPathUpgrade the value is live — it moves from
+// "relay" to a direct class when the background punch upgrades the
+// session, and back on failback.
+func (c *Conn) Path() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.via.String()
+}
 
 // LocalAddr returns the local socket address.
 func (c *Conn) LocalAddr() net.Addr { return c.local }
 
-// RemoteAddr returns the locked-in peer endpoint ("relay" for relayed
-// sessions).
-func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+// RemoteAddr returns the current peer endpoint ("relay" for relayed
+// sessions). Like Path, it tracks live migrations.
+func (c *Conn) RemoteAddr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
 
 // deliver appends inbound payload (engine context).
 func (c *Conn) deliver(p []byte) {
@@ -157,9 +193,21 @@ func (c *Conn) deliver(p []byte) {
 func (c *Conn) markDead() {
 	c.mu.Lock()
 	c.dead = true
+	if c.deadErr == nil {
+		c.deadErr = ErrSessionDead
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.d.forget(c.sessKey())
+}
+
+// deadError reports which terminal error this dead Conn surfaces
+// (caller holds c.mu).
+func (c *Conn) deadError() error {
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return ErrSessionDead
 }
 
 // markRemoteClosed flags a peer-closed stream (engine context).
@@ -193,7 +241,15 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 		if !c.stream && len(c.inbox) > 0 {
 			n := copy(p, c.inbox[0])
+			// Nil the popped slot before resslicing: the backing array
+			// keeps every consumed position alive until the whole array
+			// is dropped, so a long-lived Conn would otherwise pin every
+			// datagram it ever received.
+			c.inbox[0] = nil
 			c.inbox = c.inbox[1:]
+			if len(c.inbox) == 0 {
+				c.inbox = nil // drained: release the backing array
+			}
 			return n, nil
 		}
 		switch {
@@ -202,7 +258,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		case c.remoteEOF:
 			return 0, io.EOF
 		case c.dead:
-			return 0, ErrSessionDead
+			return 0, c.deadError()
 		case !c.rdl.IsZero() && !time.Now().Before(c.rdl):
 			return 0, os.ErrDeadlineExceeded
 		}
@@ -220,8 +276,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.mu.Unlock()
 		return 0, ErrClosed
 	case c.dead:
+		err := c.deadError()
 		c.mu.Unlock()
-		return 0, ErrSessionDead
+		return 0, err
 	case !c.wdl.IsZero() && !time.Now().Before(c.wdl):
 		c.mu.Unlock()
 		return 0, os.ErrDeadlineExceeded

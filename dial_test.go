@@ -139,3 +139,85 @@ func makeRealPairLongDial(t *testing.T, useICE bool) (*Dialer, *Dialer) {
 	dropProbes(bob)
 	return alice, bob
 }
+
+// TestDialSupersededConn pins the error a Conn surfaces when the
+// engine replaces its session with a newer one to the same peer (the
+// peer re-dialed): ErrSuperseded, distinguishable from a genuine
+// §3.6 idle death yet still matching errors.Is(err, ErrSessionDead),
+// with the abandoned Conn's read-deadline timer stopped rather than
+// left firing until its wall-clock deadline.
+func TestDialSupersededConn(t *testing.T) {
+	alice, bob, _, _ := simPair(t, simnet.Cone(), simnet.Cone())
+	ln, err := bob.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptCh := make(chan *Conn, 2)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			acceptCh <- c.(*Conn)
+		}
+	}()
+	accept := func() *Conn {
+		t.Helper()
+		select {
+		case c := <-acceptCh:
+			return c
+		case <-time.After(10 * time.Second):
+			t.Fatal("accept timed out")
+			return nil
+		}
+	}
+
+	conn1, err := alice.Dial("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bconn1 := accept()
+	bconn1.SetReadDeadline(time.Now().Add(time.Hour))
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := bconn1.Read(make([]byte, 16))
+		readErr <- err
+	}()
+
+	// Alice departs silently and re-dials: bob's engine replaces the
+	// session in place, retiring bconn1.
+	conn1.Close()
+	conn2, err := alice.Dial("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	defer accept().Close()
+
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrSuperseded) {
+			t.Fatalf("superseded read = %v, want ErrSuperseded", err)
+		}
+		if !errors.Is(err, ErrSessionDead) {
+			t.Fatalf("errors.Is(%v, ErrSessionDead) = false, want compatibility to hold", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read on superseded conn never returned")
+	}
+	// The compatibility is one-way: a genuine idle death must not
+	// read as superseded.
+	if errors.Is(ErrSessionDead, ErrSuperseded) {
+		t.Error("ErrSessionDead matches ErrSuperseded; the errors must stay distinguishable")
+	}
+	if _, err := bconn1.Write([]byte("x")); !errors.Is(err, ErrSuperseded) {
+		t.Errorf("superseded write = %v, want ErrSuperseded", err)
+	}
+	bconn1.mu.Lock()
+	timer := bconn1.rdlTimer
+	bconn1.mu.Unlock()
+	if timer != nil {
+		t.Error("superseded conn still holds a live read-deadline timer")
+	}
+}

@@ -22,6 +22,13 @@ var (
 	// detection declared the session gone (NAT state likely expired,
 	// or the peer departed); the application may re-dial on demand.
 	ErrSessionDead = errors.New("natpunch: session dead (peer stopped answering)")
+	// ErrSuperseded is returned from reads and writes on a Conn whose
+	// engine session was replaced by a newer session to the same peer
+	// (the peer re-dialed, or a fresh inbound negotiation adopted a new
+	// session). It is distinguishable from a genuine idle death, but
+	// errors.Is(err, ErrSessionDead) also holds so existing re-dial
+	// logic keyed on ErrSessionDead keeps working.
+	ErrSuperseded error = &supersededError{}
 	// ErrRegisterTimeout is returned by Open when registration with
 	// the rendezvous server does not complete in time.
 	ErrRegisterTimeout = errors.New("natpunch: registration with rendezvous server timed out")
@@ -39,6 +46,16 @@ var (
 	// nor the Servers option supplies a rendezvous endpoint.
 	ErrNoServer = errors.New("natpunch: no rendezvous server given")
 )
+
+// supersededError lets ErrSuperseded carry its own identity while
+// matching errors.Is(err, ErrSessionDead).
+type supersededError struct{}
+
+func (*supersededError) Error() string {
+	return "natpunch: session superseded by a newer session to the same peer"
+}
+
+func (*supersededError) Is(target error) bool { return target == ErrSessionDead }
 
 // Dialer is one named peer-to-peer endpoint: a transport socket
 // registered with the rendezvous server S, able to dial peers by name
@@ -362,9 +379,28 @@ func (d *Dialer) shutdownEngine() {
 // --- engine-context plumbing (all run inside the transport loop) ---
 
 // inbound routes a peer-initiated Conn to the listener, or queues it
-// until one exists.
+// until one exists. An inbound that races Dialer.Close — the engine
+// established a session before Close's shutdown reached it — must not
+// repopulate the already-drained pending queue (nothing would ever
+// accept or close it); it is torn down on the spot. We are already
+// inside the engine's dispatch, so the session closes directly, with
+// no nested Invoke.
 func (d *Dialer) inbound(c *Conn) {
 	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		c.mu.Lock()
+		c.closed = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if c.tsess != nil {
+			c.tsess.Close()
+		} else if c.sess != nil {
+			c.sess.Close()
+		}
+		d.forget(c.sessKey())
+		return
+	}
 	l := d.listener
 	if l == nil {
 		d.pending = append(d.pending, c)
@@ -385,6 +421,12 @@ func (d *Dialer) lookup(sess any) *Conn {
 func (d *Dialer) udpData(s *punch.UDPSession, p []byte) {
 	if c := d.lookup(s); c != nil {
 		c.deliver(p)
+	}
+}
+
+func (d *Dialer) udpPathChanged(s *punch.UDPSession, old, new punch.Method) {
+	if c := d.lookup(s); c != nil {
+		c.migrated(s, old, new)
 	}
 }
 

@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"E-FLEET", "Fleet: population-scale churn over the Table 1 NAT mix", FleetChurn},
 		{"E-ICE", "ICE: candidate negotiation across heterogeneous fleet topologies", ICECandidates},
 		{"E-FED", "Federation: sharded rendezvous tier, load skew, and mid-run server loss", Federation},
+		{"E-UPGRADE", "Relay-first connect with live direct-path upgrade vs punch-at-dial", Upgrade},
 	}
 }
 

@@ -141,3 +141,47 @@ func TestICERenderGolden(t *testing.T) {
 	}
 	goldenCompare(t, "e_ice_render.golden", iceResult(scenarios, reports).String())
 }
+
+func TestUpgradeRenderGolden(t *testing.T) {
+	scenarios := []upgradeScenario{
+		{name: "calm", desc: "synthetic stable overlay"},
+		{name: "churny", desc: "synthetic rebind overlay"},
+	}
+	reports := []fleet.Report{
+		{ // calm, punch-at-dial
+			Seed: 1, Attempts: 30, Public: 20, Relay: 10,
+			Pairs: []fleet.PairStat{
+				{Pair: "cone<->cone", Outcomes: fleet.Outcomes{Attempts: 20, Public: 20, Times: ms250(20)}},
+				{Pair: "cone<->symmetric", Outcomes: fleet.Outcomes{Attempts: 10, Relay: 10}},
+			},
+			ConnectTimes: ms250(30),
+		},
+		{ // calm, relay-first
+			Seed: 1, Attempts: 30, Relay: 30, Upgrades: 19, Failbacks: 1,
+			Pairs: []fleet.PairStat{
+				{Pair: "cone<->cone", Outcomes: fleet.Outcomes{Attempts: 20, Relay: 20}, Upgraded: 18},
+				{Pair: "cone<->symmetric", Outcomes: fleet.Outcomes{Attempts: 10, Relay: 10}},
+			},
+			ConnectTimes: ms250(30),
+			UpgradeTimes: ms250(18),
+		},
+		{ // churny, punch-at-dial
+			Seed: 2, Attempts: 12, Public: 9, Relay: 3,
+			Pairs: []fleet.PairStat{
+				{Pair: "cone<->cone", Outcomes: fleet.Outcomes{Attempts: 9, Public: 9, Times: ms250(9)}},
+				{Pair: "symmetric<->symmetric", Outcomes: fleet.Outcomes{Attempts: 3, Relay: 3}},
+			},
+			ConnectTimes: ms250(12),
+		},
+		{ // churny, relay-first
+			Seed: 2, Attempts: 12, Relay: 12, Upgrades: 14, Failbacks: 6, NATRebinds: 4,
+			Pairs: []fleet.PairStat{
+				{Pair: "cone<->cone", Outcomes: fleet.Outcomes{Attempts: 9, Relay: 9}, Upgraded: 8},
+				{Pair: "symmetric<->symmetric", Outcomes: fleet.Outcomes{Attempts: 3, Relay: 3}},
+			},
+			ConnectTimes: ms250(12),
+			UpgradeTimes: ms250(8),
+		},
+	}
+	goldenCompare(t, "e_upgrade_render.golden", upgradeResult(scenarios, reports).String())
+}

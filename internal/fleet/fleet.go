@@ -86,6 +86,20 @@ type Config struct {
 	// relay path of §2.2). Default 20 seconds.
 	AppDataEvery time.Duration
 
+	// RelayFirst switches every dial to DCUtR-style relay-first
+	// connect: sessions establish on the §2.2 relay within about one
+	// rendezvous round-trip and migrate to a punched direct path in
+	// the background. The report's Upgrades/Failbacks/UpgradeTimes
+	// columns account the resulting live-path churn. Implies relay
+	// fallback and path upgrading.
+	RelayFirst bool
+	// MeanRebindEvery, when positive, power-cycles each site NAT on an
+	// exponential clock with this mean: the device loses its whole
+	// translation table at once (the consumer-NAT failure mode behind
+	// §3.6's re-punch advice), so live direct sessions must fail back
+	// to the relay and re-punch fresh mappings to survive.
+	MeanRebindEvery time.Duration
+
 	// Punch tunes the punching clients. RelayFallback is forced on
 	// unless NoRelay is set; other zero fields take punch defaults
 	// (100ms probes, 10s punch timeout, 15s keep-alives, 60s idle
@@ -129,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Topology == nil {
 		c.Topology = FlatOnly()
+	}
+	if c.RelayFirst {
+		c.Punch.RelayFirst = true
 	}
 	c.Punch.RelayFallback = !c.NoRelay
 	return c
@@ -198,6 +215,12 @@ type Fleet struct {
 	// survive it (they are peer-to-peer; only transient sessions from
 	// the failover window may die).
 	born map[*punch.UDPSession]time.Duration
+	// upgraded marks initiated sessions whose first relay->direct
+	// migration has been timed, so UpgradeTimes holds one latency per
+	// session even when rebind churn cycles it through failbacks.
+	upgraded map[*punch.UDPSession]bool
+	// nats collects every leaf site NAT for MeanRebindEvery churn.
+	nats []*nat.NAT
 }
 
 // Run executes one fleet simulation and returns its aggregate report.
@@ -216,13 +239,14 @@ func build(seed int64, cfg Config) *Fleet {
 	in := topo.NewInternet(seed)
 	core := in.CoreRealm()
 	f := &Fleet{
-		cfg:    cfg,
-		in:     in,
-		rng:    in.Net.Sched.Rand(),
-		byName: make(map[string]*peer),
-		pairs:  make(map[string]*PairStat),
-		topos:  make(map[string]*TopoStat),
-		born:   make(map[*punch.UDPSession]time.Duration),
+		cfg:      cfg,
+		in:       in,
+		rng:      in.Net.Sched.Rand(),
+		byName:   make(map[string]*peer),
+		pairs:    make(map[string]*PairStat),
+		topos:    make(map[string]*TopoStat),
+		born:     make(map[*punch.UDPSession]time.Duration),
+		upgraded: make(map[*punch.UDPSession]bool),
 	}
 	f.rep.Seed = seed
 	// The rendezvous tier: cfg.Servers hosts at consecutive public
@@ -309,6 +333,7 @@ func build(seed int64, cfg Config) *Fleet {
 				p.site, p.siteKind = site, SiteCGN
 				home := isp.AddSite(fmt.Sprintf("%s-nat%d", cgnName, j), b,
 					inet.AddrFrom4(172, 16, 0, byte(j+1)).String(), "10.0.0.0/24")
+				f.nats = append(f.nats, home.NAT)
 				p.host = home.AddHost(p.name, "10.0.0.1", host.BSDStyle)
 			}
 		default:
@@ -318,6 +343,7 @@ func build(seed int64, cfg Config) *Fleet {
 			// same-site peers.
 			b := drawMix(f.rng, cfg.Mix, mixTotal)
 			realm := core.AddSite(fmt.Sprintf("site%d", site), b, pubAddr().String(), "10.0.0.0/24")
+			f.nats = append(f.nats, realm.NAT)
 			for j := 0; j < k; j++ {
 				p := newPeer()
 				p.class = Classify(b)
@@ -335,6 +361,21 @@ func build(seed int64, cfg Config) *Fleet {
 		t += f.expDur(cfg.MeanArrival)
 		p := p
 		f.in.Net.Sched.At(t, func() { f.arrive(p) })
+	}
+
+	// NAT rebind churn: each leaf site NAT power-cycles on its own
+	// exponential clock, dropping every mapping at once.
+	if cfg.MeanRebindEvery > 0 {
+		for _, dev := range f.nats {
+			dev := dev
+			var cycle func()
+			cycle = func() {
+				dev.Rebind()
+				f.rep.NATRebinds++
+				f.in.Net.Sched.After(f.expDur(cfg.MeanRebindEvery), cycle)
+			}
+			f.in.Net.Sched.After(f.expDur(cfg.MeanRebindEvery), cycle)
+		}
 	}
 	return f
 }
@@ -579,6 +620,10 @@ func (f *Fleet) record(ps *PairStat, ts *TopoStat, kind ice.Kind, elapsed time.D
 	if kind != ice.KindRelay {
 		f.rep.EstTimes = append(f.rep.EstTimes, elapsed)
 	}
+	// ConnectTimes is kind-agnostic: under RelayFirst it captures the
+	// headline relay-first latency (~one relay round-trip), while
+	// EstTimes keeps its direct-only meaning.
+	f.rep.ConnectTimes = append(f.rep.ConnectTimes, elapsed)
 }
 
 // adopt registers a live session with its local peer: concurrency
@@ -603,6 +648,37 @@ func (f *Fleet) adopt(p *peer, s *punch.UDPSession, initiated bool) {
 		f.schedulePing(p, s)
 	}
 	s.OnDead(func(ds *punch.UDPSession) { f.sessionDead(p, ds) })
+	s.OnPathChange(func(ds *punch.UDPSession, old, new punch.Method) { f.pathMoved(p, ds, old, new) })
+}
+
+// pathMoved accounts live-path migrations (RelayFirst/PathUpgrade
+// runs). Like attempt outcomes, migrations are counted on the
+// initiating side only, so each logical session counts once.
+func (f *Fleet) pathMoved(p *peer, s *punch.UDPSession, old, new punch.Method) {
+	if p.connected[s.Peer] != s || !p.initiated[s.Peer] {
+		return
+	}
+	if new == punch.MethodRelay {
+		f.rep.Failbacks++
+		return
+	}
+	if old != punch.MethodRelay {
+		return // direct->direct hop; nothing to classify
+	}
+	f.rep.Upgrades++
+	if !f.upgraded[s] {
+		// First upgrade of this session: the per-pair Upgraded counter
+		// tracks unique sessions (so EventualDirect stays <= Attempts
+		// under failback/re-upgrade flapping), and the latency sample
+		// is establish->first-direct only.
+		f.upgraded[s] = true
+		if q := f.byName[s.Peer]; q != nil {
+			f.pair(PairKey(p.class, q.class)).Upgraded++
+		}
+		if birth, ok := f.born[s]; ok {
+			f.rep.UpgradeTimes = append(f.rep.UpgradeTimes, f.in.Net.Sched.Now()-birth)
+		}
+	}
 }
 
 // sessionDead handles §3.6 idle death: accounting, then an on-demand
@@ -618,6 +694,7 @@ func (f *Fleet) sessionDead(p *peer, s *punch.UDPSession) {
 	delete(p.initiated, s.Peer)
 	f.sessionsOpen--
 	f.rep.DeadSessions++
+	delete(f.upgraded, s)
 	if birth, ok := f.born[s]; ok {
 		delete(f.born, s)
 		if f.rep.ServerKilledAt > 0 && birth < f.rep.ServerKilledAt && s.Via != punch.MethodRelay {

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"natpunch/internal/punch"
+)
+
+// migrationCfg is a churn-heavy relay-first fleet: fast engine clocks
+// so upgrade/failback/re-punch cycles fit the run, and periodic NAT
+// rebinds so live direct paths keep dying mid-session.
+func migrationCfg() Config {
+	return Config{
+		Peers:            24,
+		Duration:         10 * time.Minute,
+		MeanArrival:      time.Second,
+		MeanLifetime:     time.Hour, // stay online: the churn under test is path churn
+		MeanConnectEvery: 20 * time.Second,
+		AppDataEvery:     5 * time.Second,
+		RelayFirst:       true,
+		MeanRebindEvery:  3 * time.Minute,
+		Punch: punch.Config{
+			KeepAliveInterval: 5 * time.Second,
+			DeadAfter:         15 * time.Second,
+			PunchTimeout:      5 * time.Second,
+			RepunchEvery:      20 * time.Second,
+		},
+	}
+}
+
+func TestFleetRelayFirstMigrationUnderChurn(t *testing.T) {
+	// Relay-first fleet under NAT-rebind churn: sessions must
+	// establish on the relay, upgrade to direct paths in the
+	// background, fail back when rebinds kill their mappings, and
+	// re-punch their way back — with the concurrency accounting
+	// staying consistent through all the path flapping.
+	f := build(3, migrationCfg())
+	f.in.Net.Sched.RunUntil(f.cfg.Duration)
+
+	want := 0
+	for _, p := range f.peers {
+		for q := range p.initiated {
+			if p.connected[q] != nil {
+				want++
+			}
+		}
+	}
+	if f.sessionsOpen != want {
+		t.Errorf("sessionsOpen=%d but recount says %d after path churn", f.sessionsOpen, want)
+	}
+	f.finish()
+	rep := f.rep
+
+	if rep.NATRebinds == 0 {
+		t.Fatal("MeanRebindEvery injected no NAT rebinds")
+	}
+	if rep.Upgrades == 0 {
+		t.Error("no relay->direct upgrades in a relay-first run")
+	}
+	if rep.Failbacks == 0 {
+		t.Error("NAT rebinds killed direct paths but no session failed back to the relay")
+	}
+	if len(rep.UpgradeTimes) == 0 {
+		t.Fatal("no upgrade latencies recorded")
+	}
+	for i := 1; i < len(rep.UpgradeTimes); i++ {
+		if rep.UpgradeTimes[i] < rep.UpgradeTimes[i-1] {
+			t.Fatalf("UpgradeTimes not sorted at %d", i)
+		}
+	}
+	if q := rep.UpgradeQuantile(0.5); q <= 0 {
+		t.Errorf("p50 upgrade latency = %v, want > 0", q)
+	}
+	// Relay-first establishment is kind-agnostic relay: every
+	// completed attempt lands in Relay first, so the direct-outcome
+	// counters stay zero and upgrades carry the direct share.
+	if rep.Public+rep.Private+rep.Hairpin+rep.Reflexive != 0 {
+		t.Errorf("relay-first run recorded direct establishment outcomes: %+v", rep)
+	}
+	if cc := rep.Pair("cone<->cone"); cc == nil || cc.Upgraded == 0 {
+		t.Errorf("cone<->cone pairs never upgraded: %+v", cc)
+	}
+	if ss := rep.Pair("symmetric<->symmetric"); ss != nil && ss.Upgraded != 0 {
+		t.Errorf("symmetric<->symmetric upgraded %d times; these pairs cannot punch", ss.Upgraded)
+	}
+}
+
+func TestFleetRelayFirstDifferentialVsLegacy(t *testing.T) {
+	// Differential against the legacy direct punch: relay-first must
+	// not change which pair classes can reach a direct path — it only
+	// changes when (upgrade after establishment vs punch before) —
+	// and its connect latency must beat the legacy punch's, since the
+	// relay path is usable after about one rendezvous round-trip.
+	rfCfg := migrationCfg()
+	rfCfg.MeanRebindEvery = 0 // hold paths still for the class comparison
+	rf := Run(7, rfCfg)
+
+	legacyCfg := rfCfg
+	legacyCfg.RelayFirst = false
+	legacyCfg.LegacyPunch = true
+	legacy := Run(7, legacyCfg)
+
+	rfCC, legCC := rf.Pair("cone<->cone"), legacy.Pair("cone<->cone")
+	if rfCC == nil || legCC == nil {
+		t.Fatalf("cone<->cone missing: rf=%v legacy=%v", rfCC, legCC)
+	}
+	if legCC.Direct() == 0 {
+		t.Errorf("legacy cone<->cone punched 0 direct sessions: %+v", legCC.Outcomes)
+	}
+	if rfCC.Upgraded == 0 {
+		t.Errorf("relay-first cone<->cone upgraded 0 sessions: %+v", rfCC)
+	}
+	if rfSS := rf.Pair("symmetric<->symmetric"); rfSS != nil && rfSS.Upgraded != 0 {
+		t.Errorf("relay-first symmetric<->symmetric upgraded %d, legacy class is relay-only", rfSS.Upgraded)
+	}
+	if legSS := legacy.Pair("symmetric<->symmetric"); legSS != nil && legSS.Direct() != 0 {
+		t.Errorf("legacy symmetric<->symmetric direct %d, want 0", legSS.Direct())
+	}
+
+	// Connect latency: relay-first p50 (dial to usable session) must
+	// undercut the legacy punch's p50 time-to-establish, which needs
+	// at least one extra probe round-trip beyond the rendezvous.
+	rfP50, legP50 := rf.ConnectQuantile(0.5), legacy.Quantile(0.5)
+	if rfP50 == 0 || legP50 == 0 {
+		t.Fatalf("missing latency distributions: rf p50=%v legacy p50=%v", rfP50, legP50)
+	}
+	if rfP50 >= legP50 {
+		t.Errorf("relay-first p50 connect %v not faster than legacy direct punch p50 %v", rfP50, legP50)
+	}
+}

@@ -128,6 +128,28 @@ func (o *Outcomes) DirectPct() float64 {
 type PairStat struct {
 	Pair string
 	Outcomes
+	// Upgraded counts initiated sessions in this class that won a
+	// relay->direct live migration at least once (RelayFirst /
+	// PathUpgrade runs). A relay-first attempt lands in Relay at
+	// establishment; Upgraded is how many of those sessions later
+	// reached a direct path. Unique per session, so EventualDirect
+	// stays bounded by Attempts under failback/re-upgrade flapping.
+	Upgraded int
+}
+
+// EventualDirect is the number of initiated sessions in this class
+// that ended up on a direct path — punched at establishment, or
+// upgraded afterwards.
+func (ps *PairStat) EventualDirect() int { return ps.Direct() + ps.Upgraded }
+
+// EventualDirectPct is the percentage of completed attempts that
+// reached a direct path eventually.
+func (ps *PairStat) EventualDirectPct() float64 {
+	c := ps.Completed()
+	if c == 0 {
+		return 0
+	}
+	return float64(ps.EventualDirect()) / float64(c) * 100
 }
 
 // TopoStat is the outcome aggregate for one pair-topology class
@@ -185,6 +207,15 @@ type Report struct {
 	DeadSessions int // §3.6 idle-death detections on initiated sessions
 	Repunches    int // on-demand re-punches triggered by session death
 
+	// Live-path migration (RelayFirst / PathUpgrade runs; counted on
+	// the initiating side, like attempt outcomes).
+	Upgrades   int // relay->direct migrations of live sessions
+	Failbacks  int // direct->relay failbacks after the direct path died
+	NATRebinds int // site NAT table losses injected by MeanRebindEvery
+	// UpgradeTimes holds each initiated session's establish->first-
+	// direct-upgrade latency, sorted ascending.
+	UpgradeTimes []time.Duration
+
 	// Pairs holds per NAT-pair-class outcome rows, sorted by pair key.
 	Pairs []PairStat
 
@@ -194,6 +225,11 @@ type Report struct {
 
 	// EstTimes holds every direct time-to-establish, sorted ascending.
 	EstTimes []time.Duration
+
+	// ConnectTimes holds time-to-establish for every completed attempt
+	// regardless of path kind, sorted ascending — under RelayFirst
+	// this is the dial-to-usable-Conn latency (about one relay RTT).
+	ConnectTimes []time.Duration
 
 	// Server (tier-wide aggregate) and fabric load.
 	Server      rendezvous.Stats
@@ -206,11 +242,27 @@ type Report struct {
 // time-to-establish distribution, or 0 when no direct session was
 // established.
 func (r *Report) Quantile(q float64) time.Duration {
-	if len(r.EstTimes) == 0 {
+	return quantileOf(r.EstTimes, q)
+}
+
+// ConnectQuantile returns the q-th quantile of the kind-agnostic
+// connect-latency distribution (dial to usable session).
+func (r *Report) ConnectQuantile(q float64) time.Duration {
+	return quantileOf(r.ConnectTimes, q)
+}
+
+// UpgradeQuantile returns the q-th quantile of the relay->direct
+// upgrade-latency distribution.
+func (r *Report) UpgradeQuantile(q float64) time.Duration {
+	return quantileOf(r.UpgradeTimes, q)
+}
+
+func quantileOf(ts []time.Duration, q float64) time.Duration {
+	if len(ts) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(r.EstTimes)-1))
-	return r.EstTimes[i]
+	i := int(q * float64(len(ts)-1))
+	return ts[i]
 }
 
 // Pair returns the stats row for a pair key, or nil.
@@ -239,6 +291,8 @@ func (r *Report) finalize() {
 	sort.Slice(r.Pairs, func(i, j int) bool { return r.Pairs[i].Pair < r.Pairs[j].Pair })
 	sort.Slice(r.Topos, func(i, j int) bool { return r.Topos[i].Topo < r.Topos[j].Topo })
 	sort.Slice(r.EstTimes, func(i, j int) bool { return r.EstTimes[i] < r.EstTimes[j] })
+	sort.Slice(r.ConnectTimes, func(i, j int) bool { return r.ConnectTimes[i] < r.ConnectTimes[j] })
+	sort.Slice(r.UpgradeTimes, func(i, j int) bool { return r.UpgradeTimes[i] < r.UpgradeTimes[j] })
 	for i := range r.Pairs {
 		times := r.Pairs[i].Times
 		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })

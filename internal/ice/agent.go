@@ -53,6 +53,7 @@ func New(c *punch.Client, cfg Config) *Agent {
 		byPeer: make(map[string]*negotiation),
 	}
 	c.SetUDPIntercept(a.intercept)
+	c.OnRepunch = a.repunch
 	return a
 }
 
@@ -93,6 +94,13 @@ type negotiation struct {
 	byEP       map[inet.Endpoint]*check
 	deadline   transport.Timer
 	done       bool
+	// established marks a negotiation whose session is already live —
+	// a relay-first connect that adopted the relay floor up front, or
+	// a background re-negotiation for an existing session. Its
+	// remaining outcomes are silent: nomination *migrates* the live
+	// session instead of adopting a new one, and every failure mode
+	// leaves the session on its current path.
+	established bool
 }
 
 // check is one candidate's probe loop.
@@ -199,6 +207,9 @@ func (a *Agent) intercept(from inet.Endpoint, m *proto.Message) bool {
 		for _, n := range a.negs {
 			if n.peer == m.From && n.requester && !n.gotDetails && !n.done {
 				a.finish(n)
+				if n.established {
+					continue // silent: the live session stays on its path
+				}
 				a.tracef("negotiate %s failed: peer unknown", n.peer)
 				if n.cb.Failed != nil {
 					n.cb.Failed(n.peer, punch.ErrPeerUnknown)
@@ -229,6 +240,27 @@ func (a *Agent) handleDetails(m *proto.Message) {
 		return
 	}
 	n.gotDetails = true
+	if s := a.c.LookupUDPSession(n.peer); s != nil && s.Nonce == n.nonce {
+		// The peer is re-negotiating our live session (its nonce
+		// proves it): this is a background upgrade, so nomination
+		// must migrate the session, never replace it.
+		n.established = true
+	}
+	if a.c.Config().RelayFirst && !a.cfg.NoRelay && !n.established &&
+		a.c.LookupUDPSession(n.peer) == nil {
+		// Relay-first connect: the candidate exchange completing
+		// proves both ends are registered, so the §2.2 relay floor is
+		// usable now. Establish through it immediately and keep the
+		// checks running; the first ack migrates the live session
+		// onto the nominated direct path.
+		n.established = true
+		s := a.c.AdoptUDPSession(n.peer, inet.Endpoint{}, punch.MethodRelay, n.nonce,
+			punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
+		a.tracef("relay-first session with %s established; checks continue", n.peer)
+		if n.cb.Established != nil {
+			n.cb.Established(s, Candidate{Kind: KindRelay, Endpoint: a.c.RelayVia(n.peer)})
+		}
+	}
 	cands := BuildChecks(a.c.PublicUDP(), m.Candidates, a.cfg)
 	a.tracef("details for %s: %d checks %v", n.peer, len(cands), cands)
 	for i, cand := range cands {
@@ -310,6 +342,14 @@ func (a *Agent) nominate(n *negotiation, from inet.Endpoint, m *proto.Message) {
 	if chosen.Kind == KindPrivate {
 		via = punch.MethodPrivate
 	}
+	if n.established {
+		// Background nomination for a live session: migrate it in
+		// place (drain-then-switch) instead of adopting a new one.
+		if a.c.MigrateUDPSession(n.peer, from, via, n.nonce) != nil {
+			a.tracef("nominated %s for %s (migrated live session)", chosen, n.peer)
+		}
+		return
+	}
 	s := a.c.AdoptUDPSession(n.peer, from, via, n.nonce,
 		punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
 	a.tracef("nominated %s for %s", chosen, n.peer)
@@ -327,6 +367,13 @@ func (a *Agent) timeout(n *negotiation) {
 		return
 	}
 	a.finish(n)
+	if n.established {
+		// The checks never completed, but the session has been live on
+		// the relay all along; it simply stays there (periodic
+		// re-punching keeps trying for a direct path).
+		a.tracef("checks for %s exhausted; session stays on relay", n.peer)
+		return
+	}
 	if a.c.Config().RelayFallback && !a.cfg.NoRelay {
 		s := a.c.AdoptUDPSession(n.peer, inet.Endpoint{}, punch.MethodRelay, n.nonce,
 			punch.UDPCallbacks{Data: n.cb.Data, Dead: n.cb.Dead})
@@ -340,6 +387,32 @@ func (a *Agent) timeout(n *negotiation) {
 	if n.cb.Failed != nil {
 		n.cb.Failed(n.peer, punch.ErrPunchTimeout)
 	}
+}
+
+// repunch is installed as the client's OnRepunch hook: a background
+// re-punch for a live session becomes a full re-negotiation under the
+// session's existing nonce, so upgrades explore the same candidate
+// set that established the session (including peer-reflexive
+// discovery, §5.1). It always claims the attempt; with an agent
+// attached the plain §3 fallback would race the agent's interceptor
+// for the shared nonce.
+func (a *Agent) repunch(peer string, nonce uint64) bool {
+	if !a.c.UDPRegistered() || a.negs[nonce] != nil || a.byPeer[peer] != nil {
+		return true // not negotiable right now, or already negotiating
+	}
+	n := &negotiation{
+		peer: peer, nonce: nonce, requester: true, established: true,
+		byEP: make(map[inet.Endpoint]*check),
+	}
+	a.negs[n.nonce] = n
+	a.byPeer[peer] = n
+	n.deadline = a.tr().After(a.cfg.Timeout, func() { a.timeout(n) })
+	a.c.SendUDPMessage(a.c.Server(), &proto.Message{
+		Type: proto.TypeNegotiate, From: a.c.Name(), Target: peer,
+		Nonce: n.nonce, Candidates: a.localCandidates(),
+	})
+	a.tracef("re-negotiate -> %s (nonce %d)", peer, nonce)
+	return true
 }
 
 // Abort cancels every in-flight negotiation we initiated with peer

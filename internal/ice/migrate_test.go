@@ -1,0 +1,108 @@
+package ice_test
+
+import (
+	"testing"
+	"time"
+
+	"natpunch/internal/ice"
+	"natpunch/internal/nat"
+	"natpunch/internal/punch"
+)
+
+// relayFirstOutcome wires callbacks directly (the shared negotiate
+// helper returns its outcome struct by value, which would miss the
+// callbacks relay-first keeps firing after the early return).
+type relayFirstOutcome struct {
+	session  *punch.UDPSession
+	chosen   ice.Candidate
+	bSession *punch.UDPSession
+	failed   bool
+	err      error
+	elapsed  time.Duration
+}
+
+func (r *rig) connectRelayFirst(t *testing.T, window time.Duration) *relayFirstOutcome {
+	t.Helper()
+	out := &relayFirstOutcome{}
+	start := r.in.Net.Sched.Now()
+	r.agB.Inbound = ice.Callbacks{
+		Established: func(s *punch.UDPSession, chosen ice.Candidate) { out.bSession = s },
+	}
+	r.agA.Connect("bob", ice.Callbacks{
+		Established: func(s *punch.UDPSession, chosen ice.Candidate) {
+			out.session, out.chosen = s, chosen
+			out.elapsed = r.in.Net.Sched.Now() - start
+		},
+		Failed: func(peer string, err error) { out.failed, out.err = true, err },
+	})
+	if !r.await(window, func() bool {
+		return (out.session != nil && out.bSession != nil) || out.failed
+	}) || out.failed {
+		t.Fatalf("relay-first connect did not establish both sides (failed=%v err=%v)",
+			out.failed, out.err)
+	}
+	return out
+}
+
+func TestRelayFirstNegotiationUpgrades(t *testing.T) {
+	// Relay-first over the candidate engine: Connect establishes on
+	// the relay floor as soon as the candidate exchange completes,
+	// the checks keep running in the background, and the first ack
+	// migrates the live session onto the nominated direct path.
+	pcfg := punch.Config{RelayFallback: true, RelayFirst: true}
+	r := flatRig(t, 1, nat.Cone(), nat.Cone(), pcfg, ice.Config{})
+
+	out := r.connectRelayFirst(t, 5*time.Second)
+	if out.chosen.Kind != ice.KindRelay {
+		t.Fatalf("chosen %v, want immediate relay", out.chosen)
+	}
+	// Established after ~1 server round-trip, not after the paced
+	// check schedule.
+	if out.elapsed > 100*time.Millisecond {
+		t.Errorf("relay-first establish took %v, want ~1 server RTT", out.elapsed)
+	}
+
+	first := out.session
+	if !r.await(10*time.Second, func() bool {
+		return out.session.Via == punch.MethodPublic && out.bSession.Via == punch.MethodPublic
+	}) {
+		t.Fatalf("background checks never upgraded the session (via %v/%v)",
+			out.session.Via, out.bSession.Via)
+	}
+	if out.session != first {
+		t.Error("upgrade replaced the session instead of migrating it")
+	}
+	if r.agA.PendingNegotiations() != 0 || r.agB.PendingNegotiations() != 0 {
+		t.Errorf("negotiations leaked: %d/%d",
+			r.agA.PendingNegotiations(), r.agB.PendingNegotiations())
+	}
+}
+
+func TestRelayFirstNegotiationSymmetricFloor(t *testing.T) {
+	// Symmetric<->symmetric: checks exhaust, and the relay-first
+	// session silently stays on the floor it started on — no second
+	// Established, no Failed, no replacement.
+	pcfg := punch.Config{RelayFallback: true, RelayFirst: true}
+	r := flatRig(t, 3, nat.Symmetric(), nat.Symmetric(), pcfg, ice.Config{})
+
+	out := r.connectRelayFirst(t, 5*time.Second)
+	first := out.session
+	r.await(r.agA.Config().Timeout+time.Second, func() bool {
+		return r.agA.PendingNegotiations() == 0 && r.agB.PendingNegotiations() == 0
+	})
+	if out.session.Via != punch.MethodRelay || out.session != first {
+		t.Errorf("session changed (via %v): want to stay on relay floor", out.session.Via)
+	}
+	if out.failed {
+		t.Errorf("negotiation reported failure %v after establishing", out.err)
+	}
+
+	// The session still carries data across the relay.
+	var echoed bool
+	out.bSession.OnData(func(s *punch.UDPSession, b []byte) { s.Send(b) })
+	out.session.OnData(func(s *punch.UDPSession, b []byte) { echoed = true })
+	out.session.Send([]byte("ping"))
+	if !r.await(5*time.Second, func() bool { return echoed }) {
+		t.Error("relay floor stopped carrying data after checks exhausted")
+	}
+}

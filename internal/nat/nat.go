@@ -21,6 +21,7 @@ type Stats struct {
 	HairpinRefused     uint64
 	Mangled            uint64
 	Expired            uint64
+	Rebinds            uint64
 }
 
 // NAT is a simulated NAPT (or Basic NAT) device with one inside and
@@ -120,6 +121,23 @@ func (nat *NAT) PublicEndpointFor(proto inet.Proto, priv, remote inet.Endpoint) 
 		return inet.Endpoint{}, false
 	}
 	return m.pub, true
+}
+
+// Rebind models the NAT losing its entire translation state at once —
+// a consumer device power-cycling, or an aggressive purge under table
+// pressure (the failure mode behind §3.6's re-punch advice). Every
+// mapping and session drops: inbound traffic for the old public
+// endpoints is refused from now on, and the next outbound packet from
+// each inside host allocates a fresh mapping on a fresh public port
+// (the allocator never reuses ports within a run), so peers holding
+// the old endpoint must re-punch or fail back to the relay.
+func (nat *NAT) Rebind() {
+	for _, t := range []*table{nat.udp, nat.tcp} {
+		for _, m := range t.byKey {
+			t.remove(m)
+		}
+	}
+	nat.stats.Rebinds++
 }
 
 // Sweep purges all expired sessions and mappings immediately. Expiry

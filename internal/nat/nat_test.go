@@ -589,3 +589,52 @@ func TestHairpinFilteredMode(t *testing.T) {
 		t.Error("punched hairpin still filtered")
 	}
 }
+
+func TestRebindDropsAllMappings(t *testing.T) {
+	// Rebind models a consumer NAT power-cycling: every mapping drops
+	// at once, inbound traffic for the old public endpoints is
+	// refused, and the next outbound packet allocates a fresh public
+	// port — the mid-session mapping change peers must re-punch
+	// through.
+	c := topo.NewCanonical(1, nat.Cone(), nat.Cone())
+	o := observer(t, c.S, 1234)
+	sa, _ := c.A.UDPBind(4321)
+	server := inet.EP("18.181.0.31", 1234)
+
+	sa.SendTo(server, []byte("before"))
+	c.RunFor(time.Second)
+	if len(o.from) != 1 {
+		t.Fatalf("server saw %d packets, want 1", len(o.from))
+	}
+	oldPub := o.from[0]
+	if c.NATA.MappingCount() != 1 {
+		t.Fatalf("mappings = %d, want 1", c.NATA.MappingCount())
+	}
+
+	c.NATA.Rebind()
+	if c.NATA.MappingCount() != 0 {
+		t.Errorf("mappings after Rebind = %d, want 0", c.NATA.MappingCount())
+	}
+	if got := c.NATA.Stats().Rebinds; got != 1 {
+		t.Errorf("Stats().Rebinds = %d, want 1", got)
+	}
+
+	// Old public endpoint is dead: inbound to it is refused.
+	var got []byte
+	sa.OnRecv(func(_ inet.Endpoint, p []byte) { got = p })
+	o.sock.SendTo(oldPub, []byte("stale"))
+	c.RunFor(time.Second)
+	if got != nil {
+		t.Errorf("inbound to the pre-rebind mapping was delivered: %q", got)
+	}
+
+	// The next outbound packet gets a fresh public port.
+	sa.SendTo(server, []byte("after"))
+	c.RunFor(time.Second)
+	if len(o.from) != 2 {
+		t.Fatalf("server saw %d packets, want 2", len(o.from))
+	}
+	if o.from[1] == oldPub {
+		t.Errorf("post-rebind mapping reused the old public endpoint %v", oldPub)
+	}
+}

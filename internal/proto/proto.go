@@ -104,6 +104,15 @@ const (
 	// its *home* server — no other server's datagrams can traverse
 	// that filter state (§3.1).
 	TypeFedForward
+	// TypeMigrate: client -> peer, sent on the *new* path during a
+	// mid-session path migration (relay->direct upgrade or
+	// direct->relay failback). From and Nonce authenticate it like any
+	// session traffic (§3.4); Seq carries the last sequence number the
+	// sender transmitted on the old path, so the receiver can drain
+	// in-flight old-path datagrams (delivering everything with
+	// seq <= Seq) before switching — the drain-then-switch cutover
+	// that keeps migration loss- and reorder-free.
+	TypeMigrate
 )
 
 // String names the message type.
@@ -117,7 +126,7 @@ func (t Type) String() string {
 		TypeSeqRequest: "seq-request", TypeSeqGo: "seq-go", TypeData: "data",
 		TypeNegotiate: "negotiate", TypeNegotiateDetails: "negotiate-details",
 		TypeFedHello: "fed-hello", TypeFedRecord: "fed-record",
-		TypeFedForward: "fed-forward",
+		TypeFedForward: "fed-forward", TypeMigrate: "migrate",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -249,7 +258,7 @@ func Decode(b []byte) (*Message, error) {
 		return nil, ErrShort
 	}
 	m := &Message{Type: Type(b[1])}
-	if m.Type == 0 || m.Type > TypeFedForward {
+	if m.Type == 0 || m.Type > TypeMigrate {
 		return nil, ErrBadType
 	}
 	obf := Obfuscator(b[2])

@@ -123,6 +123,28 @@ type Config struct {
 	// Server-pool failover detection rides the keep-alive clock, so
 	// it is disabled too.
 	DisableRegistrationKeepAlive bool
+	// RelayFirst establishes sessions through the §2.2 relay the
+	// moment the endpoint exchange (§3.2 step 2) completes — roughly
+	// one rendezvous round-trip after the dial — while hole punching
+	// continues in the background; a successful punch migrates the
+	// live session onto the direct path with no datagram loss or
+	// reordering (drain-then-switch, migrate.go). This is the
+	// relay-first pattern the paper's production descendants (e.g.
+	// IPFS's DCUtR) converged on. Implies PathUpgrade.
+	RelayFirst bool
+	// PathUpgrade enables mid-session path migration: relay->direct
+	// upgrade when a background punch succeeds, direct->relay
+	// failback — instead of terminal session death — when §3.6 idle
+	// detection declares the direct path dead, and periodic
+	// background re-punching while a session rides the relay.
+	PathUpgrade bool
+	// DrainTimeout bounds how long a migrating session's receiver
+	// holds new-path datagrams while the old path's in-flight tail
+	// drains (the tail may have been lost on real networks).
+	DrainTimeout time.Duration // default 1s
+	// RepunchEvery paces the background re-punch attempts of an
+	// upgradable session riding the relay.
+	RepunchEvery time.Duration // default 30s
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +174,15 @@ func (c Config) withDefaults() Config {
 		if c.ServerFailoverAfter >= c.DeadAfter {
 			c.ServerFailoverAfter = c.DeadAfter * 3 / 4
 		}
+	}
+	if c.RelayFirst {
+		c.PathUpgrade = true
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = time.Second
+	}
+	if c.RepunchEvery == 0 {
+		c.RepunchEvery = 30 * time.Second
 	}
 	if len(c.RelayServers) > 1 {
 		// Canonical order, so the pair-hash index lands both peers on
@@ -212,6 +243,14 @@ type Client struct {
 	// (the forwarded connection request of §3.2 step 2 arrives without
 	// any local Connect call).
 	InboundUDP UDPCallbacks
+
+	// OnRepunch, if set, is consulted before the engine launches a
+	// plain §3 background re-punch for a live session (migrate.go);
+	// returning true claims the attempt. The candidate-negotiation
+	// engine (internal/ice) re-negotiates with the session's nonce
+	// instead, so upgrades use the same machinery that established
+	// the session.
+	OnRepunch func(peer string, nonce uint64) bool
 
 	// udpIntercept, if set, sees every decoded UDP message before the
 	// client's own dispatch; returning true consumes the message. The
@@ -418,7 +457,8 @@ func (c *Client) AdoptUDPSession(peer string, remote inet.Endpoint, via Method, 
 	if via == MethodRelay {
 		s.relayVia, s.relayDynamic = c.relayRoute(peer)
 	}
-	s.lastRecvT = c.now()
+	now := c.now()
+	s.lastRecvT, s.lastDirectRecvT, s.lastRepunch = now, now, now
 	c.udpSessions[peer] = s
 	s.scheduleKeepAlive()
 	c.tracef("udp session with %s adopted at %s (%s)", peer, remote, via)

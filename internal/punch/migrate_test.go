@@ -1,0 +1,238 @@
+package punch_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/internal/nat"
+	"natpunch/internal/proto"
+	"natpunch/internal/punch"
+)
+
+// migrateCfg shrinks the engine's clocks so migration lifecycles fit
+// in seconds of simulated time.
+func migrateCfg() punch.Config {
+	return punch.Config{
+		KeepAliveInterval: time.Second,
+		DeadAfter:         3 * time.Second,
+		PunchTimeout:      2 * time.Second,
+		RepunchEvery:      5 * time.Second,
+		RelayFallback:     true,
+		PathUpgrade:       true,
+	}
+}
+
+func TestRelayFirstUpgrade(t *testing.T) {
+	// DCUtR-style connect: the session is usable on the relay about
+	// one rendezvous round-trip after the dial, then migrates to the
+	// punched direct path in the background — same session object,
+	// same nonce, no re-establishment.
+	cfg := migrateCfg()
+	cfg.RelayFirst = true
+	d := newDuo(t, 1, nat.Cone(), nat.Cone(), cfg)
+	d.registerUDP(t)
+
+	var sa, sb *punch.UDPSession
+	var aChanges, bChanges int
+	d.b.InboundUDP = punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sb = s },
+		PathChanged: func(s *punch.UDPSession, old, new punch.Method) { bChanges++ },
+	}
+	start := d.Net.Sched.Now()
+	var established time.Duration
+	d.a.ConnectUDP("bob", punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) {
+			sa = s
+			established = d.Net.Sched.Now() - start
+		},
+		PathChanged: func(s *punch.UDPSession, old, new punch.Method) { aChanges++ },
+		Failed:      func(peer string, err error) { t.Fatalf("punch failed: %v", err) },
+	})
+	d.runUntil(t, 10*time.Second, func() bool { return sa != nil && sb != nil })
+
+	if sa.Via != punch.MethodRelay {
+		t.Fatalf("relay-first dial established via %v, want relay", sa.Via)
+	}
+	// The relay path is ready after roughly one rendezvous round-trip
+	// — long before a punch could complete, and strictly less than a
+	// single probe interval.
+	if established > 100*time.Millisecond {
+		t.Errorf("relay-first establish took %v, want ~1 server RTT", established)
+	}
+
+	first := sa
+	d.runUntil(t, 10*time.Second, func() bool {
+		return sa.Via == punch.MethodPublic && sb.Via == punch.MethodPublic
+	})
+	if sa != first {
+		t.Error("upgrade replaced the session object instead of migrating it")
+	}
+	if aChanges == 0 || bChanges == 0 {
+		t.Errorf("PathChanged fired %d/%d times, want at least once per side", aChanges, bChanges)
+	}
+	if sa.Remote != d.b.PublicUDP() {
+		t.Errorf("A migrated to %v, want B's public %v", sa.Remote, d.b.PublicUDP())
+	}
+	if d.a.PendingUDPAttempts() != 0 || d.b.PendingUDPAttempts() != 0 {
+		t.Errorf("attempts leaked after upgrade: %d/%d",
+			d.a.PendingUDPAttempts(), d.b.PendingUDPAttempts())
+	}
+}
+
+func TestRelayFirstStreamContinuity(t *testing.T) {
+	// The acceptance bar for the cutover: a datagram stream running
+	// across the relay->direct migration arrives complete and in
+	// order — the drain-then-switch protocol holds overtaking
+	// new-path datagrams until the relayed tail lands.
+	cfg := migrateCfg()
+	cfg.RelayFirst = true
+	d := newDuo(t, 7, nat.Cone(), nat.Cone(), cfg)
+	d.registerUDP(t)
+
+	var sa, sb *punch.UDPSession
+	var got []uint32
+	d.b.InboundUDP = punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sb = s },
+		Data: func(s *punch.UDPSession, b []byte) {
+			got = append(got, binary.BigEndian.Uint32(b))
+		},
+	}
+	d.a.ConnectUDP("bob", punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sa = s },
+		Failed:      func(peer string, err error) { t.Fatalf("punch failed: %v", err) },
+	})
+	d.runUntil(t, 10*time.Second, func() bool { return sa != nil })
+
+	// Stream 100 sequenced datagrams at 10ms spacing: the migration
+	// (punch ack ~a few hundred ms in) lands mid-stream.
+	const total = 100
+	var sent uint32
+	var pump func()
+	pump = func() {
+		if sent >= total {
+			return
+		}
+		sent++
+		sa.Send(binary.BigEndian.AppendUint32(nil, sent))
+		d.a.Transport().After(10*time.Millisecond, pump)
+	}
+	d.a.Transport().After(0, pump)
+
+	d.runUntil(t, 30*time.Second, func() bool { return len(got) == total })
+	if sa.Via != punch.MethodPublic || sa.PathChanges == 0 {
+		t.Fatalf("stream never migrated (via %v, %d changes): cutover untested",
+			sa.Via, sa.PathChanges)
+	}
+	for i, seq := range got {
+		if seq != uint32(i+1) {
+			t.Fatalf("datagram %d has seq %d: loss or reordering across the cutover", i, seq)
+		}
+	}
+	if sb == nil || sb.RecvDatagrams != total {
+		t.Fatalf("receiver session accounted %d datagrams, want %d", sb.RecvDatagrams, total)
+	}
+}
+
+func TestRelayFirstSymmetricStaysOnRelay(t *testing.T) {
+	// Symmetric<->symmetric cannot punch (§5.1 without port
+	// prediction): the relay-first session must simply stay on the
+	// relay when the background punch times out — silently, with no
+	// Failed, no Dead, and no session replacement.
+	cfg := migrateCfg()
+	cfg.RelayFirst = true
+	d := newDuo(t, 3, nat.Symmetric(), nat.Symmetric(), cfg)
+	d.registerUDP(t)
+
+	var sa, sb *punch.UDPSession
+	d.b.InboundUDP = punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sb = s },
+	}
+	d.a.ConnectUDP("bob", punch.UDPCallbacks{
+		Established: func(s *punch.UDPSession) { sa = s },
+		Failed:      func(peer string, err error) { t.Fatalf("punch failed: %v", err) },
+	})
+	d.runUntil(t, 10*time.Second, func() bool { return sa != nil && sb != nil })
+
+	// Run well past the punch timeout; the sessions stay relayed and
+	// still carry data.
+	var echoed bool
+	sb.OnData(func(s *punch.UDPSession, b []byte) { s.Send(b) })
+	sa.OnData(func(s *punch.UDPSession, b []byte) { echoed = true })
+	d.runUntil(t, cfg.PunchTimeout+time.Second, func() bool { return d.a.PendingUDPAttempts() == 0 })
+	sa.Send([]byte("ping"))
+	d.runUntil(t, 5*time.Second, func() bool { return echoed })
+	if sa.Via != punch.MethodRelay || sb.Via != punch.MethodRelay {
+		t.Errorf("via = %v/%v, want relay/relay", sa.Via, sb.Via)
+	}
+	if d.a.LookupUDPSession("bob") != sa {
+		t.Error("session was replaced or closed instead of staying on the relay")
+	}
+}
+
+func TestFailbackAndRepunchRecovery(t *testing.T) {
+	// A live direct session whose path goes dark fails back to the
+	// relay (instead of §3.6 terminal death), keeps carrying data
+	// there, and — once the blackout lifts — wins the direct path
+	// back through a background re-punch.
+	d := newDuo(t, 5, nat.Cone(), nat.Cone(), migrateCfg())
+	d.registerUDP(t)
+	sa, sb := punchUDP(t, d)
+	if sa.Via != punch.MethodPublic {
+		t.Fatalf("setup: via %v, want public", sa.Via)
+	}
+
+	// Black out the direct path: both receivers drop every datagram
+	// that did not come through the rendezvous/relay server.
+	blocked := true
+	drop := func(c *punch.Client) {
+		c.SetUDPIntercept(func(from inet.Endpoint, m *proto.Message) bool {
+			if !blocked {
+				return false
+			}
+			switch m.Type {
+			case proto.TypeData, proto.TypeKeepAlive, proto.TypePunch,
+				proto.TypePunchAck, proto.TypeMigrate:
+				return true
+			}
+			return false
+		})
+	}
+	drop(d.a)
+	drop(d.b)
+
+	var deadFired bool
+	sa.OnDead(func(*punch.UDPSession) { deadFired = true })
+	sb.OnDead(func(*punch.UDPSession) { deadFired = true })
+
+	d.runUntil(t, 30*time.Second, func() bool {
+		return sa.Via == punch.MethodRelay && sb.Via == punch.MethodRelay
+	})
+	if deadFired {
+		t.Fatal("session died; want failback to relay")
+	}
+
+	// Data still flows across the relay.
+	var relayedEcho bool
+	sb.OnData(func(s *punch.UDPSession, b []byte) { s.Send(b) })
+	sa.OnData(func(s *punch.UDPSession, b []byte) { relayedEcho = true })
+	sa.Send([]byte("still-there"))
+	d.runUntil(t, 5*time.Second, func() bool { return relayedEcho })
+
+	// Blackout lifts: the periodic re-punch recovers the direct path
+	// for the same session objects.
+	blocked = false
+	d.runUntil(t, 30*time.Second, func() bool {
+		return sa.Via == punch.MethodPublic && sb.Via == punch.MethodPublic
+	})
+	if deadFired {
+		t.Error("session died during recovery")
+	}
+	if got := d.a.LookupUDPSession("bob"); got != sa {
+		t.Error("recovery replaced alice's session instead of migrating it")
+	}
+	if got := d.b.LookupUDPSession("alice"); got != sb {
+		t.Error("recovery replaced bob's session instead of migrating it")
+	}
+}

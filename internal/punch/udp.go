@@ -19,6 +19,11 @@ type UDPCallbacks struct {
 	// Dead fires when the session stops receiving traffic (NAT state
 	// likely expired, §3.6); the application may re-punch on demand.
 	Dead func(*UDPSession)
+	// PathChanged fires when the live session migrates between paths
+	// (relay->direct upgrade, direct->relay failback; Config
+	// PathUpgrade). The session keeps its identity, nonce, sequence
+	// space, and stats across the switch.
+	PathChanged func(s *UDPSession, old, new Method)
 }
 
 // UDPSession is an established peer-to-peer UDP session.
@@ -45,8 +50,25 @@ type UDPSession struct {
 	keepTimer transport.Timer
 	closed    bool
 
+	// Path-migration state (Config.PathUpgrade; migrate.go).
+	// lastDirectRecvT times inbound traffic that arrived on the
+	// direct path specifically — relay receipts must not mask a dead
+	// direct path. recvSeq is the highest delivered sequence number;
+	// during a drain window (draining), new-path datagrams with
+	// seq > drainTo wait in held until the old path's tail arrives or
+	// drainTimer fires.
+	lastDirectRecvT time.Duration
+	lastRepunch     time.Duration
+	recvSeq         uint32
+	draining        bool
+	drainTo         uint32
+	drainTimer      transport.Timer
+	held            []heldDatagram
+
 	// Stats.
 	SentDatagrams, RecvDatagrams uint64
+	// PathChanges counts mid-session migrations (either direction).
+	PathChanges uint64
 }
 
 // udpAttempt tracks one in-progress punching attempt (§3.2).
@@ -63,6 +85,10 @@ type udpAttempt struct {
 	probeTimer transport.Timer
 	deadline   transport.Timer
 	done       bool
+	// upgrade marks a background re-punch for a live session
+	// (migrate.go): its failure modes are all silent — the session
+	// simply stays on its current path.
+	upgrade bool
 }
 
 func (a *udpAttempt) stop() {
@@ -244,6 +270,8 @@ func (c *Client) handleUDPPacket(from inet.Endpoint, payload []byte) {
 		c.handleSessionKeepAlive(from, m)
 	case proto.TypeRelayed:
 		c.handleRelayed(m)
+	case proto.TypeMigrate:
+		c.handleMigrate(from, m)
 	case proto.TypeError:
 		c.handleServerError(m)
 	}
@@ -342,6 +370,24 @@ func (c *Client) handleConnectDetails(m *proto.Message) {
 	a.gotDetails = true
 	a.pub, a.priv = m.Public, m.Private
 	c.tracef("udp details for %s: public=%s private=%s", a.peer, a.pub, a.priv)
+	if c.cfg.RelayFirst && c.udpSessions[a.peer] == nil {
+		// DCUtR-style relay-first connect: the details round-trip
+		// already proves both ends are registered with S, so the §2.2
+		// relay path is usable right now. Establish through it — one
+		// server round-trip after the dial — and keep punching in the
+		// background; an ack migrates the live session onto the
+		// direct path (drain-then-switch, migrate.go).
+		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
+		s.relayVia, s.relayDynamic = c.relayRoute(a.peer)
+		now := c.now()
+		s.lastRecvT, s.lastDirectRecvT, s.lastRepunch = now, now, now
+		c.udpSessions[a.peer] = s
+		s.scheduleKeepAlive()
+		c.tracef("udp relay-first session with %s established", a.peer)
+		if a.cb.Established != nil {
+			a.cb.Established(s)
+		}
+	}
 	c.probe(a)
 }
 
@@ -415,10 +461,18 @@ func (c *Client) handlePunchAck(from inet.Endpoint, m *proto.Message) {
 	if from == a.priv && a.priv != a.pub {
 		via = MethodPrivate
 	}
+	if s := c.udpSessions[a.peer]; s != nil && !s.closed && s.Nonce == m.Nonce {
+		// A live session already carries this nonce: the attempt was
+		// a background upgrade (relay-first connect or re-punch), and
+		// the ack nominates the direct path for the live session.
+		s.migrateTo(from, via)
+		return
+	}
 	s := &UDPSession{
 		c: c, Peer: a.peer, Remote: from, Via: via, Nonce: m.Nonce, cb: a.cb,
 	}
-	s.lastRecvT = c.now()
+	now := c.now()
+	s.lastRecvT, s.lastDirectRecvT, s.lastRepunch = now, now, now
 	c.udpSessions[a.peer] = s
 	s.scheduleKeepAlive()
 	c.tracef("udp session with %s locked in at %s (%s)", a.peer, from, via)
@@ -433,12 +487,23 @@ func (c *Client) udpAttemptTimeout(a *udpAttempt) {
 	}
 	a.stop()
 	delete(c.udpAttempts, a.nonce)
+	if s := c.udpSessions[a.peer]; s != nil && !s.closed && s.Nonce == a.nonce {
+		// A live session already carries this nonce (relay-first
+		// connect or background re-punch): the timed-out attempt was
+		// an upgrade try, and the session simply stays where it is.
+		c.tracef("udp upgrade punch to %s timed out; staying on %s", a.peer, s.Via)
+		return
+	}
+	if a.upgrade {
+		return // the session died while re-punching; nothing to fall back for
+	}
 	if c.cfg.RelayFallback {
 		// §2.2: relaying always works as long as both clients can
 		// reach S (or a configured standalone relay server).
 		s := &UDPSession{c: c, Peer: a.peer, Via: MethodRelay, Nonce: a.nonce, cb: a.cb}
 		s.relayVia, s.relayDynamic = c.relayRoute(a.peer)
-		s.lastRecvT = c.now()
+		now := c.now()
+		s.lastRecvT, s.lastDirectRecvT, s.lastRepunch = now, now, now
 		c.udpSessions[a.peer] = s
 		// Relay sessions get the same §3.6 maintenance as punched
 		// ones: the timer sends keep-alives across the relay (empty
@@ -464,6 +529,9 @@ func (c *Client) handleServerError(m *proto.Message) {
 		if a.peer == m.From && a.requester && !a.gotDetails {
 			a.stop()
 			delete(c.udpAttempts, n)
+			if a.upgrade {
+				continue // silent: the live session stays on its path
+			}
 			if a.cb.Failed != nil {
 				a.cb.Failed(a.peer, ErrPeerUnknown)
 			}
@@ -494,7 +562,8 @@ func (c *Client) handleSessionData(from inet.Endpoint, m *proto.Message) {
 			via = MethodPrivate
 		}
 		s = &UDPSession{c: c, Peer: a.peer, Remote: from, Via: via, Nonce: m.Nonce, cb: a.cb}
-		s.lastRecvT = c.now()
+		now := c.now()
+		s.lastRecvT, s.lastDirectRecvT, s.lastRepunch = now, now, now
 		c.udpSessions[a.peer] = s
 		s.scheduleKeepAlive()
 		c.tracef("udp session with %s locked in by early data at %s (%s)", a.peer, from, via)
@@ -505,34 +574,58 @@ func (c *Client) handleSessionData(from inet.Endpoint, m *proto.Message) {
 	if s.closed || s.Nonce != m.Nonce {
 		return // unauthenticated (§3.4)
 	}
-	s.touch()
-	s.RecvDatagrams++
-	if s.cb.Data != nil {
-		s.cb.Data(s, m.Data)
+	s.touchDirect()
+	if c.cfg.PathUpgrade {
+		if s.Via == MethodRelay {
+			// Correctly-nonced data arriving directly means the peer
+			// has already migrated — and, since our punch-ack is what
+			// let it, that both directions of the direct path work.
+			// Migrate without waiting for our own ack (which may have
+			// crossed with this datagram, or been lost).
+			if a := c.udpAttempts[m.Nonce]; a != nil && !a.done && a.peer == m.From {
+				a.stop()
+				delete(c.udpAttempts, m.Nonce)
+				via := MethodPublic
+				if from == a.priv && a.priv != a.pub {
+					via = MethodPrivate
+				}
+				s.migrateTo(from, via)
+			}
+		} else if from != s.Remote {
+			// The peer's NAT rebound mid-session: its traffic now
+			// arrives from a fresh mapping. The nonce authenticates it
+			// (§3.4), so follow the peer to its new endpoint — the
+			// QUIC-style connection-migration move.
+			c.tracef("udp session with %s followed rebind %s -> %s", s.Peer, s.Remote, from)
+			s.Remote = from
+		}
 	}
+	s.receive(m.Seq, m.Data)
 }
 
 func (c *Client) handleSessionKeepAlive(from inet.Endpoint, m *proto.Message) {
 	if s := c.udpSessions[m.From]; s != nil && s.Nonce == m.Nonce {
-		s.touch()
+		s.touchDirect()
 	}
 }
 
 func (c *Client) handleRelayed(m *proto.Message) {
 	s := c.udpSessions[m.From]
-	if s == nil || s.Via != MethodRelay {
+	if s == nil || (s.Via != MethodRelay && !c.cfg.PathUpgrade) {
 		// Relayed data can also arrive for TCP relay sessions.
 		c.tcpHandleRelayed(m)
 		return
 	}
+	// With PathUpgrade, relayed traffic is accepted even while our
+	// side still rides the direct path: the peer may have failed back
+	// before we noticed the direct path die, and its data must not be
+	// dropped in the gap. Note touch, not touchDirect — relay receipts
+	// keep the session alive without masking direct-path death.
 	s.touch()
 	if m.Seq == 0 && len(m.Data) == 0 {
 		return // §3.6 keep-alive across the relay; not application data
 	}
-	s.RecvDatagrams++
-	if s.cb.Data != nil {
-		s.cb.Data(s, m.Data)
-	}
+	s.receive(m.Seq, m.Data)
 }
 
 // OnData replaces the session's data callback (convenient when the
@@ -541,6 +634,9 @@ func (s *UDPSession) OnData(fn func(*UDPSession, []byte)) { s.cb.Data = fn }
 
 // OnDead replaces the session's dead-session callback.
 func (s *UDPSession) OnDead(fn func(*UDPSession)) { s.cb.Dead = fn }
+
+// OnPathChange replaces the session's path-migration callback.
+func (s *UDPSession) OnPathChange(fn func(s *UDPSession, old, new Method)) { s.cb.PathChanged = fn }
 
 // Send transmits a datagram on the session (directly, or via S for
 // relay sessions).
@@ -571,6 +667,11 @@ func (s *UDPSession) Close() {
 	if s.keepTimer != nil {
 		s.keepTimer.Stop()
 	}
+	if s.drainTimer != nil {
+		s.drainTimer.Stop()
+		s.drainTimer = nil
+	}
+	s.held = nil
 	if s.c.udpSessions[s.Peer] == s {
 		delete(s.c.udpSessions, s.Peer)
 	}
@@ -596,8 +697,13 @@ func (s *UDPSession) scheduleKeepAlive() {
 		if s.closed || s.c.closed {
 			return
 		}
-		idle := s.c.now() - s.lastRecvT
-		if idle > s.c.cfg.DeadAfter {
+		now := s.c.now()
+		// With PathUpgrade, a direct session whose path goes dark
+		// fails back to the relay instead of dying: §3.6 idle
+		// detection picks the *path* verdict, and only the relay
+		// floor going silent too is terminal.
+		upgradable := s.c.cfg.PathUpgrade && s.Via != MethodRelay
+		if now-s.lastRecvT > s.c.cfg.DeadAfter && !upgradable {
 			// §3.6: detect that the session no longer works; the
 			// application re-runs hole punching on demand.
 			s.Close()
@@ -606,6 +712,9 @@ func (s *UDPSession) scheduleKeepAlive() {
 			}
 			return
 		}
+		if upgradable && now-s.lastDirectRecvT > s.c.cfg.DeadAfter {
+			s.failback()
+		}
 		if s.Via == MethodRelay {
 			// §3.6 applies to relayed sessions too: an empty RelayTo
 			// (Seq 0) refreshes both ends' NAT state and idle clocks
@@ -613,6 +722,13 @@ func (s *UDPSession) scheduleKeepAlive() {
 			s.c.udp.SendTo(s.relayTarget(), proto.Encode(&proto.Message{
 				Type: proto.TypeRelayTo, From: s.c.name, Target: s.Peer,
 			}, s.c.obf))
+			if s.c.cfg.PathUpgrade && now-s.lastRepunch >= s.c.cfg.RepunchEvery {
+				// Periodically try to win a direct path (back): a
+				// temporary block may have lifted, or the NAT may
+				// have rebound onto workable mappings.
+				s.lastRepunch = now
+				s.c.repunch(s)
+			}
 		} else {
 			s.c.udp.SendTo(s.Remote, proto.Encode(&proto.Message{
 				Type: proto.TypeKeepAlive, From: s.c.name, Nonce: s.Nonce,

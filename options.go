@@ -17,6 +17,7 @@ type config struct {
 	localPort       transport.Port
 	registerTimeout time.Duration
 	servers         []transport.Endpoint
+	onPathChange    func(peer, old, new string)
 }
 
 func defaultConfig() config {
@@ -67,6 +68,43 @@ func WithRelayServers(eps ...transport.Endpoint) Option {
 		c.punch.RelayServers = append(c.punch.RelayServers, eps...)
 		c.punch.RelayFallback = true
 	}
+}
+
+// WithRelayFirst makes dials return a working Conn as soon as the
+// §2.2 relay path through S is confirmed — about one rendezvous
+// round-trip — while hole punching (§3.3-3.5) continues in the
+// background. When a direct path is punched, the live session
+// migrates onto it without loss or reordering (a sequence-tagged
+// drain-then-switch cutover); Conn.Path() then reports the upgraded
+// path. Peers that can never punch (e.g. symmetric<->symmetric, §5.1)
+// simply stay on the relay. Implies WithRelayFallback and
+// WithPathUpgrade. Works with both the plain punching engine and
+// WithICE.
+func WithRelayFirst() Option {
+	return func(c *config) {
+		c.punch.RelayFirst = true
+		c.punch.PathUpgrade = true
+		c.punch.RelayFallback = true
+	}
+}
+
+// WithPathUpgrade keeps established sessions mobile without changing
+// how dials establish: a session on the relay periodically re-punches
+// toward the direct path, a direct session whose path goes dark fails
+// back to the relay instead of dying under §3.6 idle detection, and a
+// peer whose NAT rebound mid-session is followed to its new mapping.
+// Implied by WithRelayFirst.
+func WithPathUpgrade() Option {
+	return func(c *config) { c.punch.PathUpgrade = true }
+}
+
+// WithOnPathChange installs a hook observing live path migrations:
+// fn(peer, old, new) runs whenever an established session moves
+// between paths ("relay" -> "public" on upgrade, back on failback).
+// The hook is called from the engine's dispatch context and must not
+// block; Conn.Path() already reflects the new path when it fires.
+func WithOnPathChange(fn func(peer, old, new string)) Option {
+	return func(c *config) { c.onPathChange = fn }
 }
 
 // WithKeepAlive tunes §3.6 session maintenance: interval paces

@@ -163,10 +163,13 @@ func runWireDispatch(pass *Pass) {
 	}
 
 	// (c) Decode's validity bound must name the last wire constant.
+	// Any decode-family function or method is scanned (Decode,
+	// decodeInto, (*Decoder).Decode, ...), so refactoring the parser
+	// into a shared helper cannot silently drop this gate.
 	for _, f := range protoPkg.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Name.Name != "Decode" || fn.Recv != nil || fn.Body == nil {
+			if !ok || !strings.HasPrefix(strings.ToLower(fn.Name.Name), "decode") || fn.Body == nil {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {

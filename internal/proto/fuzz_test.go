@@ -228,6 +228,21 @@ func FuzzStreamDecoder(f *testing.F) {
 	f.Add(framed)
 	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0xF0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// recvmmsg-batch shapes: a read-loop delivering kernel batches
+	// feeds the stream decoder runs of whole frames at once, and the
+	// batch boundary can land mid-frame. Seed a 16-frame relay burst
+	// (one recvmmsg's worth of back-to-back RelayTo traffic), the same
+	// burst cut mid-frame, and a burst with a poisoned tail frame.
+	var burst []byte
+	for i := 0; i < 16; i++ {
+		burst = proto.AppendFrame(burst, &proto.Message{
+			Type: proto.TypeRelayTo, From: "alice", Target: "bob",
+			Seq: uint32(i + 1), Data: []byte("batched payload"),
+		}, proto.PlainEndpoints)
+	}
+	f.Add(append([]byte(nil), burst...))
+	f.Add(append([]byte(nil), burst[:len(burst)-7]...))
+	f.Add(append(append([]byte(nil), burst...), 0x00, 0x00, 0x00, 0x03, 0xF0, 0x63, 0x00))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var whole proto.StreamDecoder
 		batch, batchErr := whole.Feed(data)

@@ -227,7 +227,16 @@ func (o Obfuscator) addr(a inet.Addr) inet.Addr {
 // Encode serializes m. Obfuscation applies to both endpoint fields
 // (it is its own inverse, so Decode uses the same Obfuscator).
 func Encode(m *Message, obf Obfuscator) []byte {
-	buf := make([]byte, 0, 64+len(m.Data))
+	return AppendMessage(make([]byte, 0, 64+len(m.Data)), m, obf)
+}
+
+// AppendMessage appends the wire encoding of m to dst and returns the
+// extended slice. This is the allocation-free form of Encode: hot
+// paths (the rendezvous forwarder and §2.2 relay) re-encode into a
+// reusable scratch buffer that amortizes to zero allocations per
+// datagram.
+func AppendMessage(dst []byte, m *Message, obf Obfuscator) []byte {
+	buf := dst
 	buf = append(buf, magic, byte(m.Type), byte(obf))
 	buf = appendString(buf, m.From)
 	buf = appendString(buf, m.Target)
@@ -254,30 +263,90 @@ func Encode(m *Message, obf Obfuscator) []byte {
 // Decode parses a message. The obfuscation mode is carried in the
 // header, so peers interoperate regardless of their local setting.
 func Decode(b []byte) (*Message, error) {
-	if len(b) < 3 || b[0] != magic {
-		return nil, ErrShort
+	m := &Message{}
+	if err := decodeInto(m, b, nil); err != nil {
+		return nil, err
 	}
-	m := &Message{Type: Type(b[1])}
+	return m, nil
+}
+
+// Decoder decodes messages into a reused Message, interning the
+// From/Target name strings, so steady-state decoding on a server hot
+// path allocates nothing. The returned *Message (and its Data and
+// Candidates slices) is valid only until the next Decode call; the
+// name strings are interned and safe to retain.
+type Decoder struct {
+	m     Message
+	names map[string]string
+}
+
+// maxInternedNames bounds the intern table; a server bombarded with
+// unique names resets the table rather than growing without bound.
+const maxInternedNames = 1 << 14
+
+// Decode parses one message into the Decoder's reused buffer.
+func (d *Decoder) Decode(b []byte) (*Message, error) {
+	if err := decodeInto(&d.m, b, d); err != nil {
+		return nil, err
+	}
+	return &d.m, nil
+}
+
+// internString returns a stable string for the byte slice, allocating
+// only the first time a given name is seen. The map index expression
+// `d.names[string(b)]` does not allocate (the compiler elides the
+// conversion for lookups).
+func (d *Decoder) internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	if d.names == nil || len(d.names) >= maxInternedNames {
+		d.names = make(map[string]string, 16)
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+// stringInterner abstracts the Decoder for decodeInto. An interface
+// (rather than a func value) keeps the call allocation-free: a
+// *Decoder converts to the interface without boxing.
+type stringInterner interface {
+	internString(b []byte) string
+}
+
+// decodeInto parses b into m, reusing m's Data and Candidates storage
+// when capacity allows. A nil interner copies name strings fresh
+// (Decode); a non-nil one interns them (Decoder). On error m is left
+// partially filled and must be discarded.
+func decodeInto(m *Message, b []byte, in stringInterner) error {
+	if len(b) < 3 || b[0] != magic {
+		return ErrShort
+	}
+	m.Type = Type(b[1])
 	if m.Type == 0 || m.Type > TypeMigrate {
-		return nil, ErrBadType
+		return ErrBadType
 	}
 	obf := Obfuscator(b[2])
 	b = b[3:]
 	var err error
-	if m.From, b, err = readString(b); err != nil {
-		return nil, err
+	if m.From, b, err = readStringIn(b, in); err != nil {
+		return err
 	}
-	if m.Target, b, err = readString(b); err != nil {
-		return nil, err
+	if m.Target, b, err = readStringIn(b, in); err != nil {
+		return err
 	}
 	if m.Public, b, err = readEndpoint(b, obf); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Private, b, err = readEndpoint(b, obf); err != nil {
-		return nil, err
+		return err
 	}
 	if len(b) < 8+1+4+4 {
-		return nil, ErrShort
+		return ErrShort
 	}
 	m.Nonce = binary.BigEndian.Uint64(b)
 	m.Requester = b[8] == 1
@@ -285,38 +354,46 @@ func Decode(b []byte) (*Message, error) {
 	n := binary.BigEndian.Uint32(b[13:])
 	b = b[17:]
 	if uint32(len(b)) < n {
-		return nil, ErrShort
+		return ErrShort
 	}
 	if n > 0 {
-		m.Data = append([]byte(nil), b[:n]...)
+		m.Data = append(m.Data[:0], b[:n]...)
+	} else {
+		// nil stays nil (fresh Message), reused storage truncates.
+		m.Data = m.Data[:0]
 	}
 	b = b[n:]
+	m.Candidates = m.Candidates[:0]
 	// Trailing candidate section: absent in pre-negotiation encodings,
 	// which decode as "no candidates".
 	if len(b) == 0 {
-		return m, nil
+		return nil
 	}
 	if len(b) < 2 {
-		return nil, ErrShort
+		return ErrShort
 	}
 	cn := int(binary.BigEndian.Uint16(b))
 	b = b[2:]
 	if cn > 0 {
 		if len(b) < cn*11 {
-			return nil, ErrShort
+			return ErrShort
 		}
-		m.Candidates = make([]Candidate, cn)
+		if cap(m.Candidates) < cn {
+			m.Candidates = make([]Candidate, cn)
+		} else {
+			m.Candidates = m.Candidates[:cn]
+		}
 		for i := range m.Candidates {
 			c := &m.Candidates[i]
 			c.Kind = b[0]
 			c.Priority = binary.BigEndian.Uint32(b[1:])
 			if c.Endpoint, _, err = readEndpoint(b[5:11], obf); err != nil {
-				return nil, err
+				return err
 			}
 			b = b[11:]
 		}
 	}
-	return m, nil
+	return nil
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -324,7 +401,7 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func readString(b []byte) (string, []byte, error) {
+func readStringIn(b []byte, in stringInterner) (string, []byte, error) {
 	if len(b) < 2 {
 		return "", nil, ErrShort
 	}
@@ -332,6 +409,9 @@ func readString(b []byte) (string, []byte, error) {
 	b = b[2:]
 	if len(b) < n {
 		return "", nil, ErrShort
+	}
+	if in != nil {
+		return in.internString(b[:n]), b[n:], nil
 	}
 	return string(b[:n]), b[n:], nil
 }
@@ -355,11 +435,15 @@ func readEndpoint(b []byte, obf Obfuscator) (inet.Endpoint, []byte, error) {
 // --- stream framing for TCP transports ---
 
 // AppendFrame appends a length-prefixed encoding of m to dst,
-// suitable for a TCP byte stream.
+// suitable for a TCP byte stream. The body is encoded in place after
+// a 4-byte length placeholder that is back-filled, so framing adds no
+// allocation beyond what dst's growth requires.
 func AppendFrame(dst []byte, m *Message, obf Obfuscator) []byte {
-	body := Encode(m, obf)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
-	return append(dst, body...)
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendMessage(dst, m, obf)
+	binary.BigEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
 }
 
 // StreamDecoder incrementally decodes length-prefixed messages from a

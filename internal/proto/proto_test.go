@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -186,5 +187,100 @@ func TestTypeStrings(t *testing.T) {
 		if typ.String() == "" {
 			t.Errorf("type %d has no name", typ)
 		}
+	}
+}
+
+func TestAppendMessageMatchesEncode(t *testing.T) {
+	// AppendMessage into a prefixed buffer must produce exactly the
+	// Encode bytes after the prefix — the hot paths depend on it.
+	for _, obf := range []Obfuscator{PlainEndpoints, ObfuscatedEndpoints} {
+		m := sampleMessage()
+		want := Encode(m, obf)
+		scratch := append(make([]byte, 0, 256), "prefix"...)
+		got := AppendMessage(scratch, m, obf)
+		if !bytes.Equal(got[:6], []byte("prefix")) || !bytes.Equal(got[6:], want) {
+			t.Fatalf("obf=%d: AppendMessage diverges from Encode", obf)
+		}
+	}
+}
+
+func TestDecoderMatchesDecode(t *testing.T) {
+	// A reused Decoder must agree with Decode on every message in a
+	// mixed stream, including Data/Candidates shrinking between calls.
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: TypeKeepAlive, From: "b", Seq: 7},
+		{Type: TypeRelayTo, From: "a", Target: "b", Seq: 9, Data: bytes.Repeat([]byte("x"), 900)},
+		{Type: TypeRelayTo, From: "a", Target: "b", Seq: 10, Data: []byte("s")},
+		{Type: TypeRegister, From: "a", Private: inet.EP("10.0.0.1", 4321)},
+		sampleMessage(),
+	}
+	var d Decoder
+	for i, m := range msgs {
+		wire := Encode(m, ObfuscatedEndpoints)
+		want, err := Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decode(wire)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		// The Decoder reuses storage, so compare field-by-field with
+		// value semantics rather than slice identity.
+		if got.Type != want.Type || got.From != want.From || got.Target != want.Target ||
+			got.Public != want.Public || got.Private != want.Private ||
+			got.Nonce != want.Nonce || got.Requester != want.Requester || got.Seq != want.Seq ||
+			!bytes.Equal(got.Data, want.Data) || len(got.Candidates) != len(want.Candidates) {
+			t.Fatalf("msg %d: Decoder diverges from Decode:\nwant %+v\n got %+v", i, want, got)
+		}
+		for j := range want.Candidates {
+			if got.Candidates[j] != want.Candidates[j] {
+				t.Fatalf("msg %d cand %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestDecoderInternsNames(t *testing.T) {
+	var d Decoder
+	wire := Encode(&Message{Type: TypeKeepAlive, From: "alice", Target: "bob"}, PlainEndpoints)
+	m1, err := d.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, firstTarget := m1.From, m1.Target
+	m2, err := d.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interned strings are stable across calls (same backing storage),
+	// so retaining them — registry records do — is safe and alloc-free.
+	if m2.From != first || m2.Target != firstTarget {
+		t.Fatal("interned names changed between decodes")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := d.Decode(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decoder.Decode allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestDecoderInternTableBounded(t *testing.T) {
+	var d Decoder
+	m := &Message{Type: TypeKeepAlive}
+	name := make([]byte, 8)
+	for i := 0; i < maxInternedNames+100; i++ {
+		binary.BigEndian.PutUint64(name, uint64(i))
+		m.From = string(name)
+		if _, err := d.Decode(Encode(m, PlainEndpoints)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.names) > maxInternedNames {
+		t.Fatalf("intern table grew to %d entries, bound is %d", len(d.names), maxInternedNames)
 	}
 }

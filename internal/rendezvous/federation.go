@@ -93,15 +93,26 @@ func (s *Server) handleFedForward(from inet.Endpoint, m *proto.Message) {
 		s.stats.Errors++
 		return
 	}
-	s.udp.SendTo(rec.Public, m.Data)
+	wire := m.Data
+	if !s.reuseEnc {
+		// m.Data is the decoder's reused buffer and the next datagram
+		// overwrites it; a transport without ScratchSendOK (simnet)
+		// queues the slice past SendTo, so it needs its own copy.
+		wire = append([]byte(nil), wire...)
+	}
+	s.udp.SendTo(rec.Public, wire)
 }
 
 // fedForward wraps raw wire bytes for delivery to name via its home
-// server.
+// server. It reuses the scratch skeleton, so callers must be done
+// with any message they built there (deliver encodes into fedScratch
+// first for exactly this reason).
 func (s *Server) fedForward(home inet.Endpoint, name string, wire []byte) {
-	s.sendUDP(home, &proto.Message{
+	out := &s.scratchMsg
+	*out = proto.Message{
 		Type: proto.TypeFedForward, Target: name, Data: wire,
-	})
+	}
+	s.sendUDP(home, out)
 }
 
 // replicate pushes one locally homed record to every federation peer.
@@ -109,7 +120,8 @@ func (s *Server) replicate(rec Record) {
 	if len(s.fedPeers) == 0 || !rec.Local() {
 		return
 	}
-	m := &proto.Message{
+	m := &s.scratchMsg
+	*m = proto.Message{
 		Type: proto.TypeFedRecord, From: rec.Name,
 		Public: rec.Public, Private: rec.Private,
 	}

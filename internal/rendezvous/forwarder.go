@@ -46,24 +46,33 @@ func (s *Server) forwardDetails(from inet.Endpoint, m *proto.Message, viaTCP boo
 		s.fail(from, m, false)
 		return
 	}
-	s.sendUDP(from, &proto.Message{
+	// Both introductions go through the scratch skeleton sequentially:
+	// sendUDP/deliver fully encode before returning, so the second
+	// fill cannot clobber the first in flight.
+	out := &s.scratchMsg
+	*out = proto.Message{
 		Type: proto.TypeConnectDetails, From: m.Target, Target: m.From,
 		Nonce: m.Nonce, Requester: true,
 		Public: b.Public, Private: b.Private,
-	})
-	s.deliver(b, &proto.Message{
+	}
+	s.sendUDP(from, out)
+	*out = proto.Message{
 		Type: proto.TypeConnectDetails, From: m.From, Target: m.Target,
 		Nonce: m.Nonce, Requester: false,
 		Public: from, Private: a.Private,
-	})
-	s.tracef("S: introduced %s <-> %s (nonce %d)", m.From, m.Target, m.Nonce)
+	}
+	s.deliver(b, out)
+	if s.Trace != nil {
+		s.tracef("S: introduced %s <-> %s (nonce %d)", m.From, m.Target, m.Nonce)
+	}
 }
 
 // reverse implements §2.3: B (who cannot be reached directly) relays
 // a connection request through S asking the peer to attempt a
 // "reverse" connection back to B.
 func (s *Server) reverse(from inet.Endpoint, m *proto.Message) {
-	out := &proto.Message{
+	out := &s.scratchMsg
+	*out = proto.Message{
 		Type: proto.TypeReverseRequest, From: m.From, Target: m.Target,
 		Nonce: m.Nonce,
 	}

@@ -14,26 +14,38 @@ import "natpunch/internal/proto"
 // target's home server for federated ones, or down the TCP
 // registration connection when that is the only surface the target
 // has.
+// relay runs on the server's packets-per-second ceiling, so it is
+// written to allocate nothing: the outgoing message reuses the
+// server's scratch skeleton (referencing the decoder's payload
+// buffer, which sendUDP/sendTCP fully consume before returning) and
+// the stats check is inlined rather than closed over.
 func (s *Server) relay(m *proto.Message) {
-	out := &proto.Message{
-		Type: proto.TypeRelayed, From: m.From, Target: m.Target,
-		Seq: m.Seq, Data: m.Data,
-	}
-	count := func() {
-		if m.Seq != 0 || len(m.Data) > 0 {
-			// Empty Seq-0 relays are §3.6 keep-alives, not the relay load
-			// §2.2 warns about; forward them but keep the stats honest.
+	// Empty Seq-0 relays are §3.6 keep-alives, not the relay load
+	// §2.2 warns about; forward them but keep the stats honest.
+	counted := m.Seq != 0 || len(m.Data) > 0
+	if rec, ok := s.reg.Get(m.Target, s.now()); ok {
+		if counted {
 			s.stats.RelayedMessages++
 			s.stats.RelayedBytes += uint64(len(m.Data))
 		}
-	}
-	if rec, ok := s.reg.Get(m.Target, s.now()); ok {
-		count()
+		out := &s.scratchMsg
+		*out = proto.Message{
+			Type: proto.TypeRelayed, From: m.From, Target: m.Target,
+			Seq: m.Seq, Data: m.Data,
+		}
 		s.deliver(rec, out)
 		return
 	}
 	if c, ok := s.tcpc[m.Target]; ok {
-		count()
+		if counted {
+			s.stats.RelayedMessages++
+			s.stats.RelayedBytes += uint64(len(m.Data))
+		}
+		out := &s.scratchMsg
+		*out = proto.Message{
+			Type: proto.TypeRelayed, From: m.From, Target: m.Target,
+			Seq: m.Seq, Data: m.Data,
+		}
 		s.sendTCP(c, out)
 		return
 	}

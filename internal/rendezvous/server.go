@@ -132,6 +132,21 @@ type Server struct {
 	fedPeers []inet.Endpoint
 	fedSet   map[inet.Endpoint]bool
 
+	// Zero-alloc hot path state. dec decodes every UDP datagram into
+	// one reused Message, interning client names (safe to retain in
+	// registry records). scratchMsg is the reused outgoing-message
+	// skeleton; enc and fedScratch are the encode buffers — separate,
+	// because a federated delivery encodes the inner message
+	// (fedScratch) and then the FedForward wrapper around it (enc).
+	// Scratch encoding is only enabled when the transport conn
+	// declares transport.ScratchSender (reuseEnc); the simulated
+	// transport retains sent payloads, so it gets fresh encodings.
+	dec        proto.Decoder
+	scratchMsg proto.Message
+	enc        []byte
+	fedScratch []byte
+	reuseEnc   bool
+
 	stats Stats
 
 	// Trace, if set, receives one line per handled message.
@@ -177,6 +192,9 @@ func Serve(tr transport.Transport, cfg Config) (*Server, error) {
 	}
 	s.udp = u
 	s.port = u.Local().Port
+	if ss, ok := u.(transport.ScratchSender); ok && ss.ScratchSendOK() {
+		s.reuseEnc = true
+	}
 	u.OnRecv(s.handleUDP)
 	if s.h != nil && !cfg.RelayOnly {
 		l, err := s.h.TCPListen(s.port, false, s.handleAccept)
@@ -247,11 +265,13 @@ func (s *Server) tracef(format string, args ...any) {
 // --- UDP transport ---
 
 func (s *Server) handleUDP(from inet.Endpoint, payload []byte) {
-	m, err := proto.Decode(payload)
+	m, err := s.dec.Decode(payload)
 	if err != nil {
 		return // stray traffic; §3.4 says endpoints must expect it
 	}
-	s.tracef("S/udp <- %s from=%s(%s)", m.Type, m.From, from)
+	if s.Trace != nil { // guarded: the variadic call itself allocates
+		s.tracef("S/udp <- %s from=%s(%s)", m.Type, m.From, from)
+	}
 	if s.cfg.RelayOnly {
 		switch m.Type {
 		case proto.TypeRegister:
@@ -310,11 +330,13 @@ func (s *Server) registerUDP(from inet.Endpoint, m *proto.Message) {
 	}
 	s.reg.Put(rec)
 	s.stats.RegistrationsUDP++
-	s.sendUDP(from, &proto.Message{
+	out := &s.scratchMsg
+	*out = proto.Message{
 		Type: proto.TypeRegisterOK, Target: m.From,
 		Public:  from,
 		Private: rec.Private,
-	})
+	}
+	s.sendUDP(from, out)
 	s.replicate(rec)
 }
 
@@ -326,15 +348,27 @@ func (s *Server) keepAliveUDP(from inet.Endpoint, m *proto.Message) {
 	if !s.reg.Touch(m.From, from, s.expiry(), s.now()) {
 		return // unknown or expired; the client's refresh cycle re-registers
 	}
-	s.sendUDP(from, &proto.Message{
+	out := &s.scratchMsg
+	*out = proto.Message{
 		Type: proto.TypeRegisterOK, Target: m.From, Public: from,
-	})
+	}
+	s.sendUDP(from, out)
 	if rec, ok := s.reg.Get(m.From, s.now()); ok && rec.Local() {
 		s.replicate(rec)
 	}
 }
 
+// sendUDP encodes and transmits one message. When the transport conn
+// releases payloads before SendTo returns (reuseEnc), the encoding
+// goes into the reused scratch buffer — the forward/relay hot path is
+// then allocation-free; otherwise (simulated transports, which queue
+// the payload slice) it allocates a fresh encoding.
 func (s *Server) sendUDP(to inet.Endpoint, m *proto.Message) {
+	if s.reuseEnc {
+		s.enc = proto.AppendMessage(s.enc[:0], m, s.obf)
+		s.udp.SendTo(to, s.enc)
+		return
+	}
 	s.udp.SendTo(to, proto.Encode(m, s.obf))
 }
 
@@ -345,6 +379,15 @@ func (s *Server) sendUDP(to inet.Endpoint, m *proto.Message) {
 func (s *Server) deliver(rec Record, m *proto.Message) {
 	if rec.Local() {
 		s.sendUDP(rec.Public, m)
+		return
+	}
+	if s.reuseEnc {
+		// Inner message into its own scratch: fedForward will reuse
+		// both scratchMsg (the wrapper skeleton) and enc (the wrapper
+		// encoding), so m — often scratchMsg itself — must be fully
+		// encoded before the call.
+		s.fedScratch = proto.AppendMessage(s.fedScratch[:0], m, s.obf)
+		s.fedForward(rec.Home, rec.Name, s.fedScratch)
 		return
 	}
 	s.fedForward(rec.Home, rec.Name, proto.Encode(m, s.obf))
@@ -423,7 +466,8 @@ func (s *Server) sendTCP(c *tcpClient, m *proto.Message) {
 // surface the request arrived on.
 func (s *Server) fail(from inet.Endpoint, m *proto.Message, viaTCP bool) {
 	s.stats.Errors++
-	e := &proto.Message{Type: proto.TypeError, Target: m.From, From: m.Target}
+	e := &s.scratchMsg
+	*e = proto.Message{Type: proto.TypeError, Target: m.From, From: m.Target}
 	if viaTCP {
 		s.sendTCP(s.tcpc[m.From], e)
 		return

@@ -1,0 +1,309 @@
+//go:build linux
+
+package realudp
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// batchSupported: Linux has sendmmsg(2)/recvmmsg(2).
+const batchSupported = true
+
+// mmsghdr mirrors the kernel's struct mmsghdr: a msghdr plus the
+// per-message transfer count. The trailing pad matches the C struct's
+// alignment padding — 4 bytes after the u32 on 64-bit ABIs (msghdr
+// contains pointers, so the array stride rounds up), none on 32-bit.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [unsafe.Sizeof(uintptr(0)) - 4]byte
+}
+
+// batchState is the reusable syscall scratch for one direction: the
+// mmsghdr/iovec/sockaddr arrays grow to the largest batch seen and
+// are rebuilt in place per call, so steady-state batches allocate
+// nothing.
+type batchState struct {
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sas  []syscall.RawSockaddrInet4
+
+	// UDP GSO scratch (WriteBatch only): the coalesced super-datagram,
+	// the UDP_SEGMENT control message, and the sticky opt-out set the
+	// first time the kernel rejects a segmented send.
+	gsoBuf  []byte
+	gsoCmsg []byte
+	gsoOff  bool
+}
+
+func (st *batchState) grow(n int) {
+	if cap(st.hdrs) < n {
+		st.hdrs = make([]mmsghdr, n)
+		st.iovs = make([]syscall.Iovec, n)
+		st.sas = make([]syscall.RawSockaddrInet4, n)
+	}
+	st.hdrs = st.hdrs[:n]
+	st.iovs = st.iovs[:n]
+	st.sas = st.sas[:n]
+}
+
+// prepare points slot i's iovec at the payload and its msghdr at the
+// slot sockaddr.
+func (st *batchState) prepare(i int, payload []byte) {
+	iov := &st.iovs[i]
+	if len(payload) > 0 {
+		iov.Base = &payload[0]
+	} else {
+		iov.Base = nil
+	}
+	iov.SetLen(len(payload))
+	h := &st.hdrs[i]
+	h.hdr = syscall.Msghdr{
+		Name:    (*byte)(unsafe.Pointer(&st.sas[i])),
+		Namelen: uint32(unsafe.Sizeof(st.sas[i])),
+		Iov:     iov,
+	}
+	h.hdr.Iovlen = 1 // untyped 1: the field's width varies by arch
+	h.n = 0
+}
+
+// setSockaddr fills slot i's sockaddr from ap. RawSockaddrInet4.Port
+// is in network byte order; going through bytes keeps this
+// host-endianness-independent.
+func (st *batchState) setSockaddr(i int, ap netip.AddrPort) {
+	sa := &st.sas[i]
+	*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: ap.Addr().Unmap().As4()}
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	port := ap.Port()
+	p[0], p[1] = byte(port>>8), byte(port)
+}
+
+// addrPort reads slot i's sockaddr back as a netip.AddrPort.
+func (st *batchState) addrPort(i int) netip.AddrPort {
+	sa := &st.sas[i]
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), uint16(p[0])<<8|uint16(p[1]))
+}
+
+// UDP generic segmentation offload (UDP_SEGMENT, Linux 4.18+): a run
+// of consecutive datagrams to one destination with one segment size
+// is handed to the kernel as a single super-datagram plus the segment
+// size in a control message, and the kernel splits it only after the
+// send path has run once. Relaying an application stream produces
+// exactly such runs, and one traversal of the UDP send stack per run
+// is worth far more than the syscall entries sendmmsg saves.
+const (
+	udpSegment  = 103 // UDP_SEGMENT cmsg type (not in the frozen syscall package)
+	gsoMinRun   = 2
+	gsoMaxSegs  = 64    // UDP_MAX_SEGMENTS
+	gsoMaxBytes = 65000 // stay under the UDP payload ceiling
+)
+
+// gsoRun reports where the GSO-eligible run starting at i ends: same
+// destination, equal-size payloads, with one trailing shorter
+// datagram allowed (GSO's last-segment rule).
+func gsoRun(ms []Datagram, i int) int {
+	seg := len(ms[i].Payload)
+	if seg == 0 {
+		return i + 1
+	}
+	total := seg
+	j := i + 1
+	for j < len(ms) && j-i < gsoMaxSegs && ms[j].Addr == ms[i].Addr {
+		n := len(ms[j].Payload)
+		if n > seg || total+n > gsoMaxBytes {
+			break
+		}
+		total += n
+		j++
+		if n < seg {
+			break // a short datagram must be the run's final segment
+		}
+	}
+	return j
+}
+
+// gsoUnsupported reports whether the error means this kernel (or
+// socket) cannot do segmented sends at all, as opposed to a transient
+// send failure.
+func gsoUnsupported(err error) bool {
+	return err == syscall.EINVAL || err == syscall.EOPNOTSUPP || err == syscall.ENOPROTOOPT
+}
+
+// sendGSO transmits one same-destination run as a single segmented
+// sendmsg(2).
+func (bc *BatchConn) sendGSO(run []Datagram) error {
+	st := &bc.send
+	seg := len(run[0].Payload)
+	buf := st.gsoBuf[:0]
+	for i := range run {
+		buf = append(buf, run[i].Payload...)
+	}
+	st.gsoBuf = buf
+	if len(st.gsoCmsg) == 0 {
+		st.gsoCmsg = make([]byte, syscall.CmsgSpace(2))
+	}
+	ch := (*syscall.Cmsghdr)(unsafe.Pointer(&st.gsoCmsg[0]))
+	ch.Level = syscall.IPPROTO_UDP
+	ch.Type = udpSegment
+	ch.SetLen(syscall.CmsgLen(2))
+	*(*uint16)(unsafe.Pointer(&st.gsoCmsg[syscall.CmsgLen(0)])) = uint16(seg)
+
+	st.grow(1)
+	st.setSockaddr(0, run[0].Addr)
+	st.prepare(0, buf)
+	h := &st.hdrs[0].hdr
+	h.Control = &st.gsoCmsg[0]
+	h.SetControllen(len(st.gsoCmsg))
+
+	var sysErr error
+	err := bc.rc.Write(func(fd uintptr) bool {
+		_, _, e := syscall.Syscall(syscall.SYS_SENDMSG, fd,
+			uintptr(unsafe.Pointer(h)), syscall.MSG_DONTWAIT)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // park on the poller until writable
+		}
+		if e != 0 {
+			sysErr = e
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return sysErr
+}
+
+// WriteBatch sends all datagrams: same-destination runs as one
+// segmented send each (UDP GSO), everything else batched into as few
+// sendmmsg(2) calls as the kernel accepts. It returns the number of
+// datagrams sent and the first error encountered.
+func (bc *BatchConn) WriteBatch(ms []Datagram) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	if bc.send.gsoOff {
+		return bc.sendMMsg(ms)
+	}
+	sent := 0
+	plain := 0 // start of the pending non-GSO span
+	for i := 0; i < len(ms); {
+		j := gsoRun(ms, i)
+		if j-i < gsoMinRun {
+			i = j
+			continue
+		}
+		if plain < i {
+			n, err := bc.sendMMsg(ms[plain:i])
+			sent += n
+			if err != nil {
+				return sent, err
+			}
+		}
+		if err := bc.sendGSO(ms[i:j]); err != nil {
+			if gsoUnsupported(err) {
+				// Nothing of the run went out; replay it (and the
+				// rest) unsegmented and never try GSO here again.
+				bc.send.gsoOff = true
+				n, merr := bc.sendMMsg(ms[i:])
+				return sent + n, merr
+			}
+			return sent, err
+		}
+		sent += j - i
+		plain, i = j, j
+	}
+	if plain < len(ms) {
+		n, err := bc.sendMMsg(ms[plain:])
+		sent += n
+		if err != nil {
+			return sent, err
+		}
+	}
+	return sent, nil
+}
+
+// sendMMsg sends the datagrams with sendmmsg(2), one iovec per
+// datagram.
+func (bc *BatchConn) sendMMsg(ms []Datagram) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	st := &bc.send
+	st.grow(len(ms))
+	for i := range ms {
+		st.setSockaddr(i, ms[i].Addr)
+		st.prepare(i, ms[i].Payload)
+	}
+	sent := 0
+	for sent < len(ms) {
+		n := 0
+		var sysErr error
+		err := bc.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&st.hdrs[sent])), uintptr(len(ms)-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN || e == syscall.EINTR {
+				return false // park on the poller until writable
+			}
+			if e != 0 {
+				sysErr = e
+			}
+			n = int(r)
+			return true
+		})
+		if err != nil {
+			return sent, err
+		}
+		if sysErr != nil {
+			return sent, sysErr
+		}
+		if n <= 0 {
+			break
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// ReadBatch receives up to len(ms) datagrams in one recvmmsg(2) call,
+// blocking (on the runtime poller) until at least one arrives. Filled
+// entries get Addr set and Payload re-sliced to the received length.
+func (bc *BatchConn) ReadBatch(ms []Datagram) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	st := &bc.recv
+	st.grow(len(ms))
+	for i := range ms {
+		st.prepare(i, ms[i].Payload)
+	}
+	n := 0
+	var sysErr error
+	err := bc.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&st.hdrs[0])), uintptr(len(ms)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // park on the poller until readable
+		}
+		if e != 0 {
+			sysErr = e
+		}
+		n = int(r)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sysErr != nil {
+		return 0, sysErr
+	}
+	for i := 0; i < n; i++ {
+		ms[i].Addr = st.addrPort(i)
+		ms[i].Payload = ms[i].Payload[:st.hdrs[i].n]
+	}
+	return n, nil
+}

@@ -10,12 +10,29 @@
 // socket read loops, wall-clock timer callbacks, and Invoke — on one
 // mutex per Transport. Timer.Stop/Active are only ever called from
 // inside that serialized context, which keeps them lock-free.
+//
+// # Batched data plane
+//
+// On Linux the data plane batches kernel crossings: the read loop
+// drains up to recvBatch datagrams per recvmmsg(2) call and delivers
+// the whole batch under one mutex acquisition, and datagrams the
+// engine sends while a batch is being delivered are queued in
+// per-conn slots and flushed with one sendmmsg(2) per socket when the
+// batch ends. A relayed stream therefore costs ~1/recvBatch of a
+// syscall per packet in and ~1/sendBatch out. Other platforms (and
+// Linux with WithBatching(false)) fall back to a portable
+// one-datagram-per-syscall loop with identical semantics. Receive
+// buffers are reused on both paths — delivery callbacks get a slice
+// that is valid only during the callback, per the transport.UDPConn
+// ownership contract.
 package realudp
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,38 +44,82 @@ import (
 // the same wall-clock nanosecond.
 var seedCounter atomic.Int64
 
+// ErrClosed is returned by BindUDP after Transport.Close: a bind that
+// raced shutdown must not leak a socket and read loop that nobody
+// will ever close.
+var ErrClosed = errors.New("realudp: transport closed")
+
+// Datagram batch sizing. recvBatch bounds per-socket buffer memory
+// (recvBatch 64KiB buffers per conn); sendBatch bounds how many
+// engine sends a single delivery batch can coalesce before an
+// intra-batch flush.
+const (
+	recvBatch = 16
+	sendBatch = 32
+)
+
 // Transport carries the natpunch engine over real UDP sockets bound
 // near a configured local address.
 type Transport struct {
-	mu    sync.Mutex
-	laddr *net.UDPAddr
-	start time.Time
-	rng   *rand.Rand
-	conns []*Conn
-	first *Conn
-	done  chan struct{}
+	mu       sync.Mutex
+	laddr    *net.UDPAddr
+	start    time.Time
+	rng      *rand.Rand
+	conns    []*Conn
+	first    *Conn
+	done     chan struct{}
+	batching bool    // construction-time, immutable
+	inBatch  bool    // under mu: a recvmmsg batch is being delivered
+	dirty    []*Conn // under mu: conns with queued sends to flush
 }
+
+// Option configures a Transport.
+type Option func(*Transport)
+
+// WithBatching enables or disables the batched (sendmmsg/recvmmsg)
+// data plane. It defaults to on; it is a no-op on platforms without
+// the fast path. Disabling it selects the portable loop — useful for
+// differential testing and benchmarking the two paths.
+func WithBatching(on bool) Option { return func(t *Transport) { t.batching = on } }
 
 // New prepares a transport whose sockets bind at laddr (e.g.
 // "0.0.0.0:0" or "127.0.0.1:0"). No socket is bound until the engine
 // calls BindUDP.
-func New(laddr string) (*Transport, error) {
+func New(laddr string, opts ...Option) (*Transport, error) {
 	a, err := net.ResolveUDPAddr("udp4", laddr)
 	if err != nil {
 		return nil, err
 	}
-	return &Transport{
-		laddr: a,
-		start: time.Now(),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano() + seedCounter.Add(1)<<32)),
-		done:  make(chan struct{}),
-	}, nil
+	t := &Transport{
+		laddr:    a,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano() + seedCounter.Add(1)<<32)),
+		done:     make(chan struct{}),
+		batching: true,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t, nil
 }
+
+// Batched reports whether sockets bound by this transport use the
+// kernel-batched (sendmmsg/recvmmsg) data plane: true on Linux unless
+// disabled with WithBatching(false), false elsewhere.
+func (t *Transport) Batched() bool { return t.batching && batchSupported }
 
 // BindUDP binds a socket. Port 0 uses the transport's configured
 // local address verbatim; a non-zero port overrides the configured
 // port (relay allocations bind consecutive ports this way).
 func (t *Transport) BindUDP(port transport.Port) (transport.UDPConn, error) {
+	// Refuse after Close: close(t.done) happens under the same
+	// serialized context that calls BindUDP, and the channel guards
+	// direct (test/application) callers that race shutdown.
+	select {
+	case <-t.done:
+		return nil, ErrClosed
+	default:
+	}
 	addr := *t.laddr
 	if port != 0 {
 		addr.Port = int(port)
@@ -67,12 +128,25 @@ func (t *Transport) BindUDP(port transport.Port) (transport.UDPConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Relay-grade socket buffers: a rendezvous or relay server absorbs
+	// bursts from many clients between scheduler slices, and the
+	// kernel defaults (~200KB) hold only a couple hundred small
+	// datagrams. Best effort — a capped rmem_max just clips it.
+	uc.SetReadBuffer(1 << 20)
+	uc.SetWriteBuffer(1 << 20)
 	local, err := ToEndpoint(uc.LocalAddr().(*net.UDPAddr))
 	if err != nil {
 		uc.Close()
 		return nil, err
 	}
 	c := &Conn{t: t, c: uc, local: local}
+	if t.Batched() {
+		// A raw-conn failure just means this socket runs the portable
+		// loop; the transport stays usable.
+		if bc, err := NewBatchConn(uc); err == nil {
+			c.bc = bc
+		}
+	}
 	t.conns = append(t.conns, c)
 	if t.first == nil {
 		t.first = c
@@ -129,8 +203,8 @@ func (t *Transport) LocalAddr() *net.UDPAddr {
 	return t.first.c.LocalAddr().(*net.UDPAddr)
 }
 
-// Close tears down every socket; read loops exit and pending timers
-// become no-ops.
+// Close tears down every socket; read loops exit, pending timers
+// become no-ops, and later BindUDP calls fail with ErrClosed.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -141,7 +215,7 @@ func (t *Transport) Close() error {
 		close(t.done)
 	}
 	for _, c := range t.conns {
-		c.closed = true
+		c.closed.Store(true)
 		c.c.Close()
 	}
 	t.conns = nil
@@ -170,11 +244,21 @@ func (tm *timer) Active() bool { return !tm.fired && !tm.stopped }
 
 // Conn is one bound real UDP socket.
 type Conn struct {
-	t      *Transport
-	c      *net.UDPConn
-	local  transport.Endpoint
+	t     *Transport
+	c     *net.UDPConn
+	bc    *BatchConn // non-nil when this socket runs the batched loop
+	local transport.Endpoint
+	// closed is atomic because Close may be reached from outside the
+	// serialized engine context (facade teardown paths) while the read
+	// loop checks it under t.mu.
+	closed atomic.Bool
 	onRecv func(from transport.Endpoint, payload []byte)
-	closed bool
+	// pend holds sends queued during a delivery batch (under t.mu).
+	// Slots and their payload buffers are reused across flushes, so
+	// the steady-state queue path allocates nothing.
+	pend    []Datagram
+	npend   int
+	inDirty bool
 }
 
 // Local returns the socket's bound endpoint (the private endpoint of
@@ -182,39 +266,166 @@ type Conn struct {
 // kernel reports it).
 func (c *Conn) Local() transport.Endpoint { return c.local }
 
-// OnRecv installs the delivery callback (engine context only).
+// OnRecv installs the delivery callback (engine context only). The
+// payload slice passed to fn is reused by the read loop and is valid
+// only during the callback.
 func (c *Conn) OnRecv(fn func(from transport.Endpoint, payload []byte)) { c.onRecv = fn }
 
-// SendTo transmits one datagram.
+// SendTo transmits one datagram. The payload is released before
+// SendTo returns (see ScratchSendOK): either written to the kernel
+// immediately, or copied into a reusable batch slot and flushed with
+// the enclosing delivery batch.
 func (c *Conn) SendTo(to transport.Endpoint, payload []byte) error {
-	_, err := c.c.WriteToUDP(payload, ToUDPAddr(to))
+	if c.t.inBatch && c.bc != nil && !c.closed.Load() {
+		c.enqueueLocked(to, payload)
+		return nil
+	}
+	_, err := c.c.WriteToUDPAddrPort(payload, toAddrPort(to))
 	return err
+}
+
+// ScratchSendOK implements transport.ScratchSender: SendTo never
+// retains the payload slice, so engine hot paths may encode into
+// reusable scratch buffers when sending through this conn.
+func (c *Conn) ScratchSendOK() bool { return true }
+
+// enqueueLocked queues one datagram for the end-of-batch flush,
+// copying payload into a reusable slot (callers reuse their encode
+// scratch). Runs under t.mu with t.inBatch set.
+func (c *Conn) enqueueLocked(to transport.Endpoint, payload []byte) {
+	if c.npend == len(c.pend) {
+		if c.npend < sendBatch {
+			c.pend = append(c.pend, Datagram{})
+		} else {
+			c.flushLocked() // queue full: flush mid-batch and reuse slots
+		}
+	}
+	d := &c.pend[c.npend]
+	d.Addr = toAddrPort(to)
+	d.Payload = append(d.Payload[:0], payload...)
+	c.npend++
+	if !c.inDirty {
+		c.inDirty = true
+		c.t.dirty = append(c.t.dirty, c)
+	}
+}
+
+// flushLocked sends the queued batch with one sendmmsg. UDP is lossy
+// by contract and SendTo already returned nil for these datagrams, so
+// send errors are dropped like any other lost packet.
+func (c *Conn) flushLocked() {
+	if c.npend == 0 {
+		return
+	}
+	n := c.npend
+	c.npend = 0
+	c.bc.WriteBatch(c.pend[:n])
+}
+
+// flushDirtyLocked flushes every conn that queued sends during the
+// delivery batch, then resets the dirty list. Runs under t.mu.
+func (t *Transport) flushDirtyLocked() {
+	for i, c := range t.dirty {
+		c.flushLocked()
+		c.inDirty = false
+		t.dirty[i] = nil
+	}
+	t.dirty = t.dirty[:0]
 }
 
 // Close releases the socket; the read loop exits.
 func (c *Conn) Close() {
-	c.closed = true
+	c.closed.Store(true)
 	c.c.Close()
 }
 
 func (c *Conn) readLoop() {
+	if c.bc != nil {
+		c.readLoopBatched()
+	} else {
+		c.readLoopSimple()
+	}
+}
+
+// readLoopSimple is the portable loop: one datagram per syscall, one
+// mutex acquisition per datagram, one reused receive buffer.
+func (c *Conn) readLoopSimple() {
 	buf := make([]byte, 64<<10)
 	for {
-		n, from, err := c.c.ReadFromUDP(buf)
+		n, from, err := c.c.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return
 		}
-		ep, err := ToEndpoint(from)
-		if err != nil {
+		ep, ok := fromAddrPort(from)
+		if !ok {
 			continue
 		}
-		payload := append([]byte(nil), buf[:n]...)
 		c.t.mu.Lock()
-		if !c.closed && c.onRecv != nil {
-			c.onRecv(ep, payload)
+		if !c.closed.Load() && c.onRecv != nil {
+			c.onRecv(ep, buf[:n])
 		}
 		c.t.mu.Unlock()
 	}
+}
+
+// readLoopBatched drains up to recvBatch datagrams per recvmmsg and
+// delivers them under a single mutex acquisition; sends the engine
+// issues during delivery coalesce into per-conn sendmmsg flushes.
+func (c *Conn) readLoopBatched() {
+	bufs := make([][]byte, recvBatch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 64<<10)
+	}
+	ms := make([]Datagram, recvBatch)
+	for {
+		for i := range ms {
+			ms[i] = Datagram{Payload: bufs[i]}
+		}
+		n, err := c.bc.ReadBatch(ms)
+		if err != nil {
+			return
+		}
+		c.t.deliverBatch(c, ms[:n])
+	}
+}
+
+// deliverBatch feeds one received batch to the engine and flushes the
+// sends it provoked.
+func (t *Transport) deliverBatch(c *Conn, ms []Datagram) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inBatch = true
+	for i := range ms {
+		// Per-datagram check: a handler may close this conn mid-batch.
+		if c.closed.Load() || c.onRecv == nil {
+			break
+		}
+		ep, ok := fromAddrPort(ms[i].Addr)
+		if !ok {
+			continue
+		}
+		c.onRecv(ep, ms[i].Payload)
+	}
+	t.inBatch = false
+	t.flushDirtyLocked()
+}
+
+// toAddrPort converts a wire endpoint to a netip.AddrPort (both value
+// types: no allocation on the send path).
+func toAddrPort(ep transport.Endpoint) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4(ep.Addr.Octets()), uint16(ep.Port))
+}
+
+// fromAddrPort converts a received source address to the engine's
+// endpoint representation, rejecting non-IPv4 sources.
+func fromAddrPort(ap netip.AddrPort) (transport.Endpoint, bool) {
+	a := ap.Addr().Unmap()
+	if !a.Is4() {
+		return transport.Endpoint{}, false
+	}
+	o := a.As4()
+	addr := transport.Addr(uint32(o[0])<<24 | uint32(o[1])<<16 | uint32(o[2])<<8 | uint32(o[3]))
+	return transport.Endpoint{Addr: addr, Port: transport.Port(ap.Port())}, true
 }
 
 // ToEndpoint converts a real UDP address to the engine's wire

@@ -1,0 +1,413 @@
+package realudp
+
+import (
+	"bytes"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"natpunch/transport"
+)
+
+// requireLoopback skips when the sandbox denies loopback UDP binds.
+func requireLoopback(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+func newTransport(t *testing.T, opts ...Option) *Transport {
+	t.Helper()
+	tr, err := New("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// TestBindAfterCloseRefused pins the shutdown-race fix: a BindUDP
+// that loses the race with Transport.Close must fail with ErrClosed
+// instead of leaking a live socket and read-loop goroutine onto the
+// nil'd conns list.
+func TestBindAfterCloseRefused(t *testing.T) {
+	requireLoopback(t)
+	tr := newTransport(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tr.BindUDP(0)
+	if err != ErrClosed {
+		if c != nil {
+			c.Close()
+		}
+		t.Fatalf("BindUDP after Close: conn=%v err=%v, want ErrClosed", c, err)
+	}
+}
+
+// TestCloseRace pins the Conn.Close data race fix: Close writes the
+// closed flag from outside the serialized engine context while the
+// read loop checks it under the transport mutex. Run under -race.
+func TestCloseRace(t *testing.T) {
+	requireLoopback(t)
+	tr := newTransport(t)
+	var conn transport.UDPConn
+	tr.Invoke(func() {
+		c, err := tr.BindUDP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnRecv(func(from transport.Endpoint, payload []byte) {})
+		conn = c
+	})
+	// Traffic keeps the read loop hot while Close races it.
+	probe, err := net.DialUDP("udp4", nil, ToUDPAddr(conn.Local()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			probe.Write([]byte("ping"))
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	conn.Close() // direct call, NOT under Invoke: the racy path
+	wg.Wait()
+}
+
+// TestBatchConnRoundTrip drives WriteBatch/ReadBatch between two raw
+// sockets and checks every datagram arrives intact with the right
+// source address, on whichever implementation this platform selects.
+func TestBatchConnRoundTrip(t *testing.T) {
+	requireLoopback(t)
+	bind := func() (*net.UDPConn, *BatchConn) {
+		uc, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { uc.Close() })
+		bc, err := NewBatchConn(uc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uc, bc
+	}
+	sender, sbc := bind()
+	receiver, rbc := bind()
+	dst := receiver.LocalAddr().(*net.UDPAddr).AddrPort()
+	src := sender.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	const total = 37 // not a multiple of the batch size on purpose
+	out := make([]Datagram, total)
+	for i := range out {
+		out[i] = Datagram{Addr: dst, Payload: []byte{byte(i), byte(i >> 8), 0xAB}}
+	}
+	n, err := sbc.WriteBatch(out)
+	if err != nil || n != total {
+		t.Fatalf("WriteBatch: n=%d err=%v", n, err)
+	}
+
+	got := make(map[byte]bool)
+	bufs := make([]Datagram, 8)
+	backing := make([][]byte, len(bufs))
+	for i := range backing {
+		backing[i] = make([]byte, 2048)
+	}
+	receiver.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for len(got) < total {
+		for i := range bufs {
+			bufs[i] = Datagram{Payload: backing[i]}
+		}
+		n, err := rbc.ReadBatch(bufs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d/%d datagrams: %v", len(got), total, err)
+		}
+		for i := 0; i < n; i++ {
+			if bufs[i].Addr.Addr().Unmap() != src.Addr().Unmap() || bufs[i].Addr.Port() != src.Port() {
+				t.Fatalf("datagram %d from %v, want %v", i, bufs[i].Addr, src)
+			}
+			p := bufs[i].Payload
+			if len(p) != 3 || p[2] != 0xAB {
+				t.Fatalf("payload corrupted: %x", p)
+			}
+			got[p[0]] = true
+		}
+	}
+}
+
+// echoPair wires two conns on separate transports: b echoes every
+// datagram back to its sender.
+func echoPair(t *testing.T, opts ...Option) (ta *Transport, a, b transport.UDPConn) {
+	t.Helper()
+	ta = newTransport(t, opts...)
+	tb := newTransport(t, opts...)
+	ta.Invoke(func() {
+		c, err := ta.BindUDP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a = c
+	})
+	tb.Invoke(func() {
+		c, err := tb.BindUDP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnRecv(func(from transport.Endpoint, payload []byte) {
+			c.SendTo(from, payload)
+		})
+		b = c
+	})
+	for _, c := range []transport.UDPConn{a, b} {
+		c.(*Conn).c.SetReadBuffer(1 << 20)
+	}
+	return ta, a, b
+}
+
+// testEchoStream pushes a numbered stream through an echo peer and
+// checks every echo comes back intact — exercising receive-buffer
+// reuse, batched delivery, and the deferred-send flush path.
+func testEchoStream(t *testing.T, opts ...Option) {
+	t.Helper()
+	ta, a, b := echoPair(t, opts...)
+	const total = 500
+	recv := make(chan []byte, total)
+	ta.Invoke(func() {
+		a.OnRecv(func(from transport.Endpoint, payload []byte) {
+			// The slice is only valid during the callback: copy.
+			recv <- append([]byte(nil), payload...)
+		})
+	})
+	// Windowed sends: a tight 500-datagram burst overruns default
+	// socket buffers; the test measures integrity, not loss behavior.
+	for base := 0; base < total; base += 50 {
+		ta.Invoke(func() {
+			for i := base; i < base+50 && i < total; i++ {
+				if err := a.SendTo(b.Local(), []byte{byte(i), byte(i >> 8), 0x5A}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		time.Sleep(2 * time.Millisecond)
+	}
+	seen := make(map[int]bool)
+	deadline := time.After(10 * time.Second)
+	// Loopback is lossless in practice but UDP makes no promise; 90%
+	// proves the data plane works without making the test flaky.
+	for len(seen) < total*9/10 {
+		select {
+		case p := <-recv:
+			if len(p) != 3 || p[2] != 0x5A {
+				t.Fatalf("echo corrupted: %x", p)
+			}
+			seen[int(p[0])|int(p[1])<<8] = true
+		case <-deadline:
+			t.Fatalf("received %d/%d echoes", len(seen), total)
+		}
+	}
+}
+
+func TestEchoStreamBatched(t *testing.T) {
+	requireLoopback(t)
+	testEchoStream(t)
+}
+
+func TestEchoStreamPortable(t *testing.T) {
+	requireLoopback(t)
+	testEchoStream(t, WithBatching(false))
+}
+
+func TestBatchedSelection(t *testing.T) {
+	tr := newTransport(t)
+	off := newTransport(t, WithBatching(false))
+	if tr.Batched() != batchSupported {
+		t.Fatalf("Batched()=%v, want platform default %v", tr.Batched(), batchSupported)
+	}
+	if off.Batched() {
+		t.Fatal("WithBatching(false) did not disable batching")
+	}
+}
+
+// TestScratchSender pins the capability the rendezvous hot path
+// probes for: realudp conns release payloads before SendTo returns.
+func TestScratchSender(t *testing.T) {
+	requireLoopback(t)
+	tr := newTransport(t)
+	var conn transport.UDPConn
+	tr.Invoke(func() {
+		c, err := tr.BindUDP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn = c
+	})
+	ss, ok := conn.(transport.ScratchSender)
+	if !ok || !ss.ScratchSendOK() {
+		t.Fatal("realudp conns must implement transport.ScratchSender")
+	}
+}
+
+// TestDeferredSendScratchReuse proves the batch queue copies payloads:
+// a sender that reuses its encode scratch between SendTo calls inside
+// one delivery batch must not see its earlier datagrams corrupted.
+func TestDeferredSendScratchReuse(t *testing.T) {
+	requireLoopback(t)
+	if !batchSupported {
+		t.Skip("no batched path on this platform")
+	}
+	tr := newTransport(t)
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	sinkEP, _ := ToEndpoint(sink.LocalAddr().(*net.UDPAddr))
+
+	var conn transport.UDPConn
+	scratch := make([]byte, 4)
+	tr.Invoke(func() {
+		c, err := tr.BindUDP(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn = c
+		c.OnRecv(func(from transport.Endpoint, payload []byte) {
+			// Re-encode into the same scratch for every reply, the way
+			// the rendezvous relay does.
+			for i := byte(0); i < 4; i++ {
+				scratch[0], scratch[1], scratch[2], scratch[3] = i, i, i, i
+				c.SendTo(sinkEP, scratch)
+			}
+		})
+	})
+	probe, err := net.DialUDP("udp4", nil, ToUDPAddr(conn.Local()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	if _, err := probe.Write([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	sink.SetReadDeadline(time.Now().Add(5 * time.Second))
+	seen := make(map[byte]bool)
+	buf := make([]byte, 16)
+	for len(seen) < 4 {
+		n, _, err := sink.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			t.Fatalf("sink read after %d/4 distinct payloads: %v", len(seen), err)
+		}
+		if n != 4 || buf[0] != buf[3] {
+			t.Fatalf("corrupted deferred datagram: %x", buf[:n])
+		}
+		seen[buf[0]] = true
+	}
+}
+
+func TestEndpointConversions(t *testing.T) {
+	ep := transport.MustParseEndpoint("155.99.25.11:62000")
+	ap := toAddrPort(ep)
+	if ap.String() != "155.99.25.11:62000" {
+		t.Fatalf("toAddrPort: %v", ap)
+	}
+	back, ok := fromAddrPort(ap)
+	if !ok || back != ep {
+		t.Fatalf("fromAddrPort: %v %v", back, ok)
+	}
+	// 4-in-6 mapped forms (as some stacks report loopback sources)
+	// unmap to the same endpoint.
+	mapped := netip.AddrPortFrom(netip.AddrFrom16(ap.Addr().As16()), ap.Port())
+	back, ok = fromAddrPort(mapped)
+	if !ok || back != ep {
+		t.Fatalf("fromAddrPort(mapped): %v %v", back, ok)
+	}
+	if _, ok := fromAddrPort(netip.MustParseAddrPort("[::1]:9")); ok {
+		t.Fatal("IPv6 source accepted")
+	}
+}
+
+// TestWriteBatchGSORuns pins the GSO span carving in WriteBatch: a
+// batch mixing same-destination equal-size runs, a trailing shorter
+// segment, destination switches, and odd singletons must arrive as
+// exactly the datagrams that were handed in — the segmented fast path
+// must never move a datagram boundary.
+func TestWriteBatchGSORuns(t *testing.T) {
+	requireLoopback(t)
+	bind := func() (*net.UDPConn, *BatchConn) {
+		uc, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { uc.Close() })
+		bc, err := NewBatchConn(uc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uc.SetReadBuffer(1 << 20)
+		return uc, bc
+	}
+	sinkA, _ := bind()
+	sinkB, _ := bind()
+	_, src := bind()
+	addrA := sinkA.LocalAddr().(*net.UDPAddr).AddrPort()
+	addrB := sinkB.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	pay := func(n, fill int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(fill)
+		}
+		return b
+	}
+	var batch []Datagram
+	// run of 5 equal to A, then a shorter trailing segment
+	for i := 0; i < 5; i++ {
+		batch = append(batch, Datagram{Addr: addrA, Payload: pay(32, i)})
+	}
+	batch = append(batch, Datagram{Addr: addrA, Payload: pay(7, 5)})
+	// singleton to B breaks the run
+	batch = append(batch, Datagram{Addr: addrB, Payload: pay(11, 6)})
+	// growing sizes to A never form a run (next > seg)
+	batch = append(batch, Datagram{Addr: addrA, Payload: pay(3, 7)})
+	batch = append(batch, Datagram{Addr: addrA, Payload: pay(9, 8)})
+	// run of 2 to B
+	batch = append(batch, Datagram{Addr: addrB, Payload: pay(48, 9)})
+	batch = append(batch, Datagram{Addr: addrB, Payload: pay(48, 10)})
+
+	if n, err := src.WriteBatch(batch); err != nil || n != len(batch) {
+		t.Fatalf("WriteBatch = %d, %v; want %d", n, err, len(batch))
+	}
+
+	drain := func(uc *net.UDPConn, want []Datagram) {
+		uc.SetReadDeadline(time.Now().Add(3 * time.Second))
+		buf := make([]byte, 2048)
+		for k, d := range want {
+			n, _, err := uc.ReadFromUDP(buf)
+			if err != nil {
+				t.Fatalf("datagram %d: %v", k, err)
+			}
+			if !bytes.Equal(buf[:n], d.Payload) {
+				t.Fatalf("datagram %d: got %d bytes fill %d, want %d bytes fill %d",
+					k, n, buf[0], len(d.Payload), d.Payload[0])
+			}
+		}
+	}
+	var wantA, wantB []Datagram
+	for _, d := range batch {
+		if d.Addr == addrA {
+			wantA = append(wantA, d)
+		} else {
+			wantB = append(wantB, d)
+		}
+	}
+	drain(sinkA, wantA)
+	drain(sinkB, wantB)
+}

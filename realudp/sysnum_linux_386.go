@@ -1,0 +1,10 @@
+//go:build linux && 386
+
+package realudp
+
+// The frozen stdlib syscall package predates sendmmsg on this arch;
+// the numbers are ABI-stable (arch/x86/entry/syscalls).
+const (
+	sysRECVMMSG = 337
+	sysSENDMMSG = 345
+)

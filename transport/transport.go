@@ -77,7 +77,11 @@ type UDPConn interface {
 	// *private endpoint* in the paper's terminology (§3.1).
 	Local() Endpoint
 	// OnRecv installs the datagram delivery callback. The callback
-	// runs inside the transport's serialized context.
+	// runs inside the transport's serialized context. The payload
+	// slice is owned by the transport and valid only for the duration
+	// of the callback: implementations reuse receive buffers across
+	// datagrams, so engine code must decode or copy before returning
+	// (it does — proto.Decode copies what it keeps).
 	OnRecv(fn func(from Endpoint, payload []byte))
 	// SendTo transmits one datagram to the given endpoint.
 	SendTo(to Endpoint, payload []byte) error
@@ -108,6 +112,21 @@ type Transport interface {
 	// callbacks. It is the only way application-side code may enter
 	// engine state; fn must not call Invoke recursively.
 	Invoke(fn func())
+}
+
+// ScratchSender is an optional UDPConn capability declaring that
+// SendTo does not retain the payload slice after it returns: the
+// implementation hands the bytes to the kernel (or copies them into
+// its own batching slots) before returning. Engine hot paths — the
+// rendezvous forwarder and the §2.2 relay — probe for it and, when
+// present, re-encode into a reusable scratch buffer instead of
+// allocating a fresh encoding per datagram. The simulated transport
+// deliberately does not implement it: queued simulated packets
+// reference the payload slice, so senders must allocate fresh.
+type ScratchSender interface {
+	// ScratchSendOK reports that SendTo releases the payload slice
+	// before returning.
+	ScratchSendOK() bool
 }
 
 // Waiter is an optional Transport capability for virtual-time

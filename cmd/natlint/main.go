@@ -2,62 +2,268 @@
 // (internal/analysis) over the whole module: determinism (no wall
 // clock or global randomness inside the engine), maporder (no map
 // iteration order on wire/render paths), layering (facade edges as
-// pinned in docs/API.md), and wiredispatch (exhaustive wire-message
-// handling). See docs/LINT.md.
+// pinned in docs/API.md), wiredispatch (exhaustive wire-message
+// handling), bufown (callback-scoped buffers must not escape their
+// callback), atomicfield (no mixed atomic/plain access), and
+// golifecycle (goroutines and timers tied to shutdown). See
+// docs/LINT.md.
 //
 // Usage:
 //
-//	go run ./cmd/natlint ./...
+//	go run ./cmd/natlint [flags] [./...]
 //
 // The module enclosing the working directory is always analyzed in
 // full — the invariants are module-global, so package patterns are
-// accepted only for command-line familiarity. Exit status: 0 clean,
-// 1 unsuppressed diagnostics, 2 load or type-check failure.
+// accepted only for command-line familiarity. By default the suite
+// runs over both data-plane build flavors (native and portable), so
+// e.g. realudp's batch_linux.go and batch_other.go are both analyzed
+// regardless of the host platform; a finding is annotated with its
+// flavor only when it does not appear in every flavor.
+//
+// Flags:
+//
+//	-workers N        parse/type-check/analyze parallelism (default GOMAXPROCS)
+//	-flavors LIST     comma-separated build flavors: native,portable
+//	-json FILE        write the diagnostics as a deterministic JSON artifact
+//	-github           emit GitHub Actions ::error annotations instead of plain lines
+//	-timingjson FILE  write a BENCH-style wall-clock timing artifact
+//
+// Diagnostics on stdout are byte-identical at any -workers width. Exit
+// status: 0 clean, 1 unsuppressed findings, 2 package load or
+// type-check failure (load failures are reported as ordinary "load"
+// diagnostics rather than aborting the run at the first broken
+// package).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
 
 	"natpunch/internal/analysis"
 )
 
+// flavorGOOS maps flavor names to the module-file-selection GOOS
+// override ("" = native platform).
+var flavorGOOS = map[string]string{
+	"native":   "",
+	"portable": "portable",
+}
+
+// finding is one merged diagnostic with the flavors it appeared in.
+type finding struct {
+	d       analysis.Diagnostic
+	flavors []string
+}
+
 func main() {
-	// Arguments like "./..." are tolerated; anything flag-shaped is not.
-	for _, arg := range os.Args[1:] {
-		if len(arg) > 0 && arg[0] == '-' {
-			fmt.Fprintf(os.Stderr, "usage: natlint [./...]\n")
+	workers := flag.Int("workers", 0, "parse/type-check/analyze parallelism (0 = GOMAXPROCS)")
+	flavors := flag.String("flavors", "native,portable", "comma-separated build flavors to analyze (native,portable)")
+	jsonPath := flag.String("json", "", "write diagnostics to this file as a deterministic JSON artifact")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations instead of plain lines")
+	timingPath := flag.String("timingjson", "", "write wall-clock timing to this file (BENCH artifact style)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: natlint [-workers N] [-flavors native,portable] [-json FILE] [-github] [-timingjson FILE] [./...]\n")
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		// "./..." style patterns are tolerated for familiarity; anything
+		// else flag-shaped snuck past the parser and is an error.
+		if strings.HasPrefix(arg, "-") {
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	var flavorNames []string
+	for _, name := range strings.Split(*flavors, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := flavorGOOS[name]; !ok {
+			fmt.Fprintf(os.Stderr, "natlint: unknown flavor %q (want native or portable)\n", name)
+			os.Exit(2)
+		}
+		flavorNames = append(flavorNames, name)
+	}
+	if len(flavorNames) == 0 {
+		fmt.Fprintln(os.Stderr, "natlint: no flavors selected")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	analyzers := analysis.Analyzers()
+	merged := make(map[string]*finding)
+	var order []string
+	var modDir, modPath string
+	var loadFailed bool
+	packages := 0
+	var prev *analysis.Module
+	for _, name := range flavorNames {
+		mod, loadDiags, err := analysis.LoadWith(".", analysis.LoadOptions{
+			Workers: *workers,
+			GOOS:    flavorGOOS[name],
+			Reuse:   prev,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "natlint: %v\n", err)
+			os.Exit(2)
+		}
+		modDir, modPath = mod.Dir, mod.Path
+		if n := len(mod.Packages); n > packages {
+			packages = n
+		}
+		if len(loadDiags) > 0 {
+			loadFailed = true
+		}
+		diags := append(loadDiags, analysis.RunWorkers(mod, analysis.DefaultConfig(), analyzers, *workers)...)
+		for _, d := range diags {
+			key := d.String()
+			f, ok := merged[key]
+			if !ok {
+				f = &finding{d: d}
+				merged[key] = f
+				order = append(order, key)
+			}
+			f.flavors = append(f.flavors, name)
+		}
+		prev = mod
+	}
+	elapsed := time.Since(start)
+
+	sort.Strings(order)
+	findings := make([]*finding, 0, len(order))
+	for _, key := range order {
+		findings = append(findings, merged[key])
+	}
+
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.d.Check]++
+		d := f.d
+		if rel, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		suffix := ""
+		if len(f.flavors) < len(flavorNames) {
+			suffix = fmt.Sprintf(" (flavor: %s)", strings.Join(f.flavors, ","))
+		}
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=natlint(%s)::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, githubEscape(d.Message+suffix))
+		} else {
+			fmt.Printf("%s%s\n", d, suffix)
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, modDir, modPath, flavorNames, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "natlint: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+	if *timingPath != "" {
+		if err := writeTiming(*timingPath, *workers, flavorNames, packages, len(findings), elapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "natlint: writing %s: %v\n", *timingPath, err)
 			os.Exit(2)
 		}
 	}
 
-	mod, err := analysis.Load(".")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "natlint: %v\n", err)
-		os.Exit(2)
-	}
-	analyzers := analysis.Analyzers()
-	diags := analysis.Run(mod, analysis.DefaultConfig(), analyzers)
-
-	counts := make(map[string]int)
-	for _, d := range diags {
-		counts[d.Check]++
-		if rel, err := filepath.Rel(mod.Dir, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
-		}
-		fmt.Println(d)
-	}
-
-	summary := fmt.Sprintf("natlint: %d package(s)", len(mod.Packages))
+	summary := fmt.Sprintf("natlint: %d package(s) · %d flavor(s)", packages, len(flavorNames))
 	for _, a := range analyzers {
 		summary += fmt.Sprintf(" · %s %d", a.Name, counts[a.Name])
 	}
-	if n := counts["pragma"]; n > 0 {
-		summary += fmt.Sprintf(" · pragma %d", n)
+	for _, extra := range []string{"pragma", "load"} {
+		if n := counts[extra]; n > 0 {
+			summary += fmt.Sprintf(" · %s %d", extra, n)
+		}
 	}
+	summary += fmt.Sprintf(" · %.2fs (workers=%d)", elapsed.Seconds(), *workers)
 	fmt.Fprintln(os.Stderr, summary)
-	if len(diags) > 0 {
+
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(findings) > 0:
 		os.Exit(1)
 	}
+}
+
+// githubEscape encodes a message for a GitHub Actions workflow
+// command: %, CR, and LF must be percent-escaped.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
+}
+
+// jsonDiagnostic is the -json artifact schema for one finding.
+type jsonDiagnostic struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Check   string   `json:"check"`
+	Message string   `json:"message"`
+	Flavors []string `json:"flavors"`
+}
+
+// writeJSON emits the deterministic diagnostics artifact (no timing,
+// no absolute paths).
+func writeJSON(path, modDir, modPath string, flavorNames []string, findings []*finding) error {
+	out := struct {
+		Module      string           `json:"module"`
+		Flavors     []string         `json:"flavors"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{
+		Module:      modPath,
+		Flavors:     flavorNames,
+		Diagnostics: make([]jsonDiagnostic, 0, len(findings)),
+	}
+	for _, f := range findings {
+		file := f.d.Pos.Filename
+		if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File: file, Line: f.d.Pos.Line, Col: f.d.Pos.Column,
+			Check: f.d.Check, Message: f.d.Message, Flavors: f.flavors,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTiming emits the lint-stage timing artifact, shaped like the
+// BENCH_*.json trajectory files CI already collects.
+func writeTiming(path string, workers int, flavorNames []string, packages, findings int, elapsed time.Duration) error {
+	out := struct {
+		Name        string   `json:"name"`
+		Workers     int      `json:"workers"`
+		Flavors     []string `json:"flavors"`
+		Packages    int      `json:"packages"`
+		Diagnostics int      `json:"diagnostics"`
+		WallSeconds float64  `json:"wall_seconds"`
+	}{
+		Name: "natlint", Workers: workers, Flavors: flavorNames,
+		Packages: packages, Diagnostics: findings,
+		WallSeconds: elapsed.Seconds(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

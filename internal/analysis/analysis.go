@@ -19,8 +19,8 @@ package analysis
 import (
 	"fmt"
 	"go/token"
-	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding, positioned for file:line:col
@@ -95,6 +95,26 @@ type Config struct {
 	// DispatchPackages are the packages whose switches over the wire
 	// Type must, in union, cover every Type constant.
 	DispatchPackages []string
+	// BufOwnPackages are the data-plane packages where the bufown
+	// analyzer enforces the callback-scoped buffer-ownership contract
+	// (OnRecv payloads, decoder-owned Message fields, scratch reuse).
+	BufOwnPackages []string
+	// MessageTypes name wire-message types ("pkgpath.Type") whose
+	// slice fields are decoder-owned when the value is received as a
+	// function parameter — valid only until the handler returns.
+	MessageTypes []string
+	// ScratchFields name reused encode scratch ("pkgpath.Type.field"):
+	// legal escape targets for callback-scoped data, and themselves
+	// reused-buffer sources that must not be retained elsewhere.
+	ScratchFields []string
+	// RetainingSends are method names (SendTo) whose callee may retain
+	// the payload slice when the transport lacks the ScratchSender
+	// capability, making an uncopied callback-scoped argument a bug.
+	RetainingSends []string
+	// LifecyclePackages are the engine/facade/transport packages where
+	// the golifecycle analyzer requires every go statement to be tied
+	// to a shutdown path and every timer field to be stoppable.
+	LifecyclePackages []string
 }
 
 // DefaultConfig returns the natpunch repository's scoping.
@@ -129,12 +149,58 @@ func DefaultConfig() *Config {
 			"natpunch/internal/punch",
 			"natpunch/internal/ice",
 		},
+		// Every package a live datagram payload flows through. The
+		// sim-only engines (sim, fleet, experiments) are excluded: their
+		// transports copy by construction and their echo responders
+		// legitimately bounce payloads synchronously.
+		BufOwnPackages: []string{
+			"natpunch",
+			"natpunch/transport",
+			"natpunch/simnet",
+			"natpunch/realudp",
+			"natpunch/realnet",
+			"natpunch/relayapi",
+			"natpunch/rendezvousapi",
+			"natpunch/natcheckapi",
+			"natpunch/internal/punch",
+			"natpunch/internal/ice",
+			"natpunch/internal/relay",
+			"natpunch/internal/rendezvous",
+			"natpunch/internal/tcp",
+			"natpunch/internal/host",
+			"natpunch/internal/stun",
+			"natpunch/internal/natcheck",
+		},
+		MessageTypes: []string{"natpunch/internal/proto.Message"},
+		ScratchFields: []string{
+			"natpunch/internal/rendezvous.Server.enc",
+			"natpunch/internal/rendezvous.Server.fedScratch",
+			"natpunch/internal/rendezvous.Server.scratchMsg",
+		},
+		RetainingSends: []string{"SendTo"},
+		// Everything that spawns goroutines serving live sessions: the
+		// facade, both socket transports, the sim world driver, and the
+		// engine packages behind them.
+		LifecyclePackages: []string{
+			"natpunch",
+			"natpunch/transport",
+			"natpunch/simnet",
+			"natpunch/realudp",
+			"natpunch/realnet",
+			"natpunch/internal/punch",
+			"natpunch/internal/ice",
+			"natpunch/internal/relay",
+			"natpunch/internal/rendezvous",
+			"natpunch/internal/tcp",
+			"natpunch/internal/host",
+			"natpunch/internal/experiments",
+		},
 	}
 }
 
 // Analyzers returns the full natlint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, Layering, WireDispatch}
+	return []*Analyzer{Determinism, MapOrder, Layering, WireDispatch, BufOwn, AtomicField, GoLifecycle}
 }
 
 // matchPath reports whether the import path matches pattern: an exact
@@ -207,18 +273,36 @@ func collectPragmas(mod *Module, report func(Diagnostic)) []*pragma {
 // below; pragmas that suppress nothing are reported as unused, so
 // stale exemptions cannot linger after the code they excused is gone.
 func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	return RunWorkers(mod, cfg, analyzers, 1)
+}
+
+// RunWorkers runs the analyzers across a worker pool, one analyzer per
+// task — each collects findings into its own slice, so the merged,
+// sorted result is byte-identical at any width.
+func RunWorkers(mod *Module, cfg *Config, analyzers []*Analyzer, workers int) []Diagnostic {
 	var all []Diagnostic
 	pragmas := collectPragmas(mod, func(d Diagnostic) { all = append(all, d) })
-	for _, a := range analyzers {
-		pass := &Pass{
-			Module: mod,
-			Config: cfg,
-			report: func(d Diagnostic) {
-				d.Check = a.Name
-				all = append(all, d)
-			},
+	if workers <= 1 {
+		for _, a := range analyzers {
+			all = append(all, runOne(mod, cfg, a)...)
 		}
-		a.Run(pass)
+	} else {
+		found := make([][]Diagnostic, len(analyzers))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, a := range analyzers {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, a *Analyzer) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				found[i] = runOne(mod, cfg, a)
+			}(i, a)
+		}
+		wg.Wait()
+		for _, ds := range found {
+			all = append(all, ds...)
+		}
 	}
 
 	kept := all[:0]
@@ -244,18 +328,24 @@ func Run(mod *Module, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 			})
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Check < b.Check
-	})
+	// The full sort (position, check, then message) is load-bearing:
+	// wiredispatch anchors several findings on one switch position and
+	// sort.Slice is unstable, so a partial key would vary run to run.
+	sortDiagnostics(kept)
 	return kept
+}
+
+// runOne executes a single analyzer and returns its findings.
+func runOne(mod *Module, cfg *Config, a *Analyzer) []Diagnostic {
+	var out []Diagnostic
+	pass := &Pass{
+		Module: mod,
+		Config: cfg,
+		report: func(d Diagnostic) {
+			d.Check = a.Name
+			out = append(out, d)
+		},
+	}
+	a.Run(pass)
+	return out
 }

@@ -123,6 +123,71 @@ func TestWireDispatchFixture(t *testing.T) {
 		[]*Analyzer{WireDispatch})
 }
 
+func bufOwnFixtureConfig() *Config {
+	return &Config{
+		BufOwnPackages: []string{"buffix/..."},
+		MessageTypes:   []string{"buffix/proto.Message"},
+		ScratchFields: []string{
+			"buffix/server.Server.enc",
+			"buffix/server.Server.fedScratch",
+			"buffix/server.Server.scratchMsg",
+		},
+		RetainingSends: []string{"SendTo"},
+	}
+}
+
+func TestBufOwnFixture(t *testing.T) {
+	runFixture(t, "bufown", bufOwnFixtureConfig(), []*Analyzer{BufOwn})
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	// atomicfield is module-wide: no package scoping to configure.
+	runFixture(t, "atomicfield", &Config{}, []*Analyzer{AtomicField})
+}
+
+func TestGoLifecycleFixture(t *testing.T) {
+	runFixture(t, "golifecycle",
+		&Config{LifecyclePackages: []string{"lifefix/..."}},
+		[]*Analyzer{GoLifecycle})
+}
+
+// TestCatchesHistoricalBugs pins each new analyzer to the shipped bug
+// it exists to prevent, replayed faithfully in the fixtures:
+//
+//   - PR-8 handleFedForward: decoder-owned m.Data handed to SendTo —
+//     the federation fleet drifted to 161/178 direct before the copy
+//     gate landed (bufown);
+//   - PR-8 Conn.closed: atomic store in Close racing a bare read in
+//     the read loop (atomicfield);
+//   - PR-7 leak class: a pump goroutine with no shutdown tie and a
+//     set-and-forget read-deadline timer (golifecycle).
+//
+// If a refactor of an analyzer stops flagging its replay, this test —
+// not just a fixture golden — fails by name.
+func TestCatchesHistoricalBugs(t *testing.T) {
+	find := func(t *testing.T, fixture string, cfg *Config, a *Analyzer, file, substr string) {
+		t.Helper()
+		mod, err := Load(filepath.Join("testdata", "src", fixture))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fixture, err)
+		}
+		for _, d := range Run(mod, cfg, []*Analyzer{a}) {
+			if strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), file) && strings.Contains(d.Message, substr) {
+				return
+			}
+		}
+		t.Errorf("[%s] did not re-detect its historical bug: want a diagnostic in %s containing %q", a.Name, file, substr)
+	}
+	find(t, "bufown", bufOwnFixtureConfig(), BufOwn,
+		"server/fed.go", "passed to SendTo")
+	find(t, "atomicfield", &Config{}, AtomicField,
+		"conn/conn.go", "plain access to closed")
+	find(t, "golifecycle", &Config{LifecyclePackages: []string{"lifefix/..."}}, GoLifecycle,
+		"engine/engine.go", "no tie to a shutdown path")
+	find(t, "golifecycle", &Config{LifecyclePackages: []string{"lifefix/..."}}, GoLifecycle,
+		"engine/timer.go", "stale read-deadline")
+}
+
 // TestPragmaScope pins the suppression semantics: a pragma suppresses
 // exactly its named check on its own line and the next — the maporder
 // violation sharing the pragma's line survives, the determinism
@@ -168,18 +233,132 @@ func TestPragmaScope(t *testing.T) {
 	}
 }
 
-// TestRepoClean is the gate the CI stage runs: the repository itself
-// must be free of unsuppressed diagnostics under the real config.
-func TestRepoClean(t *testing.T) {
-	mod, err := Load(filepath.Join("..", ".."))
+// TestBrokenModuleLoad pins the driver's fault tolerance: a package
+// that fails to type-check becomes "load" diagnostics, its dependents
+// are skipped with one diagnostic each, and healthy siblings still
+// load and get analyzed.
+func TestBrokenModuleLoad(t *testing.T) {
+	mod, diags, err := LoadWith(filepath.Join("testdata", "src", "broken"), LoadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mod.Path != "natpunch" {
-		t.Fatalf("expected to load the natpunch module, got %q", mod.Path)
+	if _, ok := mod.Packages["brokefix/ok"]; !ok {
+		t.Error("healthy sibling package should still load")
 	}
-	diags := Run(mod, DefaultConfig(), Analyzers())
+	if _, ok := mod.Packages["brokefix/bad"]; ok {
+		t.Error("broken package must be omitted from the module")
+	}
+	if _, ok := mod.Packages["brokefix/uses"]; ok {
+		t.Error("dependent of a broken package must be omitted from the module")
+	}
+	var typeErr, skipped bool
 	for _, d := range diags {
-		t.Errorf("%s", d)
+		if d.Check != "load" {
+			t.Errorf("load failures must use check %q, got %q", "load", d.Check)
+		}
+		if strings.Contains(d.Message, "brokefix/bad") && strings.Contains(d.Message, "cannot use") {
+			typeErr = true
+		}
+		if strings.Contains(d.Message, "skipped: depends on broken package brokefix/bad") {
+			skipped = true
+		}
+	}
+	if !typeErr {
+		t.Errorf("want a type-error load diagnostic for brokefix/bad, got: %v", diags)
+	}
+	if !skipped {
+		t.Errorf("want a skipped-dependent diagnostic for brokefix/uses, got: %v", diags)
+	}
+	// Analyzers run fine over the partial module.
+	Run(mod, DefaultConfig(), Analyzers())
+}
+
+// TestWorkerWidthDeterminism pins that load and analysis diagnostics
+// render byte-identically at worker widths 1 and 8, over both a
+// finding-heavy fixture and a load-failing one.
+func TestWorkerWidthDeterminism(t *testing.T) {
+	render := func(t *testing.T, fixture string, cfg *Config, analyzers []*Analyzer, workers int) string {
+		t.Helper()
+		mod, ldiags, err := LoadWith(filepath.Join("testdata", "src", fixture), LoadOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, d := range ldiags {
+			sb.WriteString(d.String() + "\n")
+		}
+		for _, d := range RunWorkers(mod, cfg, analyzers, workers) {
+			sb.WriteString(d.String() + "\n")
+		}
+		return sb.String()
+	}
+	for _, fx := range []struct {
+		name      string
+		cfg       *Config
+		analyzers []*Analyzer
+	}{
+		{"bufown", bufOwnFixtureConfig(), Analyzers()},
+		{"broken", DefaultConfig(), Analyzers()},
+	} {
+		one := render(t, fx.name, fx.cfg, fx.analyzers, 1)
+		eight := render(t, fx.name, fx.cfg, fx.analyzers, 8)
+		if one != eight {
+			t.Errorf("fixture %s: diagnostics differ between -workers 1 and 8:\n--- 1 ---\n%s--- 8 ---\n%s", fx.name, one, eight)
+		}
+		if fx.name == "bufown" && one == "" {
+			t.Error("determinism fixture produced no diagnostics; the comparison is vacuous")
+		}
+	}
+}
+
+// TestRepoClean is the gate the CI stage runs: the repository itself
+// must be free of unsuppressed diagnostics under the real config, for
+// both data-plane build flavors — the portable flavor swaps in the
+// !linux data-plane files so batch_other.go is analyzed even on the
+// linux CI host (and vice versa).
+func TestRepoClean(t *testing.T) {
+	native, ldiags, err := LoadWith(filepath.Join("..", ".."), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ldiags {
+		t.Errorf("load: %s", d)
+	}
+	if native.Path != "natpunch" {
+		t.Fatalf("expected to load the natpunch module, got %q", native.Path)
+	}
+	for _, d := range Run(native, DefaultConfig(), Analyzers()) {
+		t.Errorf("native: %s", d)
+	}
+
+	portable, pdiags, err := LoadWith(filepath.Join("..", ".."), LoadOptions{GOOS: "portable", Reuse: native})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range pdiags {
+		t.Errorf("portable load: %s", d)
+	}
+	for _, d := range Run(portable, DefaultConfig(), Analyzers()) {
+		t.Errorf("portable: %s", d)
+	}
+
+	// The portable flavor must actually have selected the !linux
+	// data-plane files.
+	ru, ok := portable.Packages["natpunch/realudp"]
+	if !ok {
+		t.Fatal("portable flavor lost natpunch/realudp")
+	}
+	var sawOther, sawLinux bool
+	for _, f := range ru.Files {
+		name := filepath.Base(portable.Fset.Position(f.Package).Filename)
+		if name == "batch_other.go" {
+			sawOther = true
+		}
+		if name == "batch_linux.go" {
+			sawLinux = true
+		}
+	}
+	if !sawOther || sawLinux {
+		t.Errorf("portable flavor file selection wrong: batch_other.go in=%v batch_linux.go in=%v", sawOther, sawLinux)
 	}
 }

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per variable: once any
+// access to a struct field or variable goes through sync/atomic, every
+// access must. A single plain load racing atomic stores is still a
+// data race (the pre-fix realudp Conn.closed bug: Transport.Close
+// stored the flag under a mutex while the read loop read it bare).
+//
+// Two shapes are checked module-wide:
+//
+//   - plain-typed fields/vars passed by address to a sync/atomic
+//     function (atomic.StoreInt32(&c.closed, 1)): every other use of
+//     the same object must also be an atomic-call operand;
+//   - typed atomics (atomic.Bool, atomic.Int64, ...): the field may
+//     only be used as the receiver of its own methods — copying the
+//     value or rewriting the struct wholesale bypasses the atomicity.
+//
+// Composite-literal keys are exempt: zero-value construction before
+// the value is shared is the documented initialization idiom.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	for _, pkg := range pass.Module.Sorted() {
+		checkAtomicPackage(pass, pkg)
+	}
+}
+
+// atomicUse records where an object was atomically accessed, for the
+// diagnostic's cross-reference.
+type atomicUse struct {
+	obj types.Object
+	pos token.Position
+}
+
+func checkAtomicPackage(pass *Pass, pkg *Package) {
+	// Pass 1: collect every object passed as &obj to a sync/atomic
+	// function, and every AST node inside such an operand (exempt from
+	// the plain-use scan).
+	atomicObjs := make(map[types.Object]token.Position)
+	exempt := make(map[ast.Node]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := addrOperandObj(pkg, un.X)
+				if obj == nil {
+					continue
+				}
+				pos := pass.Module.Fset.Position(un.Pos())
+				if prev, seen := atomicObjs[obj]; !seen || posLess(pos, prev) {
+					atomicObjs[obj] = pos
+				}
+				ast.Inspect(un, func(m ast.Node) bool {
+					if m != nil {
+						exempt[m] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every remaining plain use of a mixed object, and
+	// every use of a typed-atomic field that is not a method receiver.
+	for _, f := range pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if exempt[n] {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pkg.Info.Selections[x]
+				if !ok {
+					return true
+				}
+				obj := sel.Obj()
+				if pos, mixed := atomicObjs[obj]; mixed {
+					pass.Reportf(x.Sel.Pos(),
+						"plain access to %s, which is accessed via sync/atomic at %s:%d — every load and store must go through atomic or it races",
+						obj.Name(), shortFile(pos.Filename), pos.Line)
+					return false
+				}
+				if isTypedAtomic(obj.Type()) && !isMethodReceiverUse(stack, x) && !isCompositeKey(stack, x.Sel) {
+					pass.Reportf(x.Sel.Pos(),
+						"atomic field %s used without its methods: copying or overwriting a typed atomic bypasses its atomicity — use %s.Load/Store",
+						obj.Name(), obj.Name())
+					return false
+				}
+			case *ast.Ident:
+				obj := pkg.Info.Uses[x]
+				if obj == nil {
+					return true
+				}
+				if pos, mixed := atomicObjs[obj]; mixed && !isCompositeKey(stack, x) && !isDeclName(stack, x) {
+					pass.Reportf(x.Pos(),
+						"plain access to %s, which is accessed via sync/atomic at %s:%d — every load and store must go through atomic or it races",
+						obj.Name(), shortFile(pos.Filename), pos.Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level
+// function of sync/atomic (Load*/Store*/Add*/Swap*/CompareAndSwap*).
+func isAtomicFuncCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Package-level functions only; typed-atomic methods are handled
+	// by the receiver-use rule.
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addrOperandObj resolves the object whose address is taken in an
+// atomic call operand: a field selector (&c.closed) or a bare
+// variable (&counter).
+func addrOperandObj(pkg *Package, x ast.Expr) types.Object {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		return pkg.Info.Uses[e]
+	}
+	return nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// atomics (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T],
+// Value).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isTypedAtomic(types.Unalias(alias))
+		}
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMethodReceiverUse reports whether sel (x.field, atomic-typed) is
+// immediately the receiver of a method call: x.field.Load().
+func isMethodReceiverUse(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	// stack ends with sel; the parent selector must pick a method off
+	// it and be called.
+	if len(stack) < 3 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || parent.X != sel {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == parent
+}
+
+// isCompositeKey reports whether id is the key of a composite-literal
+// element (Conn{closed: ...}) — initialization, not shared access.
+func isCompositeKey(stack []ast.Node, id ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, inLit := stack[len(stack)-3].(*ast.CompositeLit)
+	return inLit
+}
+
+// isDeclName reports whether id is the declared name in a var/field
+// declaration rather than a use (guards the Ident scan; field decls
+// resolve through Defs and never reach here, but method names and
+// labels share the Uses map).
+func isDeclName(stack []ast.Node, id ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		return p.Sel == id // handled by the selector case
+	case *ast.Field, *ast.LabeledStmt:
+		return true
+	}
+	return false
+}
+
+// shortFile trims a diagnostic cross-reference to its base name: the
+// primary position already carries the full path.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// posLess orders positions file-then-line-then-column, used to pin the
+// deterministic "first" atomic access for cross-references.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoLifecycle ties every goroutine and timer in the engine, facade,
+// and transport packages to a shutdown path. The PR-7 session-lifecycle
+// bugs were all of this class: a read-deadline timer surviving the
+// session it belonged to, and an inbound pump outliving Close.
+//
+// A `go` statement passes if the spawned body (followed through
+// same-package calls) does any of:
+//
+//   - receive from a channel (<-done, ctx.Done(), select, range over a
+//     channel) — a close can unblock it;
+//   - signal a sync.WaitGroup (wg.Done()) — a Wait observes its exit;
+//   - consult a shutdown flag (closed/done/stop/quit/...) in a branch
+//     or loop condition — Close's store terminates it;
+//   - run a bounded body: no loops at all, so it cannot outlive its
+//     work (go c.Close() in the facade's listener is the idiom).
+//
+// Anything else is an untied goroutine and must either gain a tie or
+// carry //natlint:ignore golifecycle <reason>.
+//
+// Separately, every *time.Timer struct field declared in these
+// packages must have a reachable <field>.Stop() call somewhere in the
+// package — a set-and-forget deadline timer is exactly the stale-timer
+// bug shape.
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc:  "goroutines in engine/facade/transport code must be tied to a shutdown path; timer fields must be stoppable",
+	Run:  runGoLifecycle,
+}
+
+// shutdownNameRe matches identifiers conventionally carrying the
+// shutdown state a goroutine's loop condition consults.
+var shutdownNameRe = regexp.MustCompile(`(?i)^(closed?|done|stop|stopped|stopping|quit|shutdown|dead|exiting?)$`)
+
+const lifecycleCallDepth = 4
+
+func runGoLifecycle(pass *Pass) {
+	for _, pkg := range pass.Module.Sorted() {
+		if !matchAny(pkg.Path, pass.Config.LifecyclePackages) {
+			continue
+		}
+		lc := &lifecycleChecker{pass: pass, pkg: pkg, decls: collectFuncDecls(pkg)}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					lc.checkGo(g)
+				}
+				return true
+			})
+		}
+		lc.checkTimerFields()
+	}
+}
+
+// collectFuncDecls maps function/method objects to their declarations
+// so call targets can be followed within the package.
+func collectFuncDecls(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pkg.Info.Defs[fn.Name]; obj != nil {
+					out[obj] = fn
+				}
+			}
+		}
+	}
+	return out
+}
+
+type lifecycleChecker struct {
+	pass  *Pass
+	pkg   *Package
+	decls map[types.Object]*ast.FuncDecl
+}
+
+// checkGo verifies one go statement is tied to a shutdown path.
+func (lc *lifecycleChecker) checkGo(g *ast.GoStmt) {
+	body := lc.callBody(g.Call)
+	if body == nil {
+		// Spawning an opaque function value (handler callbacks, cross-
+		// package calls): the spawner cannot prove a tie, the callee
+		// cannot know it is a goroutine. Require a pragma.
+		lc.pass.Reportf(g.Pos(),
+			"goroutine spawns an opaque function: its tie to a shutdown path cannot be verified here — inline the body or add //natlint:ignore golifecycle <reason>")
+		return
+	}
+	visited := make(map[*ast.BlockStmt]bool)
+	if lc.tied(body, visited, lifecycleCallDepth) {
+		return
+	}
+	// Untied but bounded bodies terminate on their own.
+	if lc.bounded(body, make(map[*ast.BlockStmt]bool), lifecycleCallDepth) {
+		return
+	}
+	lc.pass.Reportf(g.Pos(),
+		"goroutine has no tie to a shutdown path: no channel receive, WaitGroup signal, or shutdown-flag check reachable from its body — it can outlive Close (the PR-7 leak class)")
+}
+
+// callBody resolves the body the go statement will run: a literal, or
+// a same-package function/method declaration.
+func (lc *lifecycleChecker) callBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := lc.pkg.Info.Uses[fun]; obj != nil {
+			if d := lc.decls[obj]; d != nil {
+				return d.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := lc.pkg.Info.Uses[fun.Sel]; obj != nil {
+			if d := lc.decls[obj]; d != nil {
+				return d.Body
+			}
+		}
+	}
+	return nil
+}
+
+// tied reports whether the body, followed through same-package calls
+// to depth, contains a shutdown tie.
+func (lc *lifecycleChecker) tied(body *ast.BlockStmt, visited map[*ast.BlockStmt]bool, depth int) bool {
+	if visited[body] {
+		return false
+	}
+	visited[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true // channel receive: close() unblocks it
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := lc.pkg.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if lc.isWaitGroupSignal(x) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if b := lc.callBody(x); b != nil && lc.tied(b, visited, depth-1) {
+					found = true
+				}
+			}
+		case *ast.IfStmt:
+			if exprMentionsShutdownName(x.Cond) {
+				found = true
+			}
+		case *ast.ForStmt:
+			if x.Cond != nil && exprMentionsShutdownName(x.Cond) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupSignal matches wg.Done() / wg.Wait() on a sync.WaitGroup.
+func (lc *lifecycleChecker) isWaitGroupSignal(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait") {
+		return false
+	}
+	t := lc.pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// exprMentionsShutdownName reports whether a condition consults a
+// conventionally shutdown-named variable, field, or method
+// (c.closed.Load(), w.done, stopped).
+func exprMentionsShutdownName(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && shutdownNameRe.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bounded reports whether the body provably terminates without
+// external signal: no loops, transitively through same-package calls.
+// Unknown callees are assumed bounded — this is the permissive arm;
+// the strict arm (tied) already failed.
+func (lc *lifecycleChecker) bounded(body *ast.BlockStmt, visited map[*ast.BlockStmt]bool, depth int) bool {
+	if visited[body] {
+		return true
+	}
+	visited[body] = true
+	bounded := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !bounded {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			bounded = false
+		case *ast.CallExpr:
+			if depth > 0 {
+				if b := lc.callBody(x); b != nil && !lc.bounded(b, visited, depth-1) {
+					bounded = false
+				}
+			}
+		}
+		return bounded
+	})
+	return bounded
+}
+
+// checkTimerFields requires a reachable Stop call for every
+// *time.Timer struct field declared in the package.
+func (lc *lifecycleChecker) checkTimerFields() {
+	// Collect timer-typed fields declared here.
+	type timerField struct {
+		obj  types.Object
+		decl *ast.Ident
+	}
+	var fields []timerField
+	for _, f := range lc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					obj := lc.pkg.Info.Defs[name]
+					if obj != nil && isTimerPtr(obj.Type()) {
+						fields = append(fields, timerField{obj: obj, decl: name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+	// Collect field objects that appear as X in a .Stop() call
+	// (c.rdlTimer.Stop()).
+	stopped := make(map[types.Object]bool)
+	for _, f := range lc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stop" {
+				return true
+			}
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				if s, ok := lc.pkg.Info.Selections[inner]; ok {
+					stopped[s.Obj()] = true
+				}
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				// tm := c.rdlTimer; tm.Stop() — credit via the local's
+				// uses is out of scope; credit direct idents for
+				// locals assigned once from the field.
+				if obj := lc.pkg.Info.Uses[id]; obj != nil {
+					stopped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	// Also credit fields whose value is Stopped through an alias
+	// assigned from the field (t := c.rdlTimer; ...; t.Stop()).
+	aliased := make(map[types.Object]bool)
+	for _, f := range lc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lobj := lc.pkg.Info.Defs[id]
+				if lobj == nil {
+					lobj = lc.pkg.Info.Uses[id]
+				}
+				if lobj == nil || !stopped[lobj] {
+					continue
+				}
+				if inner, ok := ast.Unparen(as.Rhs[i]).(*ast.SelectorExpr); ok {
+					if s, ok := lc.pkg.Info.Selections[inner]; ok {
+						aliased[s.Obj()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, tf := range fields {
+		if stopped[tf.obj] || aliased[tf.obj] {
+			continue
+		}
+		lc.pass.Reportf(tf.decl.Pos(),
+			"*time.Timer field %s has no reachable Stop in this package: a set-and-forget timer fires after its owner is gone (the PR-7 stale read-deadline bug)", tf.decl.Name)
+	}
+}
+
+// isTimerPtr reports whether t is *time.Timer.
+func isTimerPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Timer"
+}

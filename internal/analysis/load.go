@@ -6,12 +6,15 @@ import (
 	"go/build"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package of the
@@ -40,7 +43,8 @@ type Module struct {
 	// Fset positions every parsed file.
 	Fset *token.FileSet
 	// Packages maps import path -> package, one entry per directory
-	// with non-test Go sources.
+	// with non-test Go sources that type-checked cleanly. Broken
+	// packages are absent here and reported as "load" diagnostics.
 	Packages map[string]*Package
 }
 
@@ -59,58 +63,136 @@ func (m *Module) Sorted() []*Package {
 	return pkgs
 }
 
-// loader resolves imports: module-local paths load from source within
-// the module; everything else (the standard library) goes through the
-// go/importer "source" importer, which type-checks GOROOT/src and so
-// needs no precompiled export data.
-type loader struct {
-	mod     *Module
-	std     types.ImporterFrom
-	loading map[string]bool
-	dirs    map[string]string // import path -> source dir
+// LoadOptions configures LoadWith.
+type LoadOptions struct {
+	// Workers is the type-check/parse parallelism; <=0 means
+	// runtime.GOMAXPROCS(0). Diagnostics are identical at any width.
+	Workers int
+	// GOOS, when non-empty, overrides the GOOS used for the *module's*
+	// file selection only (build tags and _os filename suffixes); the
+	// standard library always loads for the native platform. The
+	// pseudo-GOOS "portable" matches no real OS, so `//go:build linux`
+	// files drop out and their `!linux` fallbacks load — that is how
+	// the portable data-plane flavor gets analyzed on a linux host.
+	GOOS string
+	// Reuse, when set, lets this load share type-checked packages with
+	// a previous load of the same module tree: any package whose file
+	// list and transitive module-local dependencies are unchanged
+	// under this flavor's file selection is taken from Reuse verbatim
+	// instead of being re-parsed and re-type-checked. Sound because
+	// every load shares one FileSet and one stdlib importer.
+	Reuse *Module
+}
+
+// The standard library is type-checked from GOROOT/src by the "source"
+// importer — by far the most expensive part of a load — so one
+// importer (and the FileSet it is bound to) is shared by every module
+// load in the process. The importer is not safe for concurrent use;
+// stdMu serializes it.
+var (
+	stdOnce sync.Once
+	stdFset *token.FileSet
+	stdImp  types.ImporterFrom
+	stdMu   sync.Mutex
+)
+
+func sharedStd() (*token.FileSet, types.ImporterFrom) {
+	stdOnce.Do(func() {
+		// With cgo disabled the pure-Go fallbacks (e.g. package net's
+		// netgo path) are selected, keeping the load toolchain-independent.
+		build.Default.CgoEnabled = false
+		stdFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdFset, stdImp
 }
 
 // Load discovers, parses, and type-checks every package of the module
 // rooted at dir (the directory containing go.mod, or any directory
-// below it). Test files (_test.go) and testdata trees are excluded:
+// below it) for the native platform, failing hard on any broken
+// package. Test files (_test.go) and testdata trees are excluded:
 // natlint's invariants govern shipped code, and tests legitimately use
 // wall-clock time.
 func Load(dir string) (*Module, error) {
-	root, modPath, err := findModule(dir)
+	mod, diags, err := LoadWith(dir, LoadOptions{})
 	if err != nil {
 		return nil, err
 	}
-	// The source importer type-checks stdlib from GOROOT/src; with cgo
-	// disabled the pure-Go fallbacks (e.g. package net's netgo path)
-	// are selected, keeping the load toolchain-independent.
-	build.Default.CgoEnabled = false
-	fset := token.NewFileSet()
-	mod := &Module{
-		Path:     modPath,
-		Dir:      root,
-		Fset:     fset,
-		Packages: make(map[string]*Package),
-	}
-	ld := &loader{
-		mod:     mod,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		loading: make(map[string]bool),
-		dirs:    make(map[string]string),
-	}
-	if err := ld.discover(); err != nil {
-		return nil, err
-	}
-	paths := make([]string, 0, len(ld.dirs))
-	for p := range ld.dirs {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		if _, err := ld.load(p); err != nil {
-			return nil, err
-		}
+	if len(diags) > 0 {
+		return nil, fmt.Errorf("analysis: %s", diags[0])
 	}
 	return mod, nil
+}
+
+// LoadWith loads the module with explicit options. Packages that fail
+// to parse or type-check are reported as "load" diagnostics (their
+// dependents as one "skipped" diagnostic each) and omitted from the
+// module, so one broken package no longer aborts the whole run; err is
+// reserved for environmental failures (no module, unreadable tree).
+func LoadWith(dir string, opts LoadOptions) (*Module, []Diagnostic, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset, std := sharedStd()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	if opts.GOOS != "" {
+		ctxt.GOOS = opts.GOOS
+	}
+	ld := &loader{
+		mod: &Module{
+			Path:     modPath,
+			Dir:      root,
+			Fset:     fset,
+			Packages: make(map[string]*Package),
+		},
+		std:     std,
+		ctxt:    ctxt,
+		workers: workers,
+		reuse:   opts.Reuse,
+		dirs:    make(map[string]string),
+		files:   make(map[string][]string),
+		asts:    make(map[string][]*ast.File),
+		deps:    make(map[string][]string),
+		failed:  make(map[string]string),
+	}
+	if err := ld.discover(); err != nil {
+		return nil, nil, err
+	}
+	ld.markReusable()
+	if err := ld.parseAll(); err != nil {
+		return nil, nil, err
+	}
+	ld.collectDeps()
+	ld.markCycles()
+	ld.checkAll()
+	sortDiagnostics(ld.diags)
+	return ld.mod, ld.diags, nil
+}
+
+// loader drives one module load: file discovery, parallel parse,
+// dependency-ordered parallel type-check.
+type loader struct {
+	mod     *Module
+	std     types.ImporterFrom
+	ctxt    build.Context
+	workers int
+	reuse   *Module
+
+	dirs     map[string]string   // import path -> source dir
+	files    map[string][]string // import path -> sorted file names
+	asts     map[string][]*ast.File
+	deps     map[string][]string // module-local imports
+	reusable map[string]bool     // take from reuse module verbatim
+
+	mu     sync.Mutex
+	diags  []Diagnostic
+	failed map[string]string // path -> why ("" means not failed)
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns
@@ -157,7 +239,7 @@ func (ld *loader) discover() error {
 				return filepath.SkipDir // nested module
 			}
 		}
-		files, err := sourceFiles(path)
+		files, err := ld.sourceFiles(path)
 		if err != nil {
 			return err
 		}
@@ -173,15 +255,16 @@ func (ld *loader) discover() error {
 			imp = ld.mod.Path + "/" + filepath.ToSlash(rel)
 		}
 		ld.dirs[imp] = path
+		ld.files[imp] = files
 		return nil
 	})
 }
 
 // sourceFiles lists dir's buildable non-test Go files, applying build
-// constraints (file suffixes and //go:build lines) for the current
-// platform so e.g. only one of sockopt_linux.go / sockopt_other.go is
-// type-checked.
-func sourceFiles(dir string) ([]string, error) {
+// constraints (file suffixes and //go:build lines) under the loader's
+// flavor context so e.g. exactly one of batch_linux.go / batch_other.go
+// is selected per flavor.
+func (ld *loader) sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -194,7 +277,7 @@ func sourceFiles(dir string) ([]string, error) {
 			strings.HasPrefix(name, "_") {
 			continue
 		}
-		match, err := build.Default.MatchFile(dir, name)
+		match, err := ld.ctxt.MatchFile(dir, name)
 		if err != nil {
 			return nil, err
 		}
@@ -206,33 +289,337 @@ func sourceFiles(dir string) ([]string, error) {
 	return files, nil
 }
 
-// load parses and type-checks one module package (memoized).
-func (ld *loader) load(path string) (*Package, error) {
-	if pkg, ok := ld.mod.Packages[path]; ok {
-		return pkg, nil
+// sortedPaths returns the discovered import paths in canonical order.
+func (ld *loader) sortedPaths() []string {
+	paths := make([]string, 0, len(ld.dirs))
+	for p := range ld.dirs {
+		paths = append(paths, p)
 	}
-	if ld.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
-	}
-	ld.loading[path] = true
-	defer func() { ld.loading[path] = false }()
+	sort.Strings(paths)
+	return paths
+}
 
-	dir, ok := ld.dirs[path]
-	if !ok {
-		return nil, fmt.Errorf("analysis: no package %s in module %s", path, ld.mod.Path)
+// markReusable computes which packages can be taken verbatim from the
+// reuse module: identical file list, and every module-local dependency
+// itself reusable. Import lists come from the reuse module's ASTs, so
+// nothing needs parsing to decide.
+func (ld *loader) markReusable() {
+	ld.reusable = make(map[string]bool)
+	if ld.reuse == nil {
+		return
 	}
-	names, err := sourceFiles(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(ld.mod.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
+	memo := make(map[string]int) // 0 unknown / 1 yes / 2 no
+	var can func(path string) bool
+	can = func(path string) bool {
+		switch memo[path] {
+		case 1:
+			return true
+		case 2:
+			return false
 		}
-		files = append(files, f)
+		memo[path] = 2 // breaks import cycles pessimistically
+		prev, ok := ld.reuse.Packages[path]
+		if !ok {
+			return false
+		}
+		want := ld.files[path]
+		if len(want) != len(prev.Files) {
+			return false
+		}
+		got := make([]string, len(prev.Files))
+		for i, f := range prev.Files {
+			got[i] = ld.mod.Fset.Position(f.Package).Filename
+		}
+		sort.Strings(got)
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		for _, f := range prev.Files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == ld.mod.Path || strings.HasPrefix(p, ld.mod.Path+"/") {
+					if !can(p) {
+						return false
+					}
+				}
+			}
+		}
+		memo[path] = 1
+		return true
 	}
+	for path := range ld.dirs {
+		if can(path) {
+			ld.reusable[path] = true
+		}
+	}
+}
+
+// parseAll parses every non-reusable package across the worker pool.
+// Parse failures mark the package failed with "load" diagnostics.
+func (ld *loader) parseAll() error {
+	paths := ld.sortedPaths()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, ld.workers)
+	for _, path := range paths {
+		if ld.reusable[path] {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var files []*ast.File
+			var ferr error
+			for _, name := range ld.files[path] {
+				f, err := parser.ParseFile(ld.mod.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					ferr = err
+					break
+				}
+				files = append(files, f)
+			}
+			ld.mu.Lock()
+			defer ld.mu.Unlock()
+			if ferr != nil {
+				ld.failed[path] = "parse error"
+				ld.reportLoadErr(path, ferr)
+				return
+			}
+			ld.asts[path] = files
+		}(path)
+	}
+	wg.Wait()
+	return nil
+}
+
+// reportLoadErr renders a parse or type error as "load" diagnostics.
+// Must hold ld.mu.
+func (ld *loader) reportLoadErr(path string, err error) {
+	switch e := err.(type) {
+	case scanner.ErrorList:
+		for i, pe := range e {
+			if i == maxLoadErrs {
+				ld.diags = append(ld.diags, Diagnostic{
+					Check:   "load",
+					Pos:     token.Position{Filename: pe.Pos.Filename, Line: pe.Pos.Line, Column: pe.Pos.Column},
+					Message: fmt.Sprintf("package %s: %d more parse errors omitted", path, len(e)-maxLoadErrs),
+				})
+				break
+			}
+			ld.diags = append(ld.diags, Diagnostic{
+				Check:   "load",
+				Pos:     token.Position{Filename: pe.Pos.Filename, Line: pe.Pos.Line, Column: pe.Pos.Column},
+				Message: fmt.Sprintf("package %s: %s", path, pe.Msg),
+			})
+		}
+	case types.Error:
+		ld.diags = append(ld.diags, Diagnostic{
+			Check:   "load",
+			Pos:     e.Fset.Position(e.Pos),
+			Message: fmt.Sprintf("package %s: %s", path, e.Msg),
+		})
+	default:
+		ld.diags = append(ld.diags, Diagnostic{
+			Check:   "load",
+			Pos:     token.Position{Filename: filepath.Join(ld.dirs[path], "")},
+			Message: fmt.Sprintf("package %s: %v", path, err),
+		})
+	}
+}
+
+// maxLoadErrs caps per-package load diagnostics so one rotten file
+// doesn't drown the report.
+const maxLoadErrs = 8
+
+// collectDeps records each package's module-local imports.
+func (ld *loader) collectDeps() {
+	for path, files := range ld.asts {
+		seen := make(map[string]bool)
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if (p == ld.mod.Path || strings.HasPrefix(p, ld.mod.Path+"/")) && !seen[p] {
+					seen[p] = true
+					ld.deps[path] = append(ld.deps[path], p)
+				}
+			}
+		}
+		sort.Strings(ld.deps[path])
+	}
+	for path := range ld.reusable {
+		// Reused packages keep their recorded deps for scheduling.
+		prev := ld.reuse.Packages[path]
+		seen := make(map[string]bool)
+		for _, f := range prev.Files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if (p == ld.mod.Path || strings.HasPrefix(p, ld.mod.Path+"/")) && !seen[p] {
+					seen[p] = true
+					ld.deps[path] = append(ld.deps[path], p)
+				}
+			}
+		}
+		sort.Strings(ld.deps[path])
+	}
+}
+
+// markCycles fails every package on a module-local import cycle up
+// front, so the dependency-ordered scheduler can treat failed deps as
+// settled and never stalls.
+func (ld *loader) markCycles() {
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	var stack []string
+	var visit func(path string)
+	visit = func(path string) {
+		state[path] = 1
+		stack = append(stack, path)
+		for _, dep := range ld.deps[path] {
+			if _, known := ld.dirs[dep]; !known {
+				continue
+			}
+			switch state[dep] {
+			case 0:
+				visit(dep)
+			case 1:
+				// Everything from dep to the top of the stack cycles.
+				for i := len(stack) - 1; i >= 0; i-- {
+					p := stack[i]
+					if ld.failed[p] == "" {
+						ld.failed[p] = "import cycle"
+						ld.diags = append(ld.diags, Diagnostic{
+							Check:   "load",
+							Pos:     token.Position{Filename: filepath.Join(ld.dirs[p], "")},
+							Message: fmt.Sprintf("package %s: import cycle through %s", p, dep),
+						})
+					}
+					if p == dep {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[path] = 2
+	}
+	for _, path := range ld.sortedPaths() {
+		if state[path] == 0 {
+			visit(path)
+		}
+	}
+}
+
+// checkAll type-checks every package across the worker pool in
+// dependency order: a package is scheduled once all its module-local
+// deps are settled (loaded, reused, or failed).
+func (ld *loader) checkAll() {
+	paths := ld.sortedPaths()
+	remaining := make(map[string]int, len(paths))
+	dependents := make(map[string][]string)
+	for _, path := range paths {
+		n := 0
+		for _, dep := range ld.deps[path] {
+			if _, known := ld.dirs[dep]; known {
+				n++
+				dependents[dep] = append(dependents[dep], path)
+			}
+		}
+		remaining[path] = n
+	}
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	var queue []string
+	done := 0
+	for _, path := range paths {
+		if remaining[path] == 0 {
+			queue = append(queue, path)
+		}
+	}
+
+	settle := func(path string) {
+		// Called with mu held: mark path settled, release dependents.
+		done++
+		for _, dep := range dependents[path] {
+			remaining[dep]--
+			if remaining[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+		cond.Broadcast()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < ld.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(queue) == 0 && done < len(paths) {
+					cond.Wait()
+				}
+				if done >= len(paths) && len(queue) == 0 {
+					mu.Unlock()
+					return
+				}
+				path := queue[0]
+				queue = queue[1:]
+				mu.Unlock()
+
+				ld.checkOne(path)
+
+				mu.Lock()
+				settle(path)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// checkOne type-checks a single package whose deps are all settled.
+func (ld *loader) checkOne(path string) {
+	ld.mu.Lock()
+	if ld.reusable[path] {
+		ld.mod.Packages[path] = ld.reuse.Packages[path]
+		ld.mu.Unlock()
+		return
+	}
+	if ld.failed[path] != "" {
+		ld.mu.Unlock()
+		return
+	}
+	// A failed dependency fails this package with one diagnostic,
+	// anchored at the import of the broken dep.
+	for _, dep := range ld.deps[path] {
+		if why := ld.failed[dep]; why != "" {
+			ld.failed[path] = "broken dependency"
+			pos := token.Position{Filename: filepath.Join(ld.dirs[path], "")}
+			for _, f := range ld.asts[path] {
+				for _, imp := range f.Imports {
+					if strings.Trim(imp.Path.Value, `"`) == dep {
+						pos = ld.mod.Fset.Position(imp.Pos())
+					}
+				}
+				if pos.Line != 0 {
+					break
+				}
+			}
+			ld.diags = append(ld.diags, Diagnostic{
+				Check:   "load",
+				Pos:     pos,
+				Message: fmt.Sprintf("package %s: skipped: depends on broken package %s (%s)", path, dep, why),
+			})
+			ld.mu.Unlock()
+			return
+		}
+	}
+	files := ld.asts[path]
+	ld.mu.Unlock()
+
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -240,14 +627,34 @@ func (ld *loader) load(path string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: ld}
-	tpkg, err := conf.Check(path, ld.mod.Fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	var terrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { terrs = append(terrs, err) },
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	ld.mod.Packages[path] = pkg
-	return pkg, nil
+	tpkg, err := conf.Check(path, ld.mod.Fset, files, info)
+
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	if len(terrs) > 0 || err != nil {
+		ld.failed[path] = "type error"
+		if len(terrs) == 0 {
+			terrs = []error{err}
+		}
+		for i, te := range terrs {
+			if i == maxLoadErrs {
+				ld.diags = append(ld.diags, Diagnostic{
+					Check:   "load",
+					Pos:     token.Position{Filename: filepath.Join(ld.dirs[path], "")},
+					Message: fmt.Sprintf("package %s: %d more type errors omitted", path, len(terrs)-maxLoadErrs),
+				})
+				break
+			}
+			ld.reportLoadErr(path, te)
+		}
+		return
+	}
+	ld.mod.Packages[path] = &Package{Path: path, Dir: ld.dirs[path], Files: files, Types: tpkg, Info: info}
 }
 
 // Import implements types.Importer.
@@ -255,15 +662,41 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.ImportFrom(path, ld.mod.Dir, 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-local imports load
-// from the module source tree; all others resolve as standard library.
+// ImportFrom implements types.ImporterFrom: module-local imports were
+// settled before this package was scheduled; all others resolve as
+// standard library through the shared (serialized) source importer.
 func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
 	if path == ld.mod.Path || strings.HasPrefix(path, ld.mod.Path+"/") {
-		pkg, err := ld.load(path)
-		if err != nil {
-			return nil, err
+		ld.mu.Lock()
+		pkg, ok := ld.mod.Packages[path]
+		ld.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("analysis: no package %s in module %s", path, ld.mod.Path)
 		}
 		return pkg.Types, nil
 	}
+	stdMu.Lock()
+	defer stdMu.Unlock()
 	return ld.std.ImportFrom(path, srcDir, mode)
+}
+
+// sortDiagnostics orders diagnostics by position, check, and message —
+// the stable order every emitter relies on for width-independence.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
 }

@@ -1,0 +1,59 @@
+// Package conn exercises the atomicfield analyzer with the pre-fix
+// realudp Conn.closed race: Close stored the flag via sync/atomic
+// while the read loop still read it bare — a data race the mutex
+// around Close never covered.
+package conn
+
+import "sync/atomic"
+
+// Conn replays the pre-fix shape: closed is a plain int32 accessed
+// atomically in Close and bare in the read loop.
+type Conn struct {
+	closed int32
+	n      int
+}
+
+// Close is the atomic half of the mix.
+func (c *Conn) Close() {
+	atomic.StoreInt32(&c.closed, 1)
+}
+
+// readLoop is the racy half: the bare load the fix replaced.
+func (c *Conn) readLoop() {
+	for c.closed == 0 { // want atomicfield "plain access to closed"
+		c.step()
+	}
+}
+
+// reset mixes a bare store in, too.
+func (c *Conn) reset() {
+	c.closed = 0 // want atomicfield "plain access to closed"
+}
+
+// okLoad uses atomic consistently: clean.
+func (c *Conn) okLoad() bool {
+	return atomic.LoadInt32(&c.closed) == 1
+}
+
+// Zero-value construction is the documented exception: the value is
+// not shared yet.
+func newConn() *Conn {
+	return &Conn{closed: 0, n: 1}
+}
+
+// step touches the never-atomic field n, which stays unrestricted.
+func (c *Conn) step() {
+	c.n++
+}
+
+// hits is a package variable accessed atomically in bump and bare in
+// snapshot.
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func snapshot() int64 {
+	return hits // want atomicfield "plain access to hits"
+}

@@ -1,0 +1,31 @@
+package conn
+
+import "sync/atomic"
+
+// Typed atomics: the field may only appear as the receiver of its own
+// methods. Copying the value reads it non-atomically and vet's copy
+// check does not fire through struct assignment.
+
+// Gate uses atomic.Bool correctly and incorrectly.
+type Gate struct {
+	open atomic.Bool
+	hits atomic.Int64
+}
+
+func (g *Gate) ok() bool {
+	return g.open.Load()
+}
+
+func (g *Gate) set() {
+	g.open.Store(true)
+	g.hits.Add(1)
+}
+
+func (g *Gate) copyOut() atomic.Bool {
+	return g.open // want atomicfield "atomic field open used without its methods"
+}
+
+func (g *Gate) alias() {
+	p := &g.open // want atomicfield "atomic field open used without its methods"
+	_ = p
+}

@@ -1,0 +1,3 @@
+module atomfix
+
+go 1.24

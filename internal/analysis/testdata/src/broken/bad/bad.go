@@ -1,0 +1,10 @@
+// Package bad fails to type-check on purpose: the driver must report
+// this as an ordinary "load" diagnostic and keep analyzing the rest of
+// the module instead of aborting the run.
+package bad
+
+// Mistyped assigns an int to a string.
+func Mistyped() string {
+	var s string = 42
+	return s
+}

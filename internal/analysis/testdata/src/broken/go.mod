@@ -1,0 +1,3 @@
+module brokefix
+
+go 1.24

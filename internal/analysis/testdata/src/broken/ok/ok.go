@@ -1,0 +1,6 @@
+// Package ok is healthy: it must still load and be analyzed even
+// though its sibling package is broken.
+package ok
+
+// Fine is reachable by analyzers after the sibling failure.
+func Fine() int { return 1 }

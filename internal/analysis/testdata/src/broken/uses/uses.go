@@ -1,0 +1,9 @@
+// Package uses depends on the broken package: it cannot be
+// type-checked, so the driver reports it skipped (one diagnostic)
+// rather than cascading raw errors.
+package uses
+
+import "brokefix/bad"
+
+// Hello leans on the broken dependency.
+func Hello() string { return bad.Mistyped() }

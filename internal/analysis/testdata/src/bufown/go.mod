@@ -1,0 +1,3 @@
+module buffix
+
+go 1.24

@@ -1,0 +1,31 @@
+// Package proto mirrors the wire-message shape whose slice fields are
+// decoder-owned: a reusing Decoder hands out one Message whose Data is
+// valid only until the next Decode.
+package proto
+
+// Message is the fixture's wire message.
+type Message struct {
+	Type byte
+	From string
+	Seq  uint32
+	Data []byte
+}
+
+// Decoder reuses one Message across Decode calls.
+type Decoder struct {
+	m Message
+}
+
+// Decode overwrites and returns the decoder's single Message.
+func (d *Decoder) Decode(b []byte) *Message {
+	d.m.Data = append(d.m.Data[:0], b...)
+	return &d.m
+}
+
+// Encode renders m into a fresh buffer.
+func Encode(m *Message) []byte {
+	out := make([]byte, 0, 1+len(m.Data))
+	out = append(out, m.Type)
+	out = append(out, m.Data...)
+	return out
+}

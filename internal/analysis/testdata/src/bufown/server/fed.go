@@ -1,0 +1,42 @@
+package server
+
+// Faithful replay of the PR-8 handleFedForward bug: the inner wire
+// bytes live in the decoder-owned m.Data, and the pre-fix code handed
+// them straight to SendTo. On a transport without the ScratchSender
+// capability (the sim host socket) SendTo queues the slice, the next
+// datagram overwrites it in place, and a federated punch intermittently
+// carries the wrong payload — caught only by a fleet-test drift.
+
+import "buffix/proto"
+
+type record struct {
+	public string
+}
+
+func (s *Server) lookup(name string) (record, bool) {
+	_, ok := s.byKey[name]
+	return record{public: name}, ok
+}
+
+// handleFedForwardPrefix is the bug as shipped.
+func (s *Server) handleFedForwardPrefix(from string, m *proto.Message) {
+	rec, ok := s.lookup(m.From)
+	if !ok {
+		return
+	}
+	s.udp.SendTo(rec.public, m.Data) // want bufown "passed to SendTo"
+}
+
+// handleFedForwardFixed is the shipped fix: copy unless the transport
+// proved it releases payloads before SendTo returns.
+func (s *Server) handleFedForwardFixed(from string, m *proto.Message) {
+	rec, ok := s.lookup(m.From)
+	if !ok {
+		return
+	}
+	wire := m.Data
+	if !s.reuseEnc {
+		wire = append([]byte(nil), wire...)
+	}
+	s.udp.SendTo(rec.public, wire)
+}

@@ -1,0 +1,109 @@
+// Package engine exercises the golifecycle analyzer: every goroutine
+// must be tied to a shutdown path, every timer field must be
+// stoppable. The bad shapes replay the PR-7 leak class — pumps that
+// outlive Close and set-and-forget deadline timers.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Transport carries the usual shutdown machinery.
+type Transport struct {
+	done   chan struct{}
+	in     chan []byte
+	wg     sync.WaitGroup
+	closed bool
+	dead   atomic.Bool
+	cb     func()
+}
+
+// Start replays the untied pump: no done channel, no flag, no wait.
+func (t *Transport) Start() {
+	go t.pump() // want golifecycle "no tie to a shutdown path"
+}
+
+func (t *Transport) pump() {
+	for {
+		t.step()
+	}
+}
+
+func (t *Transport) step() {}
+
+// StartSelect ties the pump to done via select: clean.
+func (t *Transport) StartSelect() {
+	go func() {
+		for {
+			select {
+			case <-t.done:
+				return
+			case p := <-t.in:
+				_ = p
+			}
+		}
+	}()
+}
+
+// StartRange drains a channel: close(t.in) terminates it. Clean.
+func (t *Transport) StartRange() {
+	go func() {
+		for p := range t.in {
+			_ = p
+		}
+	}()
+}
+
+// StartWaited signals a WaitGroup a Close can Wait on. Clean.
+func (t *Transport) StartWaited() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.step()
+	}()
+}
+
+// StartFlag loops on a shutdown flag, the realudp read-loop idiom.
+// Clean for both the plain and the typed-atomic flag shape.
+func (t *Transport) StartFlag() {
+	go t.drive()
+	go t.driveAtomic()
+}
+
+func (t *Transport) drive() {
+	for {
+		if t.closed {
+			return
+		}
+		t.step()
+	}
+}
+
+func (t *Transport) driveAtomic() {
+	for !t.dead.Load() {
+		t.step()
+	}
+}
+
+// StartBounded spawns a loop-free body: it cannot outlive its work
+// (the facade's go c.Close() idiom). Clean.
+func (t *Transport) StartBounded() {
+	go t.finish()
+}
+
+func (t *Transport) finish() {
+	t.cb()
+}
+
+// run spawns an opaque function value: the tie cannot be verified at
+// the spawn site.
+func run(f func()) {
+	go f() // want golifecycle "opaque function"
+}
+
+// runExempt carries the pragma escape hatch: suppressed, not reported.
+func runExempt(f func()) {
+	//natlint:ignore golifecycle best-effort metrics hook, exits with the process
+	go f()
+}

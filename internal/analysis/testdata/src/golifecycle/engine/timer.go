@@ -1,0 +1,29 @@
+package engine
+
+import "time"
+
+// Session replays the PR-7 stale read-deadline timer: a *time.Timer
+// field armed in SetDeadline with no Stop anywhere in the package
+// fires long after the session it belonged to is gone.
+type Session struct {
+	idle *time.Timer // want golifecycle "no reachable Stop"
+}
+
+func (s *Session) arm(d time.Duration, f func()) {
+	s.idle = time.AfterFunc(d, f)
+}
+
+// Conn stops its timer on Close: clean.
+type Conn struct {
+	rdl *time.Timer
+}
+
+func (c *Conn) set(d time.Duration, f func()) {
+	c.rdl = time.AfterFunc(d, f)
+}
+
+func (c *Conn) Close() {
+	if c.rdl != nil {
+		c.rdl.Stop()
+	}
+}

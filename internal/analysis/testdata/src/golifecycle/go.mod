@@ -1,0 +1,3 @@
+module lifefix
+
+go 1.24

@@ -1,0 +1,146 @@
+package relay
+
+// White-box regression test for the buffer-ownership fix in the
+// tagSendTo forward path (caught by natlint's bufown analyzer): the
+// forwarded payload is a tail of the callback-scoped receive buffer,
+// and a transport without the ScratchSender capability is allowed to
+// queue the slice past SendTo's return. Before the copy gate, reusing
+// the receive buffer for the next datagram rewrote the queued payload
+// in place — the same corruption class as the PR-8 rendezvous
+// handleFedForward bug.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"natpunch/internal/inet"
+	"natpunch/transport"
+)
+
+// retainingConn models the contract's worst legal case: it retains
+// every sent payload slice (no ScratchSender capability) while its
+// owner reuses one receive buffer across datagrams.
+type retainingConn struct {
+	local  inet.Endpoint
+	onRecv func(from transport.Endpoint, p []byte)
+	sent   [][]byte
+}
+
+func (c *retainingConn) Local() inet.Endpoint { return c.local }
+func (c *retainingConn) OnRecv(fn func(from transport.Endpoint, p []byte)) {
+	c.onRecv = fn
+}
+func (c *retainingConn) SendTo(to transport.Endpoint, p []byte) error {
+	c.sent = append(c.sent, p) // deliberately no copy
+	return nil
+}
+func (c *retainingConn) Close() {}
+
+type noopTimer struct{}
+
+func (noopTimer) Stop() bool   { return false }
+func (noopTimer) Active() bool { return false }
+
+// retainingTransport hands out retainingConns.
+type retainingTransport struct {
+	conns []*retainingConn
+	port  inet.Port
+}
+
+func (t *retainingTransport) BindUDP(port transport.Port) (transport.UDPConn, error) {
+	c := &retainingConn{local: inet.Endpoint{Addr: 9, Port: port}}
+	t.conns = append(t.conns, c)
+	return c, nil
+}
+func (t *retainingTransport) After(d time.Duration, fn func()) transport.Timer { return noopTimer{} }
+func (t *retainingTransport) Now() time.Duration                               { return 0 }
+func (t *retainingTransport) Rand() *rand.Rand                                 { return rand.New(rand.NewSource(1)) }
+func (t *retainingTransport) Invoke(fn func())                                 { fn() }
+
+func TestForwardCopiesOnRetainingTransport(t *testing.T) {
+	tr := &retainingTransport{}
+	s, err := NewOver(tr, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.scratchOK {
+		t.Fatal("retaining transport must not report the ScratchSender capability")
+	}
+	client := inet.Endpoint{Addr: 1, Port: 1111}
+	peer := inet.Endpoint{Addr: 2, Port: 2222}
+
+	// Allocate and permit, then forward from a reused receive buffer —
+	// exactly how realudp delivers (one buffer per socket, overwritten
+	// per datagram).
+	s.handleCtrl(client, []byte{tagAllocate})
+	if len(tr.conns) != 2 {
+		t.Fatalf("want ctrl + allocation sockets, got %d", len(tr.conns))
+	}
+	alloc := tr.conns[1]
+	s.handleCtrl(client, appendEP([]byte{tagPermit}, peer))
+
+	recvBuf := make([]byte, 0, 64)
+	frame := func(payload string) []byte {
+		recvBuf = append(recvBuf[:0], tagSendTo)
+		recvBuf = appendEP(recvBuf, peer)
+		return append(recvBuf, payload...)
+	}
+	s.handleCtrl(client, frame("first payload"))
+	s.handleCtrl(client, frame("SECOND-OVERWRITE"))
+
+	if len(alloc.sent) != 2 {
+		t.Fatalf("want 2 forwarded datagrams, got %d", len(alloc.sent))
+	}
+	if !bytes.Equal(alloc.sent[0], []byte("first payload")) {
+		t.Errorf("first forwarded payload corrupted by receive-buffer reuse: got %q", alloc.sent[0])
+	}
+	if !bytes.Equal(alloc.sent[1], []byte("SECOND-OVERWRITE")) {
+		t.Errorf("second forwarded payload wrong: got %q", alloc.sent[1])
+	}
+}
+
+// TestForwardPassesScratchWhenCapable pins the fast path: a transport
+// that does declare ScratchSendOK keeps the zero-copy forward.
+type scratchConn struct{ retainingConn }
+
+func (c *scratchConn) ScratchSendOK() bool { return true }
+
+type scratchTransport struct{ conns []*scratchConn }
+
+func (t *scratchTransport) BindUDP(port transport.Port) (transport.UDPConn, error) {
+	c := &scratchConn{retainingConn{local: inet.Endpoint{Addr: 9, Port: port}}}
+	t.conns = append(t.conns, c)
+	return c, nil
+}
+func (t *scratchTransport) After(d time.Duration, fn func()) transport.Timer { return noopTimer{} }
+func (t *scratchTransport) Now() time.Duration                               { return 0 }
+func (t *scratchTransport) Rand() *rand.Rand                                 { return rand.New(rand.NewSource(1)) }
+func (t *scratchTransport) Invoke(fn func())                                 { fn() }
+
+func TestForwardPassesScratchWhenCapable(t *testing.T) {
+	tr := &scratchTransport{}
+	s, err := NewOver(tr, 3478)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.scratchOK {
+		t.Fatal("scratch-capable transport not detected")
+	}
+	client := inet.Endpoint{Addr: 1, Port: 1111}
+	peer := inet.Endpoint{Addr: 2, Port: 2222}
+	s.handleCtrl(client, []byte{tagAllocate})
+	alloc := tr.conns[1]
+	s.handleCtrl(client, appendEP([]byte{tagPermit}, peer))
+
+	buf := append(appendEP([]byte{tagSendTo}, peer), "zero-copy"...)
+	s.handleCtrl(client, buf)
+	if len(alloc.sent) != 1 || string(alloc.sent[0]) != "zero-copy" {
+		t.Fatalf("forward lost: %q", alloc.sent)
+	}
+	// Zero-copy: the forwarded slice is the tail of the caller's buffer.
+	if &alloc.sent[0][0] != &buf[7] {
+		t.Error("scratch-capable forward should not copy the payload")
+	}
+}

@@ -70,6 +70,10 @@ type Server struct {
 	byClient map[inet.Endpoint]*allocation
 	nextPort inet.Port
 	stats    Stats
+	// scratchOK records the ScratchSender capability: SendTo releases
+	// payload slices before returning, so forwarding may pass the
+	// callback-scoped receive buffer straight through without a copy.
+	scratchOK bool
 }
 
 // New starts a relay server on simulated host h at ctrlPort;
@@ -86,6 +90,12 @@ func NewOver(tr transport.Transport, ctrlPort inet.Port) (*Server, error) {
 		return nil, err
 	}
 	s.ctrl = ctrl
+	// The capability is a property of the transport implementation, so
+	// probing the control socket covers the allocation sockets BindUDP
+	// hands out later.
+	if ss, ok := ctrl.(transport.ScratchSender); ok && ss.ScratchSendOK() {
+		s.scratchOK = true
+	}
 	ctrl.OnRecv(s.handleCtrl)
 	return s, nil
 }
@@ -121,7 +131,15 @@ func (s *Server) handleCtrl(from inet.Endpoint, p []byte) {
 			}
 			s.stats.ForwardedUp++
 			s.stats.BytesForwarded += uint64(len(rest))
-			a.sock.SendTo(ep, rest)
+			// rest is a tail of the callback-scoped receive buffer; a
+			// transport without the ScratchSender capability may queue
+			// the slice past SendTo's return while the buffer is reused
+			// for the next datagram.
+			wire := rest
+			if !s.scratchOK {
+				wire = append([]byte(nil), wire...)
+			}
+			a.sock.SendTo(ep, wire)
 			a.touch()
 		}
 	case tagRefresh:

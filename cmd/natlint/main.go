@@ -104,7 +104,6 @@ func main() {
 	start := time.Now()
 	analyzers := analysis.Analyzers()
 	merged := make(map[string]*finding)
-	var order []string
 	var modDir, modPath string
 	var loadFailed bool
 	packages := 0
@@ -133,7 +132,6 @@ func main() {
 			if !ok {
 				f = &finding{d: d}
 				merged[key] = f
-				order = append(order, key)
 			}
 			f.flavors = append(f.flavors, name)
 		}
@@ -141,11 +139,15 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	sort.Strings(order)
-	findings := make([]*finding, 0, len(order))
-	for _, key := range order {
-		findings = append(findings, merged[key])
+	// Merged keys are unique diagnostics, so the stable emitter order
+	// (numeric line/column, not lexical) is a total order over them.
+	findings := make([]*finding, 0, len(merged))
+	for _, f := range merged {
+		findings = append(findings, f)
 	}
+	sort.Slice(findings, func(i, j int) bool {
+		return analysis.DiagnosticLess(findings[i].d, findings[j].d)
+	})
 
 	counts := make(map[string]int)
 	for _, f := range findings {

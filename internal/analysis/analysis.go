@@ -38,6 +38,27 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
+// DiagnosticLess reports whether a orders before b in the stable
+// emitter order: filename, then numeric line and column, then check,
+// then message. Every emitter (including cmd/natlint's cross-flavor
+// merge) must use this comparator so positions sort numerically, not
+// lexically.
+func DiagnosticLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Check != b.Check {
+		return a.Check < b.Check
+	}
+	return a.Message < b.Message
+}
+
 // Analyzer is one named invariant checker.
 type Analyzer struct {
 	// Name is the check name used in diagnostics and ignore pragmas.

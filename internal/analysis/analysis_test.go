@@ -233,9 +233,36 @@ func TestPragmaScope(t *testing.T) {
 	}
 }
 
+// TestDiagnosticLessNumeric pins that the stable emitter order sorts
+// positions numerically: file.go:9 orders before file.go:10, which a
+// lexical sort over Diagnostic.String() keys would invert.
+func TestDiagnosticLessNumeric(t *testing.T) {
+	at := func(file string, line, col int) Diagnostic {
+		d := Diagnostic{Check: "x", Message: "m"}
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		return d
+	}
+	ordered := []struct {
+		a, b Diagnostic
+	}{
+		{at("file.go", 9, 1), at("file.go", 10, 1)},
+		{at("file.go", 2, 9), at("file.go", 2, 10)},
+		{at("a.go", 99, 1), at("b.go", 1, 1)},
+	}
+	for _, pair := range ordered {
+		if !DiagnosticLess(pair.a, pair.b) {
+			t.Errorf("DiagnosticLess(%s, %s) = false, want true", pair.a, pair.b)
+		}
+		if DiagnosticLess(pair.b, pair.a) {
+			t.Errorf("DiagnosticLess(%s, %s) = true, want false", pair.b, pair.a)
+		}
+	}
+}
+
 // TestBrokenModuleLoad pins the driver's fault tolerance: a package
 // that fails to type-check becomes "load" diagnostics, its dependents
-// are skipped with one diagnostic each, and healthy siblings still
+// are skipped with one diagnostic each, an import cycle fails every
+// member without stalling the scheduler, and healthy siblings still
 // load and get analyzed.
 func TestBrokenModuleLoad(t *testing.T) {
 	mod, diags, err := LoadWith(filepath.Join("testdata", "src", "broken"), LoadOptions{})
@@ -245,13 +272,12 @@ func TestBrokenModuleLoad(t *testing.T) {
 	if _, ok := mod.Packages["brokefix/ok"]; !ok {
 		t.Error("healthy sibling package should still load")
 	}
-	if _, ok := mod.Packages["brokefix/bad"]; ok {
-		t.Error("broken package must be omitted from the module")
+	for _, path := range []string{"brokefix/bad", "brokefix/uses", "brokefix/cyclea", "brokefix/cycleb", "brokefix/usescycle"} {
+		if _, ok := mod.Packages[path]; ok {
+			t.Errorf("broken package %s must be omitted from the module", path)
+		}
 	}
-	if _, ok := mod.Packages["brokefix/uses"]; ok {
-		t.Error("dependent of a broken package must be omitted from the module")
-	}
-	var typeErr, skipped bool
+	var typeErr, skipped, cycleA, cycleB, cycleDep bool
 	for _, d := range diags {
 		if d.Check != "load" {
 			t.Errorf("load failures must use check %q, got %q", "load", d.Check)
@@ -262,12 +288,27 @@ func TestBrokenModuleLoad(t *testing.T) {
 		if strings.Contains(d.Message, "skipped: depends on broken package brokefix/bad") {
 			skipped = true
 		}
+		if strings.Contains(d.Message, "package brokefix/cyclea: import cycle") {
+			cycleA = true
+		}
+		if strings.Contains(d.Message, "package brokefix/cycleb: import cycle") {
+			cycleB = true
+		}
+		if strings.Contains(d.Message, "package brokefix/usescycle: skipped: depends on broken package brokefix/cyclea (import cycle)") {
+			cycleDep = true
+		}
 	}
 	if !typeErr {
 		t.Errorf("want a type-error load diagnostic for brokefix/bad, got: %v", diags)
 	}
 	if !skipped {
 		t.Errorf("want a skipped-dependent diagnostic for brokefix/uses, got: %v", diags)
+	}
+	if !cycleA || !cycleB {
+		t.Errorf("want import-cycle load diagnostics for both cycle members, got: %v", diags)
+	}
+	if !cycleDep {
+		t.Errorf("want a skipped-dependent diagnostic for brokefix/usescycle, got: %v", diags)
 	}
 	// Analyzers run fine over the partial module.
 	Run(mod, DefaultConfig(), Analyzers())

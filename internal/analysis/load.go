@@ -519,11 +519,18 @@ func (ld *loader) checkAll() {
 	remaining := make(map[string]int, len(paths))
 	dependents := make(map[string][]string)
 	for _, path := range paths {
+		// A package already failed (import cycle) is dependency-free:
+		// its cycle edges would otherwise never settle and the whole
+		// pool would park in cond.Wait. Queue it immediately; checkOne
+		// early-returns on failed packages and settle() still releases
+		// its dependents.
 		n := 0
-		for _, dep := range ld.deps[path] {
-			if _, known := ld.dirs[dep]; known {
-				n++
-				dependents[dep] = append(dependents[dep], path)
+		if ld.failed[path] == "" {
+			for _, dep := range ld.deps[path] {
+				if _, known := ld.dirs[dep]; known {
+					n++
+					dependents[dep] = append(dependents[dep], path)
+				}
 			}
 		}
 		remaining[path] = n
@@ -684,19 +691,6 @@ func (ld *loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types
 // the stable order every emitter relies on for width-independence.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Check != b.Check {
-			return a.Check < b.Check
-		}
-		return a.Message < b.Message
+		return DiagnosticLess(diags[i], diags[j])
 	})
 }

@@ -1,0 +1,10 @@
+// Package cyclea is half of a deliberate two-package import cycle:
+// the loader must fail both members with "load" diagnostics and keep
+// scheduling (never deadlock) instead of waiting on cycle edges that
+// can never settle.
+package cyclea
+
+import _ "brokefix/cycleb"
+
+// A anchors the package body.
+func A() int { return 1 }

@@ -1,0 +1,8 @@
+// Package cycleb is the other half of the deliberate import cycle
+// with brokefix/cyclea.
+package cycleb
+
+import _ "brokefix/cyclea"
+
+// B anchors the package body.
+func B() int { return 2 }

@@ -1,0 +1,9 @@
+// Package usescycle depends on a cycle member: the scheduler must
+// still release it (the failed dep settles immediately) and report it
+// skipped with one diagnostic rather than hanging or cascading.
+package usescycle
+
+import _ "brokefix/cyclea"
+
+// C anchors the package body.
+func C() int { return 3 }

@@ -69,6 +69,12 @@ type Conn struct {
 	deadErr   error        // which terminal error Read/Write surface
 	rdl, wdl  time.Time
 	rdlTimer  *time.Timer
+
+	// tap/onDead divert the Conn to a stream session (Carry): inbound
+	// datagrams go to tap instead of the inbox, and onDead fires once
+	// when the session terminates. Installed in engine context.
+	tap    func(p []byte)
+	onDead func(err error)
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -128,8 +134,14 @@ func (d *Dialer) adopt(sess any, c *Conn) {
 			old.rdlTimer.Stop()
 			old.rdlTimer = nil
 		}
+		err := old.deadError()
+		onDead := old.onDead
+		old.onDead = nil
 		old.cond.Broadcast()
 		old.mu.Unlock()
+		if onDead != nil {
+			onDead(err)
+		}
 	}
 }
 
@@ -177,10 +189,19 @@ func (c *Conn) RemoteAddr() net.Addr {
 // deliver appends inbound payload (engine context).
 func (c *Conn) deliver(p []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
+	if tap := c.tap; tap != nil {
+		// Carried: hand the datagram straight to the stream session,
+		// still in engine context. p is callback-scoped; the stream
+		// parser copies what it keeps.
+		c.mu.Unlock()
+		tap(p)
+		return
+	}
+	defer c.mu.Unlock()
 	if c.stream {
 		c.buf = append(c.buf, p...)
 	} else {
@@ -196,8 +217,14 @@ func (c *Conn) markDead() {
 	if c.deadErr == nil {
 		c.deadErr = ErrSessionDead
 	}
+	err := c.deadError()
+	onDead := c.onDead
+	c.onDead = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if onDead != nil {
+		onDead(err)
+	}
 	c.d.forget(c.sessKey())
 }
 
@@ -253,6 +280,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 			return n, nil
 		}
 		switch {
+		case c.tap != nil:
+			return 0, ErrCarried
 		case c.closed:
 			return 0, ErrClosed
 		case c.remoteEOF:
@@ -272,6 +301,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	switch {
+	case c.tap != nil:
+		c.mu.Unlock()
+		return 0, ErrCarried
 	case c.closed:
 		c.mu.Unlock()
 		return 0, ErrClosed
@@ -310,10 +342,15 @@ func (c *Conn) Close() error {
 	if c.rdlTimer != nil {
 		c.rdlTimer.Stop()
 	}
+	onDead := c.onDead
+	c.onDead = nil
 	c.cond.Broadcast()
 	c.mu.Unlock()
 
 	c.d.tr.Invoke(func() {
+		if onDead != nil {
+			onDead(ErrClosed)
+		}
 		if c.tsess != nil {
 			c.tsess.Close()
 		} else {

@@ -45,6 +45,11 @@ var (
 	// ErrNoServer is returned by Open when neither the server argument
 	// nor the Servers option supplies a rendezvous endpoint.
 	ErrNoServer = errors.New("natpunch: no rendezvous server given")
+	// ErrCarried is returned by Read and Write on a Conn whose
+	// datagram flow was handed to a stream session via Carry: raw
+	// datagram I/O belongs to the stream mux for the rest of the
+	// Conn's life.
+	ErrCarried = errors.New("natpunch: conn carried by a stream session")
 )
 
 // supersededError lets ErrSuperseded carry its own identity while
@@ -95,6 +100,9 @@ func Open(tr transport.Transport, name string, server transport.Endpoint, opts .
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.useStreams && cfg.useTCP {
+		return nil, errors.New("natpunch: WithStreams and WithTCP are mutually exclusive")
 	}
 	pool := make([]transport.Endpoint, 0, len(cfg.servers)+1)
 	seen := make(map[transport.Endpoint]bool)

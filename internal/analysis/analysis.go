@@ -150,6 +150,7 @@ func DefaultConfig() *Config {
 			"natpunch/internal/relay",
 			"natpunch/internal/experiments",
 			"natpunch/internal/tcp",
+			"natpunch/internal/stream",
 			"natpunch/simnet",
 		},
 		WirePackages: []string{
@@ -157,18 +158,21 @@ func DefaultConfig() *Config {
 			"natpunch/internal/rendezvous",
 			"natpunch/internal/experiments",
 			"natpunch/internal/fleet",
+			"natpunch/internal/stream",
 		},
 		APIDoc:                "docs/API.md",
 		InternalAllowedPublic: []string{"natpunch/transport"},
 		ProtoPackage:          "natpunch/internal/proto",
 		// Server-received types dispatch in rendezvous; client-received
-		// types dispatch in punch (UDP and TCP paths) and ice. The
-		// union must cover every wire type, so a new message can never
+		// types dispatch in punch (UDP and TCP paths), ice, and — for
+		// the TypeStream* frame types — the stream layer. The union
+		// must cover every wire type, so a new message can never
 		// silently fall through everywhere.
 		DispatchPackages: []string{
 			"natpunch/internal/rendezvous",
 			"natpunch/internal/punch",
 			"natpunch/internal/ice",
+			"natpunch/internal/stream",
 		},
 		// Every package a live datagram payload flows through. The
 		// sim-only engines (sim, fleet, experiments) are excluded: their
@@ -188,6 +192,8 @@ func DefaultConfig() *Config {
 			"natpunch/internal/relay",
 			"natpunch/internal/rendezvous",
 			"natpunch/internal/tcp",
+			"natpunch/internal/stream",
+			"natpunch/stream",
 			"natpunch/internal/host",
 			"natpunch/internal/stun",
 			"natpunch/internal/natcheck",
@@ -213,6 +219,8 @@ func DefaultConfig() *Config {
 			"natpunch/internal/relay",
 			"natpunch/internal/rendezvous",
 			"natpunch/internal/tcp",
+			"natpunch/internal/stream",
+			"natpunch/stream",
 			"natpunch/internal/host",
 			"natpunch/internal/experiments",
 		},

@@ -197,6 +197,18 @@ func FuzzMessageParse(f *testing.F) {
 	f.Add([]byte{0xF0})
 	f.Add([]byte{0x00, 0x01, 0x00})
 	f.Add([]byte{0xF0, 0x05, 0x01, 0xFF, 0xFF})
+	// Stream-layer shapes (natpunch/stream rides the same envelope):
+	// Nonce carries the stream ID, Seq the offset/ack/limit/token,
+	// Requester the FIN bit.
+	for _, m := range []proto.Message{
+		{Type: proto.TypeStream, Nonce: 2, Seq: 4096, Requester: true, Data: []byte("payload")},
+		{Type: proto.TypeStreamAck, Nonce: 2, Seq: 4103, Requester: true},
+		{Type: proto.TypeStreamWindow, Nonce: 0, Seq: 1 << 20},
+		{Type: proto.TypeStreamReset, Nonce: 3},
+		{Type: proto.TypeStreamPing, Nonce: 0, Seq: 0xDEAD, Requester: true},
+	} {
+		f.Add(proto.Encode(&m, proto.PlainEndpoints))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := proto.Decode(data)
 		if err != nil {

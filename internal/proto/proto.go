@@ -113,6 +113,30 @@ const (
 	// seq <= Seq) before switching — the drain-then-switch cutover
 	// that keeps migration loss- and reorder-free.
 	TypeMigrate
+	// TypeStream: one reliable-stream data frame (internal/stream),
+	// carried inside a session datagram (TypeData/TypeRelayTo payload).
+	// Nonce is the stream ID, Seq the byte offset of Data within the
+	// stream, and Requester marks FIN: Data's last byte is the final
+	// byte of the stream. Offsets live in the 32-bit circular space of
+	// RFC 793 §3.3, compared with the stream engine's Seq* helpers.
+	TypeStream
+	// TypeStreamAck: cumulative acknowledgment for one stream. Nonce is
+	// the stream ID and Seq the next byte offset the receiver expects
+	// (everything below Seq arrived in order). Acks drive the sender's
+	// RTT estimate and release its retransmission buffer.
+	TypeStreamAck
+	// TypeStreamWindow: flow-control credit. Nonce is the stream ID —
+	// or zero for the session-level window — and Seq the absolute limit
+	// offset (stream) or cumulative byte budget (session) the sender
+	// may reach. A receiver re-advertises as the application consumes.
+	TypeStreamWindow
+	// TypeStreamReset: abrupt bidirectional stream termination. Nonce
+	// is the stream ID; both directions stop, buffered data is dropped.
+	TypeStreamReset
+	// TypeStreamPing: session liveness/RTT probe. Seq is an echo token;
+	// Requester false asks, true answers with the same token. The
+	// round-trip seeds the retransmission timer on idle sessions.
+	TypeStreamPing
 )
 
 // String names the message type.
@@ -127,6 +151,9 @@ func (t Type) String() string {
 		TypeNegotiate: "negotiate", TypeNegotiateDetails: "negotiate-details",
 		TypeFedHello: "fed-hello", TypeFedRecord: "fed-record",
 		TypeFedForward: "fed-forward", TypeMigrate: "migrate",
+		TypeStream: "stream", TypeStreamAck: "stream-ack",
+		TypeStreamWindow: "stream-window", TypeStreamReset: "stream-reset",
+		TypeStreamPing: "stream-ping",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -327,7 +354,7 @@ func decodeInto(m *Message, b []byte, in stringInterner) error {
 		return ErrShort
 	}
 	m.Type = Type(b[1])
-	if m.Type == 0 || m.Type > TypeMigrate {
+	if m.Type == 0 || m.Type > TypeStreamPing {
 		return ErrBadType
 	}
 	obf := Obfuscator(b[2])

@@ -64,6 +64,7 @@ type Network struct {
 	Sched    *Scheduler
 	segments []*Segment
 	hook     Hook
+	filter   func(src, dst inet.Endpoint) bool
 	stats    Stats
 }
 
@@ -74,6 +75,14 @@ func NewNetwork(seed int64) *Network {
 
 // SetHook installs a fabric trace hook (nil disables tracing).
 func (n *Network) SetHook(h Hook) { n.hook = h }
+
+// SetFilter installs a drop filter consulted on every hop: a packet
+// whose transport endpoints make f return false is discarded (counted
+// as Lost) before any routing. Nil removes the filter. Used by chaos
+// tests to model path blackouts deterministically. The endpoint
+// signature (rather than *inet.Packet) lets the public simnet facade
+// expose it via the transport.Endpoint alias without importing inet.
+func (n *Network) SetFilter(f func(src, dst inet.Endpoint) bool) { n.filter = f }
 
 // Stats returns a copy of the fabric counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -199,6 +208,14 @@ func (i *Iface) Send(pkt *inet.Packet) {
 
 	if pkt.TTL == 0 {
 		// Forwarding loop guard; silently drop.
+		n.stats.Lost++
+		if n.hook != nil {
+			n.hook(HookLost, s, i, pkt)
+		}
+		return
+	}
+
+	if n.filter != nil && !n.filter(pkt.Src, pkt.Dst) {
 		n.stats.Lost++
 		if n.hook != nil {
 			n.hook(HookLost, s, i, pkt)

@@ -1,0 +1,1040 @@
+// Package stream is the multiplexed reliable-stream engine layered
+// over a punched (or relayed) session's datagrams: QUIC-style streams
+// with explicit IDs and byte offsets, go-back-N ARQ with an
+// RFC 6298 RTT-estimated retransmission timer, per-stream and
+// per-session flow-control windows, and in-order reassembly on the
+// 32-bit circular offset space shared with internal/tcp.
+//
+// Like the rest of the engine tier, the package is single-threaded
+// and lock-free: every entry point runs inside the transport's
+// serialized dispatch context (the facade enters via
+// Transport.Invoke), timers come from Transport.After, and the clock
+// is Transport.Now — so simulated runs are deterministic in virtual
+// time. The blocking net.Conn-shaped surface lives in the public
+// natpunch/stream package.
+//
+// Frames ride the session's existing datagram path (the facade
+// Conn's Write/deliver seam), so a live relay→direct migration or a
+// §3.6 failback moves every stream with the session: retransmission
+// state is keyed by stream offset, never by path, and a cutover is
+// invisible to the ARQ beyond a step in the RTT estimate.
+package stream
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"natpunch/internal/proto"
+	"natpunch/transport"
+)
+
+// Engine errors.
+var (
+	// ErrResetByPeer is the terminal error of a stream the peer reset.
+	ErrResetByPeer = errors.New("stream: reset by peer")
+	// ErrReset is the terminal error of a locally reset stream.
+	ErrReset = errors.New("stream: reset")
+	// ErrSessionClosed is returned by operations on a closed Mux.
+	ErrSessionClosed = errors.New("stream: session closed")
+)
+
+// Config tunes a Mux. Both endpoints of a session must use the same
+// window configuration: there is no handshake, so each side assumes
+// the peer's initial credit equals its own.
+type Config struct {
+	// StreamWindow is the per-stream receive window in bytes
+	// (default 256 KiB): how far past the application's read point a
+	// peer may send on one stream.
+	StreamWindow uint32
+	// SessionWindow is the session-wide receive budget in bytes
+	// (default 1 MiB), bounding in-order bytes accepted across all
+	// streams ahead of application reads.
+	SessionWindow uint32
+	// MaxDatagram bounds one packed frame datagram (default 1152
+	// bytes), keeping session datagrams under a conservative path MTU
+	// once the outer envelope is added.
+	MaxDatagram int
+	// InitialRTO seeds the retransmission timeout before the first
+	// RTT sample (default 500ms).
+	InitialRTO time.Duration
+	// MinRTO/MaxRTO clamp the timeout (defaults 100ms / 10s).
+	MinRTO, MaxRTO time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.StreamWindow == 0 {
+		c.StreamWindow = 256 << 10
+	}
+	if c.SessionWindow == 0 {
+		c.SessionWindow = 1 << 20
+	}
+	if c.MaxDatagram == 0 {
+		c.MaxDatagram = 1152
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 500 * time.Millisecond
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 100 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 10 * time.Second
+	}
+	return c
+}
+
+// Callbacks observe engine events. All fire in the engine's dispatch
+// context and must not block; they may take facade locks to wake
+// blocked application goroutines (the same contract as the punch
+// engine's callbacks).
+type Callbacks struct {
+	// Accept fires once per peer-initiated stream.
+	Accept func(s *Stream)
+	// Readable fires when a stream gained readable data, reached EOF,
+	// or terminated.
+	Readable func(s *Stream)
+	// Writable fires when a stream's write budget may have grown or
+	// the stream terminated.
+	Writable func(s *Stream)
+	// Closed fires once when a stream terminates: err is nil for a
+	// clean bidirectional close, ErrResetByPeer/ErrReset for resets,
+	// or the session failure.
+	Closed func(s *Stream, err error)
+	// Pong fires when a ping reply returns, with the measured RTT.
+	Pong func(token uint32, rtt time.Duration)
+}
+
+// Mux multiplexes reliable streams over one session's datagrams.
+// All methods run in the engine dispatch context.
+type Mux struct {
+	tr   transport.Transport
+	send func(p []byte) error
+	cfg  Config
+	cb   Callbacks
+
+	streams map[uint64]*Stream
+	order   []uint64        // sorted live stream IDs: deterministic iteration
+	rr      int             // round-robin cursor into order
+	nextID  uint64          // next locally initiated stream ID
+	maxPeer uint64          // highest peer-initiated stream ID seen (0 = none)
+	peerLSB uint64          // parity of peer-initiated IDs
+	resets  map[uint64]bool // streams that ended by reset, not cleanly
+
+	parser Parser
+	rtt    rttEstimator
+
+	pendingCtl []Frame // control frames staged for the next flush
+
+	rtxTimer transport.Timer
+	rtxAt    time.Duration
+
+	// Session flow control: cumulative byte totals on the circular
+	// space. The send side counts first transmissions only; the
+	// receive side advertises consumed + SessionWindow.
+	sndSessNxt   uint32
+	sndSessLimit uint32
+	rcvSessUsed  uint32 // consumed by the application (or discarded)
+	rcvSessLimit uint32 // last advertised session budget
+	sessWinPend  bool
+
+	pingNext uint32
+	pings    []pingProbe
+
+	scratch []byte // datagram packing scratch, reused per flush
+	closed  bool
+}
+
+type pingProbe struct {
+	token uint32
+	at    time.Duration
+}
+
+// NewMux creates the stream engine over a session. send transmits one
+// datagram on the session (engine context; the payload may be reused
+// after it returns, and send failures are treated as loss — the ARQ
+// recovers or the facade calls Fail when the session dies). even
+// selects this endpoint's stream-ID parity: exactly one endpoint of a
+// session must pass true, which the facade derives from the peers'
+// rendezvous names.
+func NewMux(tr transport.Transport, send func(p []byte) error, even bool, cfg Config, cb Callbacks) *Mux {
+	m := &Mux{
+		tr: tr, send: send, cfg: cfg.withDefaults(), cb: cb,
+		streams: make(map[uint64]*Stream),
+		resets:  make(map[uint64]bool),
+	}
+	if even {
+		m.nextID, m.peerLSB = 2, 1
+	} else {
+		m.nextID, m.peerLSB = 1, 0
+	}
+	m.rtt = rttEstimator{initial: m.cfg.InitialRTO, min: m.cfg.MinRTO, max: m.cfg.MaxRTO}
+	m.sndSessLimit = m.cfg.SessionWindow
+	m.rcvSessLimit = m.cfg.SessionWindow
+	return m
+}
+
+// RTT returns the smoothed round-trip estimate (zero before the
+// first sample).
+func (m *Mux) RTT() time.Duration { return m.rtt.RTT() }
+
+// Open creates a locally initiated stream. The peer learns of it
+// from its first frame.
+func (m *Mux) Open() (*Stream, error) {
+	if m.closed {
+		return nil, ErrSessionClosed
+	}
+	s := m.newStream(m.nextID)
+	m.nextID += 2
+	return s, nil
+}
+
+// Ping sends a session liveness/RTT probe and returns its token; the
+// Pong callback fires when the reply returns. Probes are not
+// retransmitted: a lost ping simply never pongs.
+func (m *Mux) Ping() (uint32, error) {
+	if m.closed {
+		return 0, ErrSessionClosed
+	}
+	m.pingNext++
+	tok := m.pingNext
+	m.pings = append(m.pings, pingProbe{token: tok, at: m.tr.Now()})
+	m.queueControl(Frame{Type: proto.TypeStreamPing, Off: tok})
+	m.flush()
+	return tok, nil
+}
+
+// Close tears the mux down locally: every live stream terminates
+// with ErrSessionClosed (after a best-effort reset frame to the
+// peer) and the retransmission timer stops.
+func (m *Mux) Close() { m.shutdown(ErrSessionClosed, true) }
+
+// Fail terminates the mux because the underlying session died:
+// every live stream terminates with err, and nothing more is sent.
+func (m *Mux) Fail(err error) { m.shutdown(err, false) }
+
+func (m *Mux) shutdown(err error, sendResets bool) {
+	if m.closed {
+		return
+	}
+	if sendResets {
+		var frames []Frame
+		for _, id := range m.order {
+			frames = append(frames, Frame{Type: proto.TypeStreamReset, Stream: id})
+		}
+		m.transmit(frames)
+	}
+	m.closed = true
+	if m.rtxTimer != nil {
+		m.rtxTimer.Stop()
+		m.rtxTimer = nil
+	}
+	for _, id := range append([]uint64(nil), m.order...) {
+		if s := m.streams[id]; s != nil {
+			m.terminate(s, err)
+		}
+	}
+}
+
+// HandleDatagram processes one received session datagram (engine
+// context; p is valid only during the call). Malformed datagrams are
+// dropped from the bad frame on — the sender's ARQ recovers anything
+// useful.
+func (m *Mux) HandleDatagram(p []byte) {
+	if m.closed {
+		return
+	}
+	_ = m.parser.Parse(p, func(f Frame) error {
+		m.handleFrame(f)
+		return nil
+	})
+	m.flush()
+}
+
+// handleFrame dispatches one frame.
+func (m *Mux) handleFrame(f Frame) {
+	if f.Stream == 0 {
+		m.handleSession(f)
+		return
+	}
+	s := m.streams[f.Stream]
+	if s == nil {
+		s = m.admit(f)
+		if s == nil {
+			return
+		}
+	}
+	switch f.Type {
+	case proto.TypeStream:
+		s.handleData(f)
+	case proto.TypeStreamAck:
+		s.handleAck(f)
+	case proto.TypeStreamWindow:
+		s.handleWindow(f)
+	case proto.TypeStreamReset:
+		m.terminate(s, ErrResetByPeer)
+	}
+}
+
+// handleSession processes session-scoped (stream ID 0) frames.
+func (m *Mux) handleSession(f Frame) {
+	switch f.Type {
+	case proto.TypeStreamPing:
+		if !f.FIN {
+			m.queueControl(Frame{Type: proto.TypeStreamPing, Off: f.Off, FIN: true})
+			return
+		}
+		now := m.tr.Now()
+		for i, pr := range m.pings {
+			if pr.token == f.Off {
+				m.pings = append(m.pings[:i], m.pings[i+1:]...)
+				rtt := now - pr.at
+				m.rtt.Sample(rtt)
+				if m.cb.Pong != nil {
+					m.cb.Pong(f.Off, rtt)
+				}
+				return
+			}
+		}
+	case proto.TypeStreamWindow:
+		if SeqGT(f.Off, m.sndSessLimit) {
+			m.sndSessLimit = f.Off
+			m.clearProbeDeadlines()
+			m.wakeWriters()
+		}
+	}
+}
+
+// admit resolves a frame for an unknown stream ID: a fresh
+// peer-initiated ID opens it (and any intermediate IDs whose first
+// frames are still in flight, so out-of-order arrival cannot orphan
+// them); anything else is stale traffic for a released stream, which
+// is answered with a reset so a peer retransmitting into the void
+// converges.
+func (m *Mux) admit(f Frame) *Stream {
+	if f.Stream&1 == m.peerLSB && f.Stream > m.maxPeer {
+		first := m.maxPeer + 2
+		if m.maxPeer == 0 {
+			first = m.peerLSB
+			if first == 0 {
+				first = 2
+			}
+		}
+		var s *Stream
+		for id := first; id <= f.Stream; id += 2 {
+			s = m.newStream(id)
+			m.maxPeer = id
+			if m.cb.Accept != nil {
+				m.cb.Accept(s)
+			}
+		}
+		return s
+	}
+	// Stale: the stream terminated and was released. If it ended by
+	// reset, answer data retransmissions with a fresh reset (resets
+	// travel unreliably). If it completed cleanly, every byte was
+	// received and consumed before release — so answer with the final
+	// cumulative ack the peer evidently missed, letting its ARQ
+	// finish cleanly instead of erroring a finished transfer.
+	if f.Type != proto.TypeStream {
+		return nil
+	}
+	if m.resets[f.Stream] {
+		m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: f.Stream})
+	} else {
+		m.queueControl(Frame{
+			Type: proto.TypeStreamAck, Stream: f.Stream,
+			Off: f.Off + uint32(len(f.Data)), FIN: f.FIN,
+		})
+	}
+	return nil
+}
+
+// newStream registers a stream with initial windows.
+func (m *Mux) newStream(id uint64) *Stream {
+	s := &Stream{
+		m: m, id: id,
+		sndLimit: m.cfg.StreamWindow,
+		rcvLimit: m.cfg.StreamWindow,
+		rto:      m.rtt.RTO(),
+	}
+	m.streams[id] = s
+	at := sort.Search(len(m.order), func(i int) bool { return m.order[i] >= id })
+	m.order = append(m.order, 0)
+	copy(m.order[at+1:], m.order[at:])
+	m.order[at] = id
+	return s
+}
+
+// release drops a terminated stream from the mux.
+func (m *Mux) release(s *Stream) {
+	delete(m.streams, s.id)
+	for i, id := range m.order {
+		if id == s.id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			if m.rr > i {
+				m.rr--
+			}
+			break
+		}
+	}
+}
+
+// terminate ends a stream abruptly (reset, session close/failure)
+// or cleanly (err == nil after both directions completed).
+func (m *Mux) terminate(s *Stream, err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.closedErr = err
+	if err != nil {
+		m.resets[s.id] = true
+	}
+	s.sndBuf, s.rcvBuf, s.ooo = nil, nil, nil
+	s.rtxAt = 0
+	m.release(s)
+	if m.cb.Readable != nil {
+		m.cb.Readable(s)
+	}
+	if m.cb.Writable != nil {
+		m.cb.Writable(s)
+	}
+	if m.cb.Closed != nil {
+		m.cb.Closed(s, err)
+	}
+}
+
+// wakeWriters fires Writable for every stream: session window growth
+// is not attributable to one stream.
+func (m *Mux) wakeWriters() {
+	if m.cb.Writable == nil {
+		return
+	}
+	for _, id := range append([]uint64(nil), m.order...) {
+		if s := m.streams[id]; s != nil {
+			m.cb.Writable(s)
+		}
+	}
+}
+
+// clearProbeDeadlines drops window-probe deadlines (streams with no
+// data in flight) after session credit arrived, so the next flush
+// re-arms from the data path instead of a stale probe schedule.
+func (m *Mux) clearProbeDeadlines() {
+	for _, id := range m.order {
+		if s := m.streams[id]; !s.inFlight() {
+			s.rtxAt = 0
+		}
+	}
+}
+
+// --- transmission ---
+
+// queueControl stages a control frame for the next flush. Control
+// frames are tiny and sent ahead of data.
+func (m *Mux) queueControl(f Frame) { m.pendingCtl = append(m.pendingCtl, f) }
+
+// flush drains everything sendable: staged control frames, per-stream
+// acks and window updates, then data round-robin across streams with
+// budget. Frames pack into MaxDatagram-bounded datagrams. Finally the
+// retransmission timer is re-armed to the earliest deadline,
+// including window-probe deadlines for streams starved of credit.
+func (m *Mux) flush() {
+	if m.closed {
+		return
+	}
+	frames := m.pendingCtl
+	m.pendingCtl = nil
+	// Per-stream control: acks and window advertisements. The ack FIN
+	// bit — "your FIN is fully delivered" — requires every byte up to
+	// the FIN offset, not just the FIN frame itself: the sender
+	// treats it as license to forget its retransmission buffer.
+	for _, id := range m.order {
+		s := m.streams[id]
+		if s.ackPending {
+			s.ackPending = false
+			frames = append(frames, Frame{
+				Type: proto.TypeStreamAck, Stream: s.id,
+				Off: s.rcvNxt, FIN: s.finRcvd && s.rcvNxt == s.finRcvOff,
+			})
+		}
+		if s.winPending {
+			s.winPending = false
+			s.rcvLimit = s.advertisable()
+			frames = append(frames, Frame{
+				Type: proto.TypeStreamWindow, Stream: s.id, Off: s.rcvLimit,
+			})
+		}
+	}
+	if m.sessWinPend {
+		m.sessWinPend = false
+		m.rcvSessLimit = m.rcvSessUsed + m.cfg.SessionWindow
+		frames = append(frames, Frame{
+			Type: proto.TypeStreamWindow, Stream: 0, Off: m.rcvSessLimit,
+		})
+	}
+	// Data: round-robin one segment per stream per round, starting at
+	// the cursor, until nothing can send.
+	maxSeg := m.cfg.MaxDatagram - frameOverhead
+	for len(m.order) > 0 {
+		sent := false
+		n := len(m.order)
+		for i := 0; i < n; i++ {
+			s := m.streams[m.order[(m.rr+i)%n]]
+			if f, ok := s.nextSegment(maxSeg); ok {
+				frames = append(frames, f)
+				sent = true
+			}
+		}
+		m.rr = (m.rr + 1) % n
+		if !sent {
+			break
+		}
+	}
+	// Streams with bytes they could not send — buffered here, or held
+	// back by the facade because WriteBudget hit zero (wantWrite) —
+	// are blocked on flow control: arm a window-probe deadline so a
+	// lost window update cannot deadlock the sender.
+	now := m.tr.Now()
+	for _, id := range m.order {
+		s := m.streams[id]
+		if s.rtxAt == 0 && !s.inFlight() &&
+			(s.pendingBytes() > 0 || (s.wantWrite && s.WriteBudget() == 0)) {
+			s.rtxAt = now + s.rto
+		}
+	}
+	m.transmit(frames)
+	m.armRtx()
+}
+
+// transmit packs frames into datagrams and sends them.
+func (m *Mux) transmit(frames []Frame) {
+	if len(frames) == 0 {
+		return
+	}
+	m.scratch = m.scratch[:0]
+	for i := range frames {
+		next := AppendFrame(m.scratch, &frames[i])
+		if len(m.scratch) > 0 && len(next) > m.cfg.MaxDatagram {
+			_ = m.send(m.scratch) // lossy by contract; the ARQ recovers
+			m.scratch = AppendFrame(m.scratch[:0], &frames[i])
+			continue
+		}
+		m.scratch = next
+	}
+	if len(m.scratch) > 0 {
+		_ = m.send(m.scratch)
+	}
+}
+
+// armRtx (re)arms the single retransmission timer to the earliest
+// per-stream deadline, or stops it when nothing is pending.
+func (m *Mux) armRtx() {
+	var at time.Duration
+	for _, id := range m.order {
+		s := m.streams[id]
+		if s.rtxAt != 0 && (at == 0 || s.rtxAt < at) {
+			at = s.rtxAt
+		}
+	}
+	if at == 0 {
+		if m.rtxTimer != nil {
+			m.rtxTimer.Stop()
+			m.rtxTimer = nil
+		}
+		m.rtxAt = 0
+		return
+	}
+	if m.rtxTimer != nil && m.rtxAt == at && m.rtxTimer.Active() {
+		return
+	}
+	if m.rtxTimer != nil {
+		m.rtxTimer.Stop()
+	}
+	m.rtxAt = at
+	d := at - m.tr.Now()
+	if d < 0 {
+		d = 0
+	}
+	m.rtxTimer = m.tr.After(d, m.onRtxTimer)
+}
+
+// onRtxTimer fires expired per-stream deadlines. Streams with data in
+// flight go back N — sndNxt rewinds to sndUna with exponential RTO
+// backoff, and any outstanding RTT sample is invalidated (Karn's
+// algorithm). Streams starved of credit send an empty window-probe
+// frame at sndNxt, which makes the receiver re-advertise its current
+// limits even if they have not changed.
+func (m *Mux) onRtxTimer() {
+	if m.closed {
+		return
+	}
+	now := m.tr.Now()
+	for _, id := range append([]uint64(nil), m.order...) {
+		s := m.streams[id]
+		if s == nil || s.done || s.rtxAt == 0 || s.rtxAt > now {
+			continue
+		}
+		if s.inFlight() {
+			s.sndNxt = s.sndUna
+			s.finSent = false
+			s.rttValid = false
+		} else {
+			m.queueControl(Frame{Type: proto.TypeStream, Stream: s.id, Off: s.sndNxt})
+		}
+		s.rto *= 2
+		if s.rto > m.cfg.MaxRTO {
+			s.rto = m.cfg.MaxRTO
+		}
+		s.rtxAt = now + s.rto
+	}
+	m.rtxTimer = nil
+	m.rtxAt = 0
+	m.flush()
+}
+
+// --- Stream ---
+
+// Stream is one reliable byte stream's engine state. All methods run
+// in the engine dispatch context; the blocking wrapper lives in
+// natpunch/stream.
+type Stream struct {
+	m  *Mux
+	id uint64
+
+	// Send side: sndBuf holds bytes [sndUna, sndUna+len(sndBuf)) —
+	// unacked and not-yet-sent alike (go-back-N keeps one buffer).
+	sndBuf    []byte
+	sndUna    uint32 // oldest unacknowledged offset
+	sndNxt    uint32 // next offset to transmit
+	sndMax    uint32 // highest offset ever transmitted (session budget)
+	sndLimit  uint32 // peer-advertised stream flow-control limit
+	wantWrite bool   // Write refused bytes for lack of credit
+
+	finQueued bool
+	finSent   bool
+	finAcked  bool
+	finOff    uint32 // offset after the final byte (valid once queued)
+
+	rtxAt    time.Duration // retransmission/probe deadline (0 = unarmed)
+	rto      time.Duration // current, possibly backed-off, timeout
+	rttOff   uint32        // sample completes when acked to here
+	rttAt    time.Duration
+	rttValid bool
+
+	// Receive side: rcvBuf holds in-order bytes awaiting the
+	// application; ooo holds out-of-order segments sorted by offset.
+	rcvBuf     []byte
+	rcvNxt     uint32 // next expected offset
+	rcvUsed    uint32 // offset consumed (or discarded) locally
+	rcvLimit   uint32 // last advertised stream window limit
+	ooo        []ooseg
+	finRcvd    bool
+	finRcvOff  uint32
+	discard    bool // facade closed: drop (but ack) further data
+	ackPending bool
+	winPending bool
+
+	closedErr error
+	done      bool
+}
+
+type ooseg struct {
+	off  uint32
+	data []byte
+}
+
+// ID returns the stream's wire ID.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Err returns the stream's terminal error: nil while live or after a
+// clean close, otherwise the reset/session error.
+func (s *Stream) Err() error { return s.closedErr }
+
+// Done reports whether the stream has fully terminated.
+func (s *Stream) Done() bool { return s.done }
+
+// inFlight reports whether unacknowledged data (or FIN) needs the
+// retransmission timer.
+func (s *Stream) inFlight() bool {
+	return !s.done && (SeqGT(s.sndNxt, s.sndUna) || (s.finSent && !s.finAcked))
+}
+
+// pendingBytes counts buffered bytes not yet transmitted.
+func (s *Stream) pendingBytes() int32 {
+	return SeqDiff(s.sndUna+uint32(len(s.sndBuf)), s.sndNxt)
+}
+
+// WriteBudget reports how many bytes Write would accept now: the
+// peer's stream credit beyond what is already buffered.
+func (s *Stream) WriteBudget() int {
+	if s.done || s.finQueued {
+		return 0
+	}
+	b := SeqDiff(s.sndLimit, s.sndUna) - int32(len(s.sndBuf))
+	if b < 0 {
+		return 0
+	}
+	return int(b)
+}
+
+// Write buffers as much of p as the stream's write budget allows and
+// starts transmission, returning the count accepted (possibly 0, in
+// which case the caller blocks until Writable).
+func (s *Stream) Write(p []byte) int {
+	if s.done || s.finQueued {
+		return 0
+	}
+	n := min(len(p), s.WriteBudget())
+	if n == 0 {
+		if len(p) > 0 {
+			// The caller has bytes but no credit and nothing of theirs
+			// is buffered here, so pendingBytes cannot trigger window
+			// probing on its own: record the intent and flush so the
+			// blocked-stream scan arms a probe deadline.
+			s.wantWrite = true
+			s.m.flush()
+		}
+		return 0
+	}
+	s.wantWrite = false
+	s.sndBuf = append(s.sndBuf, p[:n]...)
+	s.m.flush()
+	return n
+}
+
+// CloseWrite queues FIN after everything buffered: the half-close.
+func (s *Stream) CloseWrite() {
+	if s.done || s.finQueued {
+		return
+	}
+	s.finQueued = true
+	s.finOff = s.sndUna + uint32(len(s.sndBuf))
+	s.m.flush()
+}
+
+// Reset terminates the stream abruptly in both directions, telling
+// the peer with a (fire-and-forget) reset frame.
+func (s *Stream) Reset() {
+	if s.done {
+		return
+	}
+	m := s.m
+	m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: s.id})
+	m.terminate(s, ErrReset)
+	m.flush()
+}
+
+// DiscardReads marks the facade side closed for reading: buffered
+// and future in-order data is dropped (still acknowledged, so the
+// peer's ARQ completes) and the window stays open.
+func (s *Stream) DiscardReads() {
+	if s.done {
+		return
+	}
+	s.discard = true
+	n := uint32(len(s.rcvBuf))
+	s.rcvUsed += n
+	s.m.rcvSessUsed += n
+	s.rcvBuf = nil
+	s.maybeAdvertise(false)
+	s.m.maybeAdvertiseSession()
+	s.maybeComplete()
+}
+
+// ReadReady reports the readable byte count and whether EOF has been
+// reached (all data up to the peer's FIN consumed).
+func (s *Stream) ReadReady() (int, bool) {
+	eof := s.finRcvd && s.rcvNxt == s.finRcvOff && len(s.rcvBuf) == 0
+	return len(s.rcvBuf), eof
+}
+
+// Read copies buffered in-order bytes into p, advancing the consumed
+// point and re-advertising windows as they open. eof reports that the
+// stream's final byte has been consumed.
+func (s *Stream) Read(p []byte) (n int, eof bool) {
+	n = copy(p, s.rcvBuf)
+	if n > 0 {
+		rest := len(s.rcvBuf) - n
+		copy(s.rcvBuf, s.rcvBuf[n:])
+		s.rcvBuf = s.rcvBuf[:rest]
+		if rest == 0 {
+			s.rcvBuf = nil
+		}
+		s.rcvUsed += uint32(n)
+		s.m.rcvSessUsed += uint32(n)
+		s.maybeAdvertise(false)
+		s.m.maybeAdvertiseSession()
+		s.m.flush()
+		s.maybeComplete()
+	}
+	_, eof = s.ReadReady()
+	return n, eof
+}
+
+// advertisable computes the stream window limit worth advertising.
+func (s *Stream) advertisable() uint32 { return s.rcvUsed + s.m.cfg.StreamWindow }
+
+// maybeAdvertise queues a window update. Unsolicited updates (from
+// application reads) use half-window hysteresis; probed updates (the
+// peer is starved) always re-send the current limit, so a lost
+// window frame cannot deadlock the sender.
+func (s *Stream) maybeAdvertise(probed bool) {
+	if s.done {
+		return
+	}
+	if probed {
+		s.winPending = true
+		return
+	}
+	if growth := SeqDiff(s.advertisable(), s.rcvLimit); growth > 0 &&
+		uint32(growth) >= s.m.cfg.StreamWindow/2 {
+		s.winPending = true
+	}
+}
+
+// maybeAdvertiseSession is the session-window analog of
+// maybeAdvertise's unsolicited path.
+func (m *Mux) maybeAdvertiseSession() {
+	if growth := SeqDiff(m.rcvSessUsed+m.cfg.SessionWindow, m.rcvSessLimit); growth > 0 &&
+		uint32(growth) >= m.cfg.SessionWindow/2 {
+		m.sessWinPend = true
+	}
+}
+
+// nextSegment produces the stream's next data frame, or false when
+// nothing can be sent: no pending bytes, or flow control (stream or
+// session) blocks. The returned frame's Data aliases sndBuf, which
+// is stable until the flush's sends complete.
+func (s *Stream) nextSegment(maxSeg int) (Frame, bool) {
+	if s.done {
+		return Frame{}, false
+	}
+	pending := s.pendingBytes()
+	finWanted := s.finQueued && !s.finSent
+	if pending <= 0 && !finWanted {
+		return Frame{}, false
+	}
+	n := int(pending)
+	if n > maxSeg {
+		n = maxSeg
+	}
+	// Stream flow control bounds the segment end.
+	if credit := SeqDiff(s.sndLimit, s.sndNxt); int32(n) > credit {
+		n = int(max(credit, 0))
+	}
+	// Session flow control gates fresh bytes only; retransmissions
+	// were already counted.
+	if end := s.sndNxt + uint32(n); SeqGT(end, s.sndMax) {
+		fresh := SeqDiff(end, s.sndMax)
+		if avail := SeqDiff(s.m.sndSessLimit, s.m.sndSessNxt); fresh > avail {
+			n -= int(fresh - max(avail, 0))
+		}
+	}
+	if n <= 0 && !(finWanted && pending == 0) {
+		return Frame{}, false
+	}
+	off := s.sndNxt
+	start := SeqDiff(off, s.sndUna)
+	data := s.sndBuf[start : start+int32(n)]
+	s.sndNxt += uint32(n)
+	if SeqGT(s.sndNxt, s.sndMax) {
+		s.m.sndSessNxt += uint32(SeqDiff(s.sndNxt, s.sndMax))
+		s.sndMax = s.sndNxt
+	}
+	fin := false
+	if s.finQueued && s.sndNxt == s.finOff {
+		fin = true
+		s.finSent = true
+	}
+	// RTT sampling: time this segment if no sample is outstanding and
+	// it ends at fresh data — never a retransmission (Karn).
+	if !s.rttValid && n > 0 && s.sndNxt == s.sndMax {
+		s.rttValid = true
+		s.rttOff = s.sndNxt
+		s.rttAt = s.m.tr.Now()
+	}
+	if s.rtxAt == 0 {
+		s.rtxAt = s.m.tr.Now() + s.rto
+	}
+	return Frame{Type: proto.TypeStream, Stream: s.id, Off: off, FIN: fin, Data: data}, true
+}
+
+// handleData processes an inbound data frame.
+func (s *Stream) handleData(f Frame) {
+	if s.done {
+		return
+	}
+	s.ackPending = true
+	end := f.Off + uint32(len(f.Data))
+	newFin := f.FIN && !s.finRcvd
+	if f.FIN {
+		s.finRcvd = true
+		s.finRcvOff = end
+	}
+	if len(f.Data) == 0 && !f.FIN {
+		// Window probe: re-advertise current limits unconditionally.
+		s.maybeAdvertise(true)
+		s.m.sessWinPend = true
+		return
+	}
+	if SeqLEQ(end, s.rcvNxt) {
+		// Pure duplicate; the re-ack queued above answers it. A FIN
+		// first learned here is already deliverable (every byte below
+		// it has arrived): wake the reader so a data-less half-close
+		// surfaces as EOF instead of stranding a blocked Read.
+		if newFin && !s.discard && s.m.cb.Readable != nil {
+			s.m.cb.Readable(s)
+		}
+		s.maybeComplete()
+		return
+	}
+	// Trim the already-received prefix.
+	data := f.Data
+	off := f.Off
+	if SeqLT(off, s.rcvNxt) {
+		data = data[SeqDiff(s.rcvNxt, off):]
+		off = s.rcvNxt
+	}
+	// Enforce the advertised window against misbehaving peers:
+	// anything beyond the stream limit is dropped (the peer's ARQ
+	// retries once credit returns).
+	if SeqGT(off+uint32(len(data)), s.rcvLimit) {
+		over := SeqDiff(off+uint32(len(data)), s.rcvLimit)
+		if int32(len(data)) <= over {
+			return
+		}
+		data = data[:int32(len(data))-over]
+	}
+	if off == s.rcvNxt {
+		s.acceptInOrder(data)
+		s.mergeOOO()
+	} else {
+		s.insertOOO(off, data)
+	}
+	s.maybeComplete()
+}
+
+// acceptInOrder appends in-order payload, accounting both windows,
+// and fires Readable.
+func (s *Stream) acceptInOrder(data []byte) {
+	n := uint32(len(data))
+	s.rcvNxt += n
+	if s.discard {
+		s.rcvUsed += n
+		s.m.rcvSessUsed += n
+		s.maybeAdvertise(false)
+		s.m.maybeAdvertiseSession()
+		return
+	}
+	s.rcvBuf = append(s.rcvBuf, data...)
+	if s.m.cb.Readable != nil {
+		s.m.cb.Readable(s)
+	}
+}
+
+// insertOOO stores an out-of-order segment (copied; the frame's data
+// is decoder-owned), keeping the list sorted by offset. Overlaps are
+// tolerated: merge trims against rcvNxt as segments become in-order.
+func (s *Stream) insertOOO(off uint32, data []byte) {
+	at := sort.Search(len(s.ooo), func(i int) bool { return SeqGEQ(s.ooo[i].off, off) })
+	if at < len(s.ooo) && s.ooo[at].off == off && len(s.ooo[at].data) >= len(data) {
+		return // duplicate covered by an existing segment
+	}
+	seg := ooseg{off: off, data: append([]byte(nil), data...)}
+	s.ooo = append(s.ooo, ooseg{})
+	copy(s.ooo[at+1:], s.ooo[at:])
+	s.ooo[at] = seg
+}
+
+// mergeOOO drains out-of-order segments that became contiguous.
+func (s *Stream) mergeOOO() {
+	for len(s.ooo) > 0 {
+		seg := s.ooo[0]
+		if SeqGT(seg.off, s.rcvNxt) {
+			return
+		}
+		s.ooo[0] = ooseg{}
+		s.ooo = s.ooo[1:]
+		if len(s.ooo) == 0 {
+			s.ooo = nil
+		}
+		end := seg.off + uint32(len(seg.data))
+		if SeqGT(end, s.rcvNxt) {
+			s.acceptInOrder(seg.data[SeqDiff(s.rcvNxt, seg.off):])
+		}
+	}
+}
+
+// handleAck processes a cumulative acknowledgment.
+func (s *Stream) handleAck(f Frame) {
+	if s.done {
+		return
+	}
+	if f.FIN && s.finSent {
+		s.finAcked = true
+	}
+	ack := f.Off
+	if SeqGT(ack, s.sndUna) && SeqLEQ(ack, s.sndUna+uint32(len(s.sndBuf))) {
+		// RTT sample before state moves (Karn: untouched sends only).
+		if s.rttValid && SeqGEQ(ack, s.rttOff) {
+			s.m.rtt.Sample(s.m.tr.Now() - s.rttAt)
+			s.rttValid = false
+		}
+		drop := SeqDiff(ack, s.sndUna)
+		rest := len(s.sndBuf) - int(drop)
+		copy(s.sndBuf, s.sndBuf[drop:])
+		s.sndBuf = s.sndBuf[:rest]
+		if rest == 0 {
+			s.sndBuf = nil
+		}
+		s.sndUna = ack
+		if SeqLT(s.sndNxt, ack) {
+			s.sndNxt = ack
+		}
+		// Fresh progress: reset backoff and restart the timer.
+		s.rto = s.m.rtt.RTO()
+		if s.inFlight() {
+			s.rtxAt = s.m.tr.Now() + s.rto
+		} else {
+			s.rtxAt = 0
+		}
+		if s.m.cb.Writable != nil {
+			s.m.cb.Writable(s)
+		}
+	}
+	if !s.inFlight() && s.pendingBytes() <= 0 {
+		s.rtxAt = 0
+	}
+	s.maybeComplete()
+}
+
+// handleWindow processes a stream flow-control update.
+func (s *Stream) handleWindow(f Frame) {
+	if s.done {
+		return
+	}
+	if SeqGT(f.Off, s.sndLimit) {
+		s.sndLimit = f.Off
+		if !s.inFlight() {
+			s.rtxAt = 0 // drop the probe deadline; flush re-arms
+		}
+		if s.m.cb.Writable != nil {
+			s.m.cb.Writable(s)
+		}
+	}
+}
+
+// maybeComplete terminates the stream cleanly once both directions
+// finished: our FIN fully acknowledged, the peer's FIN received, and
+// every received byte consumed (or discarded) locally.
+func (s *Stream) maybeComplete() {
+	if s.done || !s.finAcked || !s.finRcvd || len(s.sndBuf) != 0 {
+		return
+	}
+	if s.rcvNxt != s.finRcvOff || len(s.rcvBuf) != 0 {
+		return
+	}
+	s.m.terminate(s, nil)
+}

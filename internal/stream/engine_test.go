@@ -1,0 +1,558 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"natpunch/internal/proto"
+	"natpunch/transport"
+)
+
+// The engine tests run two muxes over a hand-rolled single-threaded
+// event loop: one shared virtual clock, per-endpoint fake transports,
+// and a scriptable link (delay, loss, duplication, reordering). Every
+// schedule is deterministic, so failures reproduce exactly.
+
+type hevent struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+type harness struct {
+	clk    time.Duration
+	seq    int
+	events []*hevent
+	rng    *rand.Rand
+
+	a, b   *Mux
+	ta, tb *fakeTransport
+
+	delay time.Duration
+	// drop decides per datagram (from = 0 for a→b, 1 for b→a)
+	// whether to lose it; nil keeps everything.
+	drop func(from int, p []byte) bool
+	// jitter adds a random extra delay per datagram, reordering
+	// traffic when nonzero.
+	jitter time.Duration
+	// dupEvery duplicates every Nth datagram (0 = never).
+	dupEvery int
+	sent     int
+}
+
+func newHarness(seed int64) *harness {
+	h := &harness{rng: rand.New(rand.NewSource(seed)), delay: 10 * time.Millisecond}
+	h.ta = &fakeTransport{h: h}
+	h.tb = &fakeTransport{h: h}
+	return h
+}
+
+// wire creates the two muxes with the given config and callbacks.
+func (h *harness) wire(cfg Config, cba, cbb Callbacks) {
+	h.a = NewMux(h.ta, h.sendFrom(0), true, cfg, cba)
+	h.b = NewMux(h.tb, h.sendFrom(1), false, cfg, cbb)
+}
+
+func (h *harness) schedule(d time.Duration, fn func()) *hevent {
+	h.seq++
+	ev := &hevent{at: h.clk + d, seq: h.seq, fn: fn}
+	h.events = append(h.events, ev)
+	return ev
+}
+
+func (h *harness) sendFrom(from int) func([]byte) error {
+	return func(p []byte) error {
+		h.sent++
+		if h.drop != nil && h.drop(from, p) {
+			return nil
+		}
+		cp := append([]byte(nil), p...)
+		dst := h.b
+		if from == 1 {
+			dst = h.a
+		}
+		deliver := func() { dst.HandleDatagram(cp) }
+		d := h.delay
+		if h.jitter > 0 {
+			d += time.Duration(h.rng.Int63n(int64(h.jitter)))
+		}
+		h.schedule(d, deliver)
+		if h.dupEvery > 0 && h.sent%h.dupEvery == 0 {
+			h.schedule(d+h.delay/2, deliver)
+		}
+		return nil
+	}
+}
+
+// step runs the earliest pending event; false when idle.
+func (h *harness) step() bool {
+	if len(h.events) == 0 {
+		return false
+	}
+	best := 0
+	for i, ev := range h.events {
+		if ev.at < h.events[best].at ||
+			(ev.at == h.events[best].at && ev.seq < h.events[best].seq) {
+			best = i
+		}
+	}
+	ev := h.events[best]
+	h.events = append(h.events[:best], h.events[best+1:]...)
+	h.clk = ev.at
+	ev.fn()
+	return true
+}
+
+// run steps until done() or the event budget is exhausted.
+func (h *harness) run(t testing.TB, done func() bool, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if done() {
+			return
+		}
+		if !h.step() {
+			t.Fatalf("harness idle before completion (after %d events, t=%v)", i, h.clk)
+		}
+	}
+	t.Fatalf("event budget %d exhausted (t=%v)", budget, h.clk)
+}
+
+type fakeTransport struct{ h *harness }
+
+func (t *fakeTransport) BindUDP(port transport.Port) (transport.UDPConn, error) {
+	panic("not used")
+}
+func (t *fakeTransport) Now() time.Duration { return t.h.clk }
+func (t *fakeTransport) Rand() *rand.Rand   { return t.h.rng }
+func (t *fakeTransport) Invoke(fn func())   { fn() }
+func (t *fakeTransport) After(d time.Duration, fn func()) transport.Timer {
+	ft := &fakeTimer{}
+	ft.ev = t.h.schedule(d, func() {
+		if !ft.stopped {
+			ft.fired = true
+			fn()
+		}
+	})
+	return ft
+}
+
+type fakeTimer struct {
+	ev      *hevent
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	was := !t.stopped && !t.fired
+	t.stopped = true
+	return was
+}
+func (t *fakeTimer) Active() bool { return !t.stopped && !t.fired }
+
+// sink wires a receive-side pump: every Readable drains the stream
+// into a buffer; EOF and termination are recorded.
+type sink struct {
+	buf  bytes.Buffer
+	eof  bool
+	err  error
+	done bool
+}
+
+func (k *sink) pump(s *Stream) {
+	var tmp [4096]byte
+	for {
+		n, eof := s.Read(tmp[:])
+		k.buf.Write(tmp[:n])
+		k.eof = eof
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// source wires a send-side pump: every Writable pushes more of the
+// payload, half-closing after the final byte.
+type source struct {
+	data []byte
+	off  int
+}
+
+func (src *source) pump(s *Stream) {
+	for src.off < len(src.data) {
+		n := s.Write(src.data[src.off:])
+		src.off += n
+		if n == 0 {
+			return
+		}
+	}
+	s.CloseWrite()
+}
+
+// payload builds a deterministic, position-identifying byte pattern.
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*7 + i>>8 + 3)
+	}
+	return p
+}
+
+// oneWayTransfer runs a size-byte transfer a→b under the harness's
+// current link conditions and verifies byte-exact arrival and clean
+// close-out of both engine streams.
+func oneWayTransfer(t *testing.T, h *harness, cfg Config, size, budget int) {
+	t.Helper()
+	src := &source{data: payload(size)}
+	rcv := &sink{}
+	var accepted *Stream
+	cba := Callbacks{
+		Writable: func(s *Stream) { src.pump(s) },
+		Closed: func(s *Stream, err error) {
+			if err != nil {
+				t.Fatalf("sender stream closed with error: %v", err)
+			}
+		},
+	}
+	cbb := Callbacks{
+		Accept: func(s *Stream) {
+			if accepted != nil {
+				t.Fatalf("accepted two streams")
+			}
+			accepted = s
+			s.CloseWrite() // nothing to send back
+		},
+		Readable: func(s *Stream) { rcv.pump(s) },
+		Closed: func(s *Stream, err error) {
+			if err != nil {
+				t.Fatalf("receiver stream closed with error: %v", err)
+			}
+			rcv.done = true
+		},
+	}
+	h.wire(cfg, cba, cbb)
+
+	s, err := h.a.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.pump(s)
+	h.run(t, func() bool { return rcv.done && s.Done() }, budget)
+
+	if !bytes.Equal(rcv.buf.Bytes(), src.data) {
+		t.Fatalf("corrupted transfer: got %d bytes, want %d (first mismatch %d)",
+			rcv.buf.Len(), len(src.data), firstMismatch(rcv.buf.Bytes(), src.data))
+	}
+	if !rcv.eof {
+		t.Fatal("receiver never saw EOF")
+	}
+	if s.Err() != nil || accepted.Err() != nil {
+		t.Fatalf("terminal errors: %v / %v", s.Err(), accepted.Err())
+	}
+	if len(h.a.streams) != 0 || len(h.b.streams) != 0 {
+		t.Fatalf("streams not released: a=%d b=%d", len(h.a.streams), len(h.b.streams))
+	}
+}
+
+func firstMismatch(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestTransferClean(t *testing.T) {
+	oneWayTransfer(t, newHarness(1), Config{}, 100<<10, 200000)
+}
+
+func TestTransferLoss(t *testing.T) {
+	h := newHarness(2)
+	h.drop = func(int, []byte) bool { return h.rng.Intn(100) < 25 }
+	oneWayTransfer(t, h, Config{}, 50<<10, 400000)
+}
+
+func TestTransferReorderAndDup(t *testing.T) {
+	h := newHarness(3)
+	h.jitter = 40 * time.Millisecond // 4x the base delay: heavy reordering
+	h.dupEvery = 3
+	oneWayTransfer(t, h, Config{}, 50<<10, 400000)
+}
+
+func TestTransferLossReorderDupSmallWindows(t *testing.T) {
+	h := newHarness(4)
+	h.drop = func(int, []byte) bool { return h.rng.Intn(100) < 15 }
+	h.jitter = 25 * time.Millisecond
+	h.dupEvery = 5
+	cfg := Config{StreamWindow: 4 << 10, SessionWindow: 8 << 10}
+	oneWayTransfer(t, h, cfg, 64<<10, 2000000)
+}
+
+// TestWindowUpdateLossRecovery drops every window-advertisement frame
+// for the first simulated second: the sender exhausts its credit,
+// stalls, and must recover purely through window probes once the
+// blackout lifts.
+func TestWindowUpdateLossRecovery(t *testing.T) {
+	h := newHarness(5)
+	blackout := true
+	h.drop = func(from int, p []byte) bool {
+		if !blackout {
+			return false
+		}
+		dropIt := false
+		var pr Parser
+		_ = pr.Parse(p, func(f Frame) error {
+			if f.Type == proto.TypeStreamWindow {
+				dropIt = true
+			}
+			return nil
+		})
+		return dropIt
+	}
+	h.schedule(3*time.Second, func() { blackout = false })
+	cfg := Config{StreamWindow: 2 << 10, SessionWindow: 4 << 10}
+	oneWayTransfer(t, h, cfg, 16<<10, 2000000)
+}
+
+func TestBidirectionalManyStreams(t *testing.T) {
+	h := newHarness(6)
+	h.drop = func(int, []byte) bool { return h.rng.Intn(100) < 10 }
+	h.jitter = 15 * time.Millisecond
+
+	const streams = 5
+	const size = 8 << 10
+	sinks := map[uint64]*sink{}
+	sources := map[uint64]*source{}
+	closedClean := 0
+	cb := func() Callbacks {
+		return Callbacks{
+			Accept:   func(s *Stream) { s.CloseWrite() },
+			Readable: func(s *Stream) { sinks[s.ID()].pump(s) },
+			Writable: func(s *Stream) {
+				if src, ok := sources[s.ID()]; ok {
+					src.pump(s)
+				}
+			},
+			Closed: func(s *Stream, err error) {
+				if err != nil {
+					t.Fatalf("stream %d: %v", s.ID(), err)
+				}
+				closedClean++
+			},
+		}
+	}
+	h.wire(Config{StreamWindow: 4 << 10, SessionWindow: 16 << 10}, cb(), cb())
+
+	var opened []*Stream
+	for i := 0; i < streams; i++ {
+		for _, m := range []*Mux{h.a, h.b} {
+			s, err := m.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := payload(size + i)
+			sources[s.ID()] = &source{data: data}
+			sinks[s.ID()] = &sink{}
+			opened = append(opened, s)
+			sources[s.ID()].pump(s)
+		}
+	}
+	h.run(t, func() bool {
+		return closedClean == 4*streams // each stream closes on both ends
+	}, 4000000)
+	for id, src := range sources {
+		if !bytes.Equal(sinks[id].buf.Bytes(), src.data) {
+			t.Errorf("stream %d corrupted: got %d want %d bytes",
+				id, sinks[id].buf.Len(), len(src.data))
+		}
+	}
+	_ = opened
+}
+
+func TestResetPropagates(t *testing.T) {
+	h := newHarness(7)
+	var peerErr error
+	var accepted *Stream
+	h.wire(Config{},
+		Callbacks{},
+		Callbacks{
+			Accept: func(s *Stream) { accepted = s },
+			Closed: func(s *Stream, err error) { peerErr = err },
+		})
+	s, _ := h.a.Open()
+	s.Write(payload(100))
+	h.run(t, func() bool { return accepted != nil }, 1000)
+	s.Reset()
+	h.run(t, func() bool { return peerErr != nil }, 1000)
+	if peerErr != ErrResetByPeer {
+		t.Fatalf("peer terminal error = %v, want ErrResetByPeer", peerErr)
+	}
+	if s.Err() != ErrReset {
+		t.Fatalf("local terminal error = %v, want ErrReset", s.Err())
+	}
+}
+
+// A released stream's ID draws different replies depending on how the
+// stream ended. Clean completion: the final cumulative ack, so a
+// sender whose FIN-ack was lost converges instead of erroring a
+// finished transfer. Reset: a fresh reset, since resets travel
+// unreliably. Neither may resurrect the stream.
+func TestStaleStreamReplies(t *testing.T) {
+	h := newHarness(8)
+	var replies []Frame
+	h.drop = func(from int, p []byte) bool {
+		if from == 1 {
+			var pr Parser
+			_ = pr.Parse(p, func(f Frame) error {
+				if f.Stream != 0 {
+					f.Data = append([]byte(nil), f.Data...)
+					replies = append(replies, f)
+				}
+				return nil
+			})
+		}
+		return false
+	}
+	oneWayTransfer(t, h, Config{}, 1<<10, 100000)
+
+	// Stream 2 completed cleanly and was released on both sides.
+	replies = nil
+	var buf []byte
+	buf = AppendFrame(buf, &Frame{Type: proto.TypeStream, Stream: 2, Off: 0, FIN: true, Data: []byte("x")})
+	h.b.HandleDatagram(buf)
+	if len(h.b.streams) != 0 {
+		t.Fatalf("stale data frame resurrected a stream")
+	}
+	if len(replies) != 1 || replies[0].Type != proto.TypeStreamAck ||
+		replies[0].Off != 1 || !replies[0].FIN {
+		t.Fatalf("stale data on a completed stream answered with %+v, want fin-ack at 1", replies)
+	}
+	h.run(t, func() bool { return len(h.events) == 0 }, 1000)
+
+	// A stream that ended by reset instead draws a fresh reset.
+	h2 := newHarness(81)
+	var resets []Frame
+	h2.drop = func(from int, p []byte) bool {
+		if from == 1 {
+			var pr Parser
+			_ = pr.Parse(p, func(f Frame) error {
+				if f.Type == proto.TypeStreamReset {
+					resets = append(resets, f)
+				}
+				return nil
+			})
+		}
+		return false
+	}
+	var bs *Stream
+	var aerr error
+	h2.wire(Config{}, Callbacks{
+		Closed: func(_ *Stream, err error) { aerr = err },
+	}, Callbacks{
+		Accept: func(s *Stream) { bs = s },
+	})
+	as, _ := h2.a.Open()
+	as.Write([]byte("hi"))
+	h2.run(t, func() bool { return bs != nil }, 1000)
+	bs.Reset()
+	h2.run(t, func() bool { return aerr != nil }, 1000)
+	if aerr != ErrResetByPeer {
+		t.Fatalf("reset did not propagate: peer error = %v", aerr)
+	}
+	resets = nil
+	buf = AppendFrame(buf[:0], &Frame{Type: proto.TypeStream, Stream: as.ID(), Off: 0, Data: []byte("x")})
+	h2.b.HandleDatagram(buf)
+	if len(h2.b.streams) != 0 {
+		t.Fatalf("stale data frame resurrected a reset stream")
+	}
+	if len(resets) != 1 {
+		t.Fatalf("stale data on a reset stream drew %d reset replies, want 1", len(resets))
+	}
+}
+
+func TestPingMeasuresRTT(t *testing.T) {
+	h := newHarness(9)
+	var got time.Duration
+	h.wire(Config{}, Callbacks{Pong: func(_ uint32, rtt time.Duration) { got = rtt }}, Callbacks{})
+	if _, err := h.a.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, func() bool { return got != 0 }, 1000)
+	if want := 2 * h.delay; got != want {
+		t.Fatalf("ping RTT = %v, want %v", got, want)
+	}
+	if h.a.RTT() != got {
+		t.Fatalf("estimator RTT = %v, want %v", h.a.RTT(), got)
+	}
+}
+
+func TestFailTerminatesStreams(t *testing.T) {
+	h := newHarness(10)
+	errs := map[uint64]error{}
+	h.wire(Config{}, Callbacks{
+		Closed: func(s *Stream, err error) { errs[s.ID()] = err },
+	}, Callbacks{})
+	s1, _ := h.a.Open()
+	s2, _ := h.a.Open()
+	s1.Write(payload(10))
+	sessionDead := fmt.Errorf("session dead")
+	h.a.Fail(sessionDead)
+	if errs[s1.ID()] != sessionDead || errs[s2.ID()] != sessionDead {
+		t.Fatalf("stream errors = %v", errs)
+	}
+	if _, err := h.a.Open(); err != ErrSessionClosed {
+		t.Fatalf("Open after Fail = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestDeterministicSchedule runs the same lossy transfer twice from
+// the same seed and requires identical datagram counts and final
+// clocks — the engine must be deterministic given a deterministic
+// transport.
+func TestDeterministicSchedule(t *testing.T) {
+	runOnce := func() (int, time.Duration) {
+		h := newHarness(11)
+		h.drop = func(int, []byte) bool { return h.rng.Intn(100) < 20 }
+		h.jitter = 20 * time.Millisecond
+		oneWayTransfer(t, h, Config{}, 32<<10, 1000000)
+		return h.sent, h.clk
+	}
+	n1, t1 := runOnce()
+	n2, t2 := runOnce()
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}
+
+func TestRTOBacksOffAndRecovers(t *testing.T) {
+	h := newHarness(12)
+	// Black out everything after the first exchange, then lift it.
+	blackout := false
+	h.drop = func(int, []byte) bool { return blackout }
+	rcv := &sink{}
+	done := false
+	h.wire(Config{},
+		Callbacks{},
+		Callbacks{
+			Accept:   func(s *Stream) { s.CloseWrite() },
+			Readable: func(s *Stream) { rcv.pump(s) },
+			Closed:   func(s *Stream, err error) { done = true },
+		})
+	s, _ := h.a.Open()
+	data := payload(2 << 10)
+	s.Write(data)
+	h.run(t, func() bool { return rcv.buf.Len() > 0 }, 100000)
+	blackout = true
+	h.schedule(5*time.Second, func() { blackout = false })
+	s.Write(data)
+	s.CloseWrite()
+	h.run(t, func() bool { return done && s.Done() }, 500000)
+	want := append(append([]byte(nil), data...), data...)
+	if !bytes.Equal(rcv.buf.Bytes(), want) {
+		t.Fatalf("post-blackout transfer corrupted: %d vs %d bytes", rcv.buf.Len(), len(want))
+	}
+}

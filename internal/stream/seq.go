@@ -1,0 +1,21 @@
+package stream
+
+// Sequence/offset arithmetic on the 32-bit circular space (RFC 793
+// §3.3), extracted from the dormant internal/tcp machinery so every
+// reliability implementation in the tree shares one definition. All
+// offset comparisons must use these helpers, never < or >.
+
+// SeqLT reports a < b in circular sequence space.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports a <= b in circular sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports a > b in circular sequence space.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports a >= b in circular sequence space.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// SeqDiff returns a-b as a signed distance.
+func SeqDiff(a, b uint32) int32 { return int32(a - b) }

@@ -1,4 +1,4 @@
-package tcp
+package stream
 
 import (
 	"testing"
@@ -19,8 +19,8 @@ func TestSeqArithmeticBasics(t *testing.T) {
 		{1000, 1000 + 1<<30, true},
 	}
 	for _, c := range cases {
-		if got := seqLT(c.a, c.b); got != c.lt {
-			t.Errorf("seqLT(%d,%d) = %v, want %v", c.a, c.b, got, c.lt)
+		if got := SeqLT(c.a, c.b); got != c.lt {
+			t.Errorf("SeqLT(%d,%d) = %v, want %v", c.a, c.b, got, c.lt)
 		}
 	}
 }
@@ -28,18 +28,15 @@ func TestSeqArithmeticBasics(t *testing.T) {
 func TestSeqPropertyConsistency(t *testing.T) {
 	// For any a,b: exactly one of LT, GT, EQ holds; LEQ/GEQ agree.
 	f := func(a, b uint32) bool {
-		lt, gt, eq := seqLT(a, b), seqGT(a, b), a == b
-		oneOf := (lt && !gt && !eq) || (!lt && gt && !eq) || (!lt && !gt && eq) ||
-			// The antipodal point (diff == 2^31) is both-false for LT/GT
-			// by int32 convention: int32(2^31) is negative so LT holds.
-			false
+		lt, gt, eq := SeqLT(a, b), SeqGT(a, b), a == b
+		oneOf := (lt && !gt && !eq) || (!lt && gt && !eq) || (!lt && !gt && eq)
 		if !oneOf {
 			return false
 		}
-		if seqLEQ(a, b) != (lt || eq) {
+		if SeqLEQ(a, b) != (lt || eq) {
 			return false
 		}
-		if seqGEQ(a, b) != (gt || eq) {
+		if SeqGEQ(a, b) != (gt || eq) {
 			return false
 		}
 		return true
@@ -58,7 +55,7 @@ func TestSeqShiftInvariance(t *testing.T) {
 		if d == 0 {
 			return true
 		}
-		return seqLT(a, b) && seqLT(a+off, b+off)
+		return SeqLT(a, b) && SeqLT(a+off, b+off)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
 		t.Error(err)
@@ -66,10 +63,10 @@ func TestSeqShiftInvariance(t *testing.T) {
 }
 
 func TestSeqDiff(t *testing.T) {
-	if seqDiff(5, 3) != 2 || seqDiff(3, 5) != -2 {
+	if SeqDiff(5, 3) != 2 || SeqDiff(3, 5) != -2 {
 		t.Error("small diffs wrong")
 	}
-	if seqDiff(2, 0xFFFFFFFF) != 3 {
+	if SeqDiff(2, 0xFFFFFFFF) != 3 {
 		t.Error("wraparound diff wrong")
 	}
 }

@@ -1,3 +1,23 @@
+// Package tcp implements a TCP connection state machine for the
+// simulated network substrate, faithful to RFC 793 in the aspects
+// that matter for TCP hole punching (§4 of the paper):
+//
+//   - the full connection state diagram, including simultaneous open
+//     (SYN-SENT receiving a bare SYN moves to SYN-RCVD and replays the
+//     original SYN as part of a SYN-ACK, §4.4);
+//   - SYN retransmission with exponential backoff, so a first SYN
+//     dropped by the remote NAT is recovered by either a retransmit or
+//     the peer's crossing SYN;
+//   - RST and ICMP error propagation, so "connection reset" and "host
+//     unreachable" surface to the application, which the hole punching
+//     procedure treats as transient and retries (§4.2 step 4, §5.2);
+//   - a reliable byte stream (cumulative ACK, go-back-N
+//     retransmission) sufficient for the data-transfer experiments.
+//
+// Flow control and congestion control are deliberately simplified
+// (fixed large window): the paper's results do not depend on them.
+// Sequence arithmetic lives in the shared internal/stream package,
+// which grew out of this file's seq helpers.
 package tcp
 
 import (
@@ -7,6 +27,7 @@ import (
 
 	"natpunch/internal/inet"
 	"natpunch/internal/sim"
+	"natpunch/internal/stream"
 )
 
 // State is a TCP connection state per RFC 793.
@@ -586,7 +607,7 @@ func (c *Conn) deliverData(pkt *inet.Packet) {
 			if c.state == Closed {
 				return // app aborted from callback
 			}
-		case seqLT(pkt.Seq, c.rcvNxt):
+		case stream.SeqLT(pkt.Seq, c.rcvNxt):
 			// Duplicate; re-ACK below.
 			advanced = true
 		default:
@@ -607,7 +628,7 @@ func (c *Conn) deliverData(pkt *inet.Packet) {
 			if c.state == Closed {
 				return
 			}
-		} else if seqLT(finSeq, c.rcvNxt) {
+		} else if stream.SeqLT(finSeq, c.rcvNxt) {
 			advanced = true // duplicate FIN; re-ACK
 		}
 	}
@@ -618,7 +639,7 @@ func (c *Conn) deliverData(pkt *inet.Packet) {
 }
 
 func (c *Conn) processAck(ack uint32) {
-	if !seqGT(ack, c.sndUna) || seqGT(ack, c.sndNxt) {
+	if !stream.SeqGT(ack, c.sndUna) || stream.SeqGT(ack, c.sndNxt) {
 		return
 	}
 	c.sndUna = ack
@@ -630,7 +651,7 @@ func (c *Conn) processAck(ack uint32) {
 		if seg.fin {
 			end++
 		}
-		if seqGT(end, ack) {
+		if stream.SeqGT(end, ack) {
 			break
 		}
 	}
@@ -638,7 +659,7 @@ func (c *Conn) processAck(ack uint32) {
 	c.stopRtx()
 	c.armRtx()
 
-	if c.finSent && seqGEQ(ack, c.finSeq+1) {
+	if c.finSent && stream.SeqGEQ(ack, c.finSeq+1) {
 		switch c.state {
 		case FinWait1:
 			c.setState(FinWait2)

@@ -71,6 +71,9 @@ type Transport struct {
 	batching bool    // construction-time, immutable
 	inBatch  bool    // under mu: a recvmmsg batch is being delivered
 	dirty    []*Conn // under mu: conns with queued sends to flush
+	// filter (under mu) drops inbound datagrams before the engine sees
+	// them; see SetPacketFilter.
+	filter func(src transport.Endpoint) bool
 }
 
 // Option configures a Transport.
@@ -190,6 +193,25 @@ func (t *Transport) Invoke(fn func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	fn()
+}
+
+// SetPacketFilter installs an inbound drop filter on every socket of
+// this transport — the real-socket mirror of the simulated fabric's
+// simnet.World.SetPacketFilter, for deterministic chaos testing: each
+// received datagram's source endpoint is passed to f before the
+// engine sees it, and the datagram is dropped when f returns false.
+// A nil f removes the filter. Outbound traffic is unaffected, which
+// is how a real path blackout behaves: packets leave, and never
+// arrive — so severing a direct peer path takes a filter at each end
+// (keep only datagrams sourced from the rendezvous server), exactly
+// like the stream failback conformance tests do.
+//
+// f runs on the transport's serialized delivery context and must not
+// call back into the transport.
+func (t *Transport) SetPacketFilter(f func(src transport.Endpoint) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.filter = f
 }
 
 // LocalAddr returns the real bound address of the transport's first
@@ -361,7 +383,8 @@ func (c *Conn) readLoopSimple() {
 			continue
 		}
 		c.t.mu.Lock()
-		if !c.closed.Load() && c.onRecv != nil {
+		if !c.closed.Load() && c.onRecv != nil &&
+			(c.t.filter == nil || c.t.filter(ep)) {
 			c.onRecv(ep, buf[:n])
 		}
 		c.t.mu.Unlock()
@@ -402,6 +425,9 @@ func (t *Transport) deliverBatch(c *Conn, ms []Datagram) {
 		}
 		ep, ok := fromAddrPort(ms[i].Addr)
 		if !ok {
+			continue
+		}
+		if t.filter != nil && !t.filter(ep) {
 			continue
 		}
 		c.onRecv(ep, ms[i].Payload)

@@ -103,6 +103,27 @@ func (w *World) Close() {
 	w.mu.Unlock()
 }
 
+// SetPacketFilter installs a drop filter on the simulated fabric:
+// every forwarding hop consults f with the packet's transport-level
+// source and destination endpoints, and drops the packet (counted as
+// fabric loss) when f returns false. A nil f removes the filter.
+//
+// The filter sees every hop of every packet — including NAT'd hops,
+// where the source endpoint is the NAT's public mapping — so tests
+// can black out a path deterministically: for example, dropping all
+// packets where neither endpoint address is the rendezvous server's
+// severs every direct peer-to-peer path while server-relayed traffic
+// keeps flowing, which is how the stream failback tests force a §3.6
+// relay retreat mid-transfer.
+//
+// f runs on the world's driver goroutine and must not call back into
+// the world.
+func (w *World) SetPacketFilter(f func(src, dst transport.Endpoint) bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.in.Net.SetFilter(f)
+}
+
 // Now returns the world's virtual clock.
 func (w *World) Now() time.Duration {
 	w.mu.Lock()

@@ -1,0 +1,151 @@
+package stream_test
+
+// BenchmarkStreamThroughput measures sustained one-way goodput through
+// the natpunch/stream reliable layer over real loopback sockets, on
+// both path classes a punched session can land on: the direct path and
+// the §2.2 relay floor. CI runs it with -streamjson BENCH_stream.json
+// so the reliable layer has a standing throughput artifact alongside
+// the raw-transport and relay data-plane benchmarks; a regression in
+// the ARQ, flow-control, or framing hot paths shows up here first.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"natpunch/stream"
+)
+
+var streamJSON = flag.String("streamjson", "", "write the stream benchmark metrics as JSON to this path")
+
+var (
+	streamMu      sync.Mutex
+	streamMetrics = map[string]float64{}
+)
+
+func recordStream(name string, v float64) {
+	streamMu.Lock()
+	streamMetrics[name] = v
+	streamMu.Unlock()
+}
+
+// TestMain exists solely to flush the -streamjson artifact after the
+// benchmarks have recorded their metrics.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *streamJSON != "" {
+		streamMu.Lock()
+		data, err := json.MarshalIndent(streamMetrics, "", "  ")
+		streamMu.Unlock()
+		if err == nil {
+			err = os.WriteFile(*streamJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamjson:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// benchChunk is the per-iteration write size; small enough that flow
+// control stays engaged (several chunks fit in one default session
+// window), large enough that per-Write overhead is not what dominates.
+const benchChunk = 64 << 10
+
+// benchStreamTransfer pumps b.N chunks through one stream while the
+// accept side drains to EOF, and records goodput under metric.
+func benchStreamTransfer(b *testing.B, w *world, wantClass, metric string) {
+	ln, err := w.bob.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	type sink struct {
+		n   int64
+		err error
+	}
+	done := make(chan sink, 1)
+	go func() {
+		conn, err := ln.AcceptConn()
+		if err != nil {
+			done <- sink{err: err}
+			return
+		}
+		sess, err := stream.NewSession(conn)
+		if err != nil {
+			done <- sink{err: err}
+			return
+		}
+		defer sess.Close()
+		st, err := sess.AcceptStream()
+		if err != nil {
+			done <- sink{err: err}
+			return
+		}
+		st.SetReadDeadline(time.Now().Add(10 * time.Minute))
+		n, err := io.Copy(io.Discard, st)
+		done <- sink{n: n, err: err}
+	}()
+
+	conn, err := w.alice.Dial("bob")
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	if got := classOf(conn.Path()); got != wantClass {
+		b.Fatalf("established path class %q, want %q", got, wantClass)
+	}
+	sess, err := stream.NewSession(conn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetWriteDeadline(time.Now().Add(10 * time.Minute))
+	chunk := pattern(benchChunk)
+
+	b.SetBytes(benchChunk)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Write(chunk); err != nil {
+			b.Fatalf("write after %d chunks: %v", i, err)
+		}
+	}
+	if err := st.CloseWrite(); err != nil {
+		b.Fatal(err)
+	}
+	res := <-done
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if res.err != nil {
+		b.Fatalf("accept side: %v", res.err)
+	}
+	if want := int64(b.N) * benchChunk; res.n != want {
+		b.Fatalf("accept side read %d bytes, want %d", res.n, want)
+	}
+	recordStream(metric, float64(res.n)/elapsed.Seconds())
+}
+
+// BenchmarkStreamThroughput: reliable-stream goodput over real UDP
+// loopback sockets, per established path class.
+func BenchmarkStreamThroughput(b *testing.B) {
+	b.Run("direct", func(b *testing.B) {
+		w := loopWorld(b, baseOpts()...)
+		benchStreamTransfer(b, w, "direct", "stream_direct_bytes_per_sec")
+	})
+	b.Run("relay", func(b *testing.B) {
+		w := loopWorld(b, baseOpts()...)
+		w.severDirect()
+		benchStreamTransfer(b, w, "relay", "stream_relay_bytes_per_sec")
+	})
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"io"
+	"net"
+	"os"
+	"time"
+
+	istream "natpunch/internal/stream"
+)
+
+// Stream is one reliable, ordered, flow-controlled byte stream within
+// a Session. It satisfies net.Conn: Read/Write block (honoring
+// deadlines), Close is graceful on the write side — buffered bytes
+// still flush and the peer reads EOF after the final byte.
+//
+// Both directions close independently: CloseWrite half-closes like
+// net.TCPConn, and a peer's half-close surfaces as io.EOF after its
+// last byte. Reset abandons the stream abruptly in both directions.
+type Stream struct {
+	s  *Session
+	es *istream.Stream // engine state: touch only inside tr.Invoke
+	id uint64
+
+	// Guarded by s.mu.
+	rdl, wdl time.Time
+	closed   bool // facade Close: reads refused locally
+	wclosed  bool // CloseWrite issued
+}
+
+var _ net.Conn = (*Stream)(nil)
+
+// ID returns the stream's wire ID — unique within the session, odd
+// for one endpoint's streams and even for the other's.
+func (st *Stream) ID() uint64 { return st.id }
+
+// Read returns the next in-order bytes, blocking until data, EOF,
+// deadline, or stream/session termination.
+func (st *Stream) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		st.s.mu.Lock()
+		if st.closed {
+			st.s.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		rdl := st.rdl
+		gen := st.s.gen
+		st.s.mu.Unlock()
+
+		var (
+			n    int
+			eof  bool
+			done bool
+			serr error
+		)
+		st.s.tr.Invoke(func() {
+			n, eof = st.es.Read(p)
+			done, serr = st.es.Done(), st.es.Err()
+		})
+		switch {
+		case n > 0:
+			return n, nil
+		case eof:
+			return 0, io.EOF
+		case done:
+			if serr == nil {
+				return 0, io.EOF
+			}
+			return 0, serr
+		case !rdl.IsZero() && !time.Now().Before(rdl):
+			return 0, os.ErrDeadlineExceeded
+		}
+		st.s.waitChange(gen, rdl)
+	}
+}
+
+// Write sends p on the stream, blocking for flow-control credit as
+// needed; it returns short only on deadline or termination.
+func (st *Stream) Write(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		st.s.mu.Lock()
+		if st.closed || st.wclosed {
+			st.s.mu.Unlock()
+			return total, net.ErrClosed
+		}
+		wdl := st.wdl
+		gen := st.s.gen
+		st.s.mu.Unlock()
+
+		var (
+			n    int
+			done bool
+			serr error
+		)
+		st.s.tr.Invoke(func() {
+			n = st.es.Write(p[total:])
+			done, serr = st.es.Done(), st.es.Err()
+		})
+		total += n
+		switch {
+		case done && serr != nil:
+			return total, serr
+		case done:
+			return total, net.ErrClosed
+		case n > 0:
+			continue
+		case !wdl.IsZero() && !time.Now().Before(wdl):
+			return total, os.ErrDeadlineExceeded
+		}
+		st.s.waitChange(gen, wdl)
+	}
+	return total, nil
+}
+
+// CloseWrite half-closes the stream: buffered bytes flush, then the
+// peer reads io.EOF. Reads remain open.
+func (st *Stream) CloseWrite() error {
+	st.s.mu.Lock()
+	st.wclosed = true
+	st.s.mu.Unlock()
+	st.s.tr.Invoke(func() { st.es.CloseWrite() })
+	return nil
+}
+
+// Close closes the stream gracefully: the write side half-closes (the
+// peer still receives everything written), and the read side is
+// abandoned — arriving data is discarded, with further local Reads
+// returning net.ErrClosed. Close never blocks on the peer.
+func (st *Stream) Close() error {
+	st.s.mu.Lock()
+	if st.closed {
+		st.s.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.wclosed = true
+	st.s.bump()
+	st.s.mu.Unlock()
+	st.s.tr.Invoke(func() {
+		st.es.CloseWrite()
+		st.es.DiscardReads()
+	})
+	return nil
+}
+
+// Reset abandons the stream in both directions immediately: the peer
+// sees a reset error, unsent bytes are dropped.
+func (st *Stream) Reset() error {
+	st.s.mu.Lock()
+	st.closed = true
+	st.wclosed = true
+	st.s.bump()
+	st.s.mu.Unlock()
+	st.s.tr.Invoke(func() { st.es.Reset() })
+	return nil
+}
+
+// Err returns the stream's terminal error: nil while live or after a
+// clean close, otherwise the reset or session error.
+func (st *Stream) Err() error {
+	var err error
+	st.s.tr.Invoke(func() { err = st.es.Err() })
+	return err
+}
+
+// LocalAddr returns the session's local address.
+func (st *Stream) LocalAddr() net.Addr { return st.s.conn.LocalAddr() }
+
+// RemoteAddr returns the session's current peer address; like
+// Conn.RemoteAddr it tracks live path migration.
+func (st *Stream) RemoteAddr() net.Addr { return st.s.conn.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (st *Stream) SetDeadline(t time.Time) error {
+	st.SetWriteDeadline(t)
+	return st.SetReadDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn: Reads blocked at t (and later
+// Reads while the deadline stands) return os.ErrDeadlineExceeded.
+func (st *Stream) SetReadDeadline(t time.Time) error {
+	st.s.mu.Lock()
+	st.rdl = t
+	st.s.bump()
+	st.s.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (st *Stream) SetWriteDeadline(t time.Time) error {
+	st.s.mu.Lock()
+	st.wdl = t
+	st.s.bump()
+	st.s.mu.Unlock()
+	return nil
+}

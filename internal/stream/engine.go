@@ -114,12 +114,19 @@ type Mux struct {
 	cb   Callbacks
 
 	streams map[uint64]*Stream
-	order   []uint64        // sorted live stream IDs: deterministic iteration
-	rr      int             // round-robin cursor into order
-	nextID  uint64          // next locally initiated stream ID
-	maxPeer uint64          // highest peer-initiated stream ID seen (0 = none)
-	peerLSB uint64          // parity of peer-initiated IDs
-	resets  map[uint64]bool // streams that ended by reset, not cleanly
+	order   []uint64 // sorted live stream IDs: deterministic iteration
+	rr      int      // round-robin cursor into order
+	nextID  uint64   // next locally initiated stream ID
+	maxPeer uint64   // highest peer-initiated stream ID seen (0 = none)
+	peerLSB uint64   // parity of peer-initiated IDs
+
+	// resets remembers streams that ended by reset, not cleanly, so
+	// stale peer traffic draws a fresh reset and late final sizes
+	// still settle session flow control. Bounded FIFO (resetOrder):
+	// evicting a record forfeits at most one stream's pending
+	// settlement, it never corrupts live accounting.
+	resets     map[uint64]*resetRec
+	resetOrder []uint64
 
 	parser Parser
 	rtt    rttEstimator
@@ -136,6 +143,7 @@ type Mux struct {
 	sndSessLimit uint32
 	rcvSessUsed  uint32 // consumed by the application (or discarded)
 	rcvSessLimit uint32 // last advertised session budget
+	rcvInUse     int    // bytes buffered across all streams (rcvBuf + ooo)
 	sessWinPend  bool
 
 	pingNext uint32
@@ -150,6 +158,22 @@ type pingProbe struct {
 	at    time.Duration
 }
 
+// resetRec is the per-released-stream state kept after a reset so
+// session flow-control accounting converges even when reset frames
+// (which travel unreliably) cross or get lost.
+type resetRec struct {
+	final    uint32 // our send-direction final size, echoed in re-answers
+	settled  uint32 // receive-direction offset already charged to rcvSessUsed
+	rcvLimit uint32 // last advertised stream limit: clamp for peer-claimed finals
+}
+
+const (
+	// maxResetRecords bounds m.resets on sessions with many resets.
+	maxResetRecords = 128
+	// maxPings bounds outstanding ping probes under pathological loss.
+	maxPings = 256
+)
+
 // NewMux creates the stream engine over a session. send transmits one
 // datagram on the session (engine context; the payload may be reused
 // after it returns, and send failures are treated as loss — the ARQ
@@ -161,7 +185,7 @@ func NewMux(tr transport.Transport, send func(p []byte) error, even bool, cfg Co
 	m := &Mux{
 		tr: tr, send: send, cfg: cfg.withDefaults(), cb: cb,
 		streams: make(map[uint64]*Stream),
-		resets:  make(map[uint64]bool),
+		resets:  make(map[uint64]*resetRec),
 	}
 	if even {
 		m.nextID, m.peerLSB = 2, 1
@@ -198,7 +222,22 @@ func (m *Mux) Ping() (uint32, error) {
 	}
 	m.pingNext++
 	tok := m.pingNext
-	m.pings = append(m.pings, pingProbe{token: tok, at: m.tr.Now()})
+	// Probes are fire-and-forget, so a lost ping's entry would sit
+	// here forever: expire anything old enough that its pong can no
+	// longer plausibly arrive, and cap the list outright.
+	now := m.tr.Now()
+	cutoff := now - 4*m.rtt.RTO()
+	live := m.pings[:0]
+	for _, pr := range m.pings {
+		if pr.at > cutoff {
+			live = append(live, pr)
+		}
+	}
+	m.pings = live
+	for len(m.pings) >= maxPings {
+		m.pings = m.pings[1:]
+	}
+	m.pings = append(m.pings, pingProbe{token: tok, at: now})
 	m.queueControl(Frame{Type: proto.TypeStreamPing, Off: tok})
 	m.flush()
 	return tok, nil
@@ -220,7 +259,9 @@ func (m *Mux) shutdown(err error, sendResets bool) {
 	if sendResets {
 		var frames []Frame
 		for _, id := range m.order {
-			frames = append(frames, Frame{Type: proto.TypeStreamReset, Stream: id})
+			frames = append(frames, Frame{
+				Type: proto.TypeStreamReset, Stream: id, Off: m.streams[id].sndMax,
+			})
 		}
 		m.transmit(frames)
 	}
@@ -272,8 +313,29 @@ func (m *Mux) handleFrame(f Frame) {
 	case proto.TypeStreamWindow:
 		s.handleWindow(f)
 	case proto.TypeStreamReset:
+		// The frame carries the peer's final size: how much session
+		// send-window it charged for this stream. Raising rcvHi to it
+		// lets terminate settle our receive-side accounting exactly,
+		// including bytes still in flight that will never arrive.
+		// Echo our own final (once — the stream is released below, and
+		// resets for released streams draw no reply) so the peer can
+		// settle its receive side too.
+		if fin := clampFinal(f.Off, s.rcvLimit); SeqGT(fin, s.rcvHi) {
+			s.rcvHi = fin
+		}
+		m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: s.id, Off: s.sndMax})
 		m.terminate(s, ErrResetByPeer)
 	}
+}
+
+// clampFinal bounds a peer-claimed final size by the stream credit we
+// actually advertised: a conforming peer can never have charged more,
+// and a lying one must not inflate our session accounting.
+func clampFinal(final, limit uint32) uint32 {
+	if SeqGT(final, limit) {
+		return limit
+	}
+	return final
 }
 
 // handleSession processes session-scoped (stream ID 0) frames.
@@ -331,23 +393,60 @@ func (m *Mux) admit(f Frame) *Stream {
 		return s
 	}
 	// Stale: the stream terminated and was released. If it ended by
-	// reset, answer data retransmissions with a fresh reset (resets
-	// travel unreliably). If it completed cleanly, every byte was
-	// received and consumed before release — so answer with the final
-	// cumulative ack the peer evidently missed, letting its ARQ
-	// finish cleanly instead of erroring a finished transfer.
+	// reset, any live frame means the peer missed our reset (resets
+	// travel unreliably): answer with a fresh one carrying our final
+	// size, and settle late-arriving peer finals against the record.
+	// A reset frame itself never draws a reply — two released sides
+	// echoing each other would loop forever. If the stream completed
+	// cleanly, every byte was received and consumed before release —
+	// so answer data with the final cumulative ack the peer evidently
+	// missed, letting its ARQ finish cleanly instead of erroring a
+	// finished transfer.
+	rec := m.resets[f.Stream]
+	if f.Type == proto.TypeStreamReset {
+		if rec != nil {
+			m.settleReset(rec, f.Off)
+		}
+		return nil
+	}
+	if rec != nil {
+		m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: f.Stream, Off: rec.final})
+		return nil
+	}
 	if f.Type != proto.TypeStream {
 		return nil
 	}
-	if m.resets[f.Stream] {
-		m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: f.Stream})
-	} else {
-		m.queueControl(Frame{
-			Type: proto.TypeStreamAck, Stream: f.Stream,
-			Off: f.Off + uint32(len(f.Data)), FIN: f.FIN,
-		})
-	}
+	m.queueControl(Frame{
+		Type: proto.TypeStreamAck, Stream: f.Stream,
+		Off: f.Off + uint32(len(f.Data)), FIN: f.FIN,
+	})
 	return nil
+}
+
+// settleReset applies a peer-claimed final size to a released reset
+// stream's session accounting, charging only what the record has not
+// already settled — duplicates are idempotent.
+func (m *Mux) settleReset(rec *resetRec, final uint32) {
+	final = clampFinal(final, rec.rcvLimit)
+	if d := SeqDiff(final, rec.settled); d > 0 {
+		m.rcvSessUsed += uint32(d)
+		rec.settled = final
+		m.maybeAdvertiseSession()
+	}
+}
+
+// recordReset remembers a reset stream's settlement state, evicting
+// the oldest record beyond the cap.
+func (m *Mux) recordReset(id uint64, rec resetRec) {
+	if m.resets[id] != nil {
+		return
+	}
+	for len(m.resetOrder) >= maxResetRecords {
+		delete(m.resets, m.resetOrder[0])
+		m.resetOrder = m.resetOrder[1:]
+	}
+	m.resets[id] = &rec
+	m.resetOrder = append(m.resetOrder, id)
 }
 
 // newStream registers a stream with initial windows.
@@ -388,8 +487,27 @@ func (m *Mux) terminate(s *Stream, err error) {
 	}
 	s.done = true
 	s.closedErr = err
+	m.rcvInUse -= len(s.rcvBuf) + s.oooBytes()
 	if err != nil {
-		m.resets[s.id] = true
+		// Settle receive-side session flow control: the peer charged
+		// its session send-window up to its final size — at least
+		// every byte we saw (rcvHi), exactly its sndMax once a reset
+		// frame delivered it. Without this, bytes buffered or in
+		// flight to a reset stream would never reach rcvSessUsed and
+		// the peer's session window would shrink permanently. The
+		// record lets a late final (our reset crossed the peer's
+		// traffic) top up the remainder. Residual: if we reset
+		// locally and the peer's echoed final is lost with no further
+		// traffic on the stream, in-flight bytes we never saw stay
+		// uncharged — bounded by one stream window, recovered by any
+		// later frame the peer sends for the stream.
+		settled := s.rcvUsed
+		if d := SeqDiff(s.rcvHi, s.rcvUsed); d > 0 {
+			m.rcvSessUsed += uint32(d)
+			settled = s.rcvHi
+			m.maybeAdvertiseSession()
+		}
+		m.recordReset(s.id, resetRec{final: s.sndMax, settled: settled, rcvLimit: s.rcvLimit})
 	}
 	s.sndBuf, s.rcvBuf, s.ooo = nil, nil, nil
 	s.rtxAt = 0
@@ -628,6 +746,7 @@ type Stream struct {
 	rcvBuf     []byte
 	rcvNxt     uint32 // next expected offset
 	rcvUsed    uint32 // offset consumed (or discarded) locally
+	rcvHi      uint32 // highest received end / peer-claimed final (≤ rcvLimit)
 	rcvLimit   uint32 // last advertised stream window limit
 	ooo        []ooseg
 	finRcvd    bool
@@ -721,7 +840,7 @@ func (s *Stream) Reset() {
 		return
 	}
 	m := s.m
-	m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: s.id})
+	m.queueControl(Frame{Type: proto.TypeStreamReset, Stream: s.id, Off: s.sndMax})
 	m.terminate(s, ErrReset)
 	m.flush()
 }
@@ -737,10 +856,24 @@ func (s *Stream) DiscardReads() {
 	n := uint32(len(s.rcvBuf))
 	s.rcvUsed += n
 	s.m.rcvSessUsed += n
+	s.m.rcvInUse -= len(s.rcvBuf)
 	s.rcvBuf = nil
 	s.maybeAdvertise(false)
 	s.m.maybeAdvertiseSession()
 	s.maybeComplete()
+	// Flush here: the facade calls DiscardReads last in Close, so the
+	// credit freed above must not wait for the next engine event — a
+	// window-blocked peer would stall until its probe RTO otherwise.
+	s.m.flush()
+}
+
+// oooBytes totals the buffered out-of-order segment payloads.
+func (s *Stream) oooBytes() int {
+	n := 0
+	for _, seg := range s.ooo {
+		n += len(seg.data)
+	}
+	return n
 }
 
 // ReadReady reports the readable byte count and whether EOF has been
@@ -764,6 +897,7 @@ func (s *Stream) Read(p []byte) (n int, eof bool) {
 		}
 		s.rcvUsed += uint32(n)
 		s.m.rcvSessUsed += uint32(n)
+		s.m.rcvInUse -= n
 		s.maybeAdvertise(false)
 		s.m.maybeAdvertiseSession()
 		s.m.flush()
@@ -868,6 +1002,12 @@ func (s *Stream) handleData(f Frame) {
 	}
 	s.ackPending = true
 	end := f.Off + uint32(len(f.Data))
+	// Track the highest byte the peer has charged toward session flow
+	// control (clamped to the stream credit we advertised): terminate
+	// settles session accounting up to this point if the stream resets.
+	if hi := clampFinal(end, s.rcvLimit); SeqGT(hi, s.rcvHi) {
+		s.rcvHi = hi
+	}
 	newFin := f.FIN && !s.finRcvd
 	if f.FIN {
 		s.finRcvd = true
@@ -907,6 +1047,21 @@ func (s *Stream) handleData(f Frame) {
 		}
 		data = data[:int32(len(data))-over]
 	}
+	// Session budget, likewise against misbehaving peers: never buffer
+	// more than SessionWindow across all streams. A conforming sender
+	// cannot hit this — its unconsumed bytes are bounded by our
+	// advertised session credit — so trimming only sheds traffic its
+	// ARQ retries once reads free space. In-order data on a discard
+	// stream is consumed immediately and never buffers, so it is
+	// exempt.
+	if !s.discard || off != s.rcvNxt {
+		if avail := int(s.m.cfg.SessionWindow) - s.m.rcvInUse; len(data) > avail {
+			if avail <= 0 {
+				return
+			}
+			data = data[:avail]
+		}
+	}
 	if off == s.rcvNxt {
 		s.acceptInOrder(data)
 		s.mergeOOO()
@@ -929,6 +1084,7 @@ func (s *Stream) acceptInOrder(data []byte) {
 		return
 	}
 	s.rcvBuf = append(s.rcvBuf, data...)
+	s.m.rcvInUse += len(data)
 	if s.m.cb.Readable != nil {
 		s.m.cb.Readable(s)
 	}
@@ -942,6 +1098,13 @@ func (s *Stream) insertOOO(off uint32, data []byte) {
 	if at < len(s.ooo) && s.ooo[at].off == off && len(s.ooo[at].data) >= len(data) {
 		return // duplicate covered by an existing segment
 	}
+	if at > 0 {
+		prev := s.ooo[at-1]
+		if SeqGEQ(prev.off+uint32(len(prev.data)), off+uint32(len(data))) {
+			return // covered by the preceding segment
+		}
+	}
+	s.m.rcvInUse += len(data)
 	seg := ooseg{off: off, data: append([]byte(nil), data...)}
 	s.ooo = append(s.ooo, ooseg{})
 	copy(s.ooo[at+1:], s.ooo[at:])
@@ -960,6 +1123,7 @@ func (s *Stream) mergeOOO() {
 		if len(s.ooo) == 0 {
 			s.ooo = nil
 		}
+		s.m.rcvInUse -= len(seg.data)
 		end := seg.off + uint32(len(seg.data))
 		if SeqGT(end, s.rcvNxt) {
 			s.acceptInOrder(seg.data[SeqDiff(s.rcvNxt, seg.off):])

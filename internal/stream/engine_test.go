@@ -254,6 +254,24 @@ func oneWayTransfer(t *testing.T, h *harness, cfg Config, size, budget int) {
 	if len(h.a.streams) != 0 || len(h.b.streams) != 0 {
 		t.Fatalf("streams not released: a=%d b=%d", len(h.a.streams), len(h.b.streams))
 	}
+	if h.a.rcvInUse != 0 || h.b.rcvInUse != 0 {
+		t.Fatalf("buffered-byte accounting leaked: a=%d b=%d", h.a.rcvInUse, h.b.rcvInUse)
+	}
+	if h.b.rcvSessUsed != h.a.sndSessNxt || h.a.rcvSessUsed != h.b.sndSessNxt {
+		t.Fatalf("session accounting drifted: b consumed %d of a's %d, a consumed %d of b's %d",
+			h.b.rcvSessUsed, h.a.sndSessNxt, h.a.rcvSessUsed, h.b.sndSessNxt)
+	}
+}
+
+// drain steps the harness until no events remain.
+func (h *harness) drain(t testing.TB, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if !h.step() {
+			return
+		}
+	}
+	t.Fatalf("event budget %d exhausted draining (t=%v)", budget, h.clk)
 }
 
 func firstMismatch(a, b []byte) int {
@@ -525,6 +543,260 @@ func TestDeterministicSchedule(t *testing.T) {
 	n2, t2 := runOnce()
 	if n1 != n2 || t1 != t2 {
 		t.Fatalf("nondeterministic: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}
+
+// TestResetReclaimsSessionCredit resets streams with unconsumed (or
+// still in-flight, or entirely lost) data, far more cumulative bytes
+// than the session window, and requires the session flow-control
+// accounting to settle exactly — then proves the point with a
+// multiple-of-the-window transfer that would deadlock if any reset
+// leaked credit.
+func TestResetReclaimsSessionCredit(t *testing.T) {
+	const (
+		sw   = uint32(4 << 10)
+		sess = uint32(8 << 10)
+	)
+	for _, mode := range []string{"buffered", "inflight", "lost", "peer", "peer-inflight"} {
+		t.Run(mode, func(t *testing.T) {
+			h := newHarness(13)
+			dropData := false
+			h.drop = func(from int, p []byte) bool {
+				if from != 0 || !dropData {
+					return false
+				}
+				isData := false
+				var pr Parser
+				_ = pr.Parse(p, func(f Frame) error {
+					if f.Type == proto.TypeStream {
+						isData = true
+					}
+					return nil
+				})
+				return isData
+			}
+			accepted := map[uint64]*Stream{}
+			sinks := map[uint64]*sink{}
+			closeBack := false     // final transfer: b half-closes its side
+			resetOnAccept := false // peer-inflight: b resets at the first frame
+			h.wire(Config{StreamWindow: sw, SessionWindow: sess},
+				Callbacks{},
+				Callbacks{
+					Accept: func(s *Stream) {
+						accepted[s.ID()] = s
+						if resetOnAccept {
+							s.Reset()
+							return
+						}
+						if closeBack {
+							s.CloseWrite()
+						}
+					},
+					Readable: func(s *Stream) {
+						if k, ok := sinks[s.ID()]; ok {
+							k.pump(s)
+						}
+					},
+				})
+
+			for i := 0; i < 6; i++ {
+				dropData = mode == "lost"
+				resetOnAccept = mode == "peer-inflight"
+				s, err := h.a.Open()
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Write(payload(int(sw)))
+				if mode == "buffered" || mode == "peer" {
+					h.run(t, func() bool {
+						bs := accepted[s.ID()]
+						if bs == nil {
+							return false
+						}
+						n, _ := bs.ReadReady()
+						return uint32(n) == sw
+					}, 100000)
+				}
+				switch mode {
+				case "peer":
+					accepted[s.ID()].Reset()
+				case "peer-inflight":
+					// b resets inside Accept, mid-flight: most of the
+					// window settles only through the echoed final size.
+				default:
+					s.Reset()
+				}
+				h.drain(t, 100000)
+				dropData, resetOnAccept = false, false
+				if !s.Done() || accepted[s.ID()] == nil || !accepted[s.ID()].Done() {
+					t.Fatalf("iteration %d: streams not torn down", i)
+				}
+			}
+			if h.b.rcvSessUsed != h.a.sndSessNxt {
+				t.Fatalf("session accounting leaked: b settled %d of a's %d charged bytes",
+					h.b.rcvSessUsed, h.a.sndSessNxt)
+			}
+			if h.a.rcvSessUsed != h.b.sndSessNxt {
+				t.Fatalf("reverse accounting leaked: a settled %d of b's %d",
+					h.a.rcvSessUsed, h.b.sndSessNxt)
+			}
+			if h.b.rcvInUse != 0 || h.a.rcvInUse != 0 {
+				t.Fatalf("buffered accounting leaked: a=%d b=%d", h.a.rcvInUse, h.b.rcvInUse)
+			}
+
+			// The proof: a transfer of 3x the session window still flows.
+			closeBack = true
+			data := payload(int(3 * sess))
+			src := &source{data: data}
+			s, err := h.a.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := &sink{}
+			sinks[s.ID()] = k
+			h.a.cb.Writable = func(ws *Stream) {
+				if ws == s {
+					src.pump(ws)
+				}
+			}
+			src.pump(s)
+			h.run(t, func() bool { return k.eof && s.Done() }, 400000)
+			if !bytes.Equal(k.buf.Bytes(), data) {
+				t.Fatalf("post-reset transfer corrupted: %d vs %d bytes", k.buf.Len(), len(data))
+			}
+		})
+	}
+}
+
+// TestResetRecordsBounded pins the reset-record FIFO cap: a session
+// that resets streams forever must not grow per-session state without
+// bound on either endpoint.
+func TestResetRecordsBounded(t *testing.T) {
+	h := newHarness(14)
+	h.wire(Config{}, Callbacks{}, Callbacks{})
+	for i := 0; i < maxResetRecords+100; i++ {
+		s, err := h.a.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Write([]byte("x"))
+		s.Reset()
+	}
+	h.drain(t, 100000)
+	for name, m := range map[string]*Mux{"a": h.a, "b": h.b} {
+		if len(m.resets) > maxResetRecords {
+			t.Errorf("%s: %d reset records, cap is %d", name, len(m.resets), maxResetRecords)
+		}
+		if len(m.resets) != len(m.resetOrder) {
+			t.Errorf("%s: records/order out of sync: %d vs %d",
+				name, len(m.resets), len(m.resetOrder))
+		}
+	}
+}
+
+// TestPingProbesBounded pins both guards on the outstanding-ping list:
+// probes whose pong can no longer arrive expire by age, and a burst of
+// probes within one RTO window hits the hard cap.
+func TestPingProbesBounded(t *testing.T) {
+	h := newHarness(15)
+	h.drop = func(int, []byte) bool { return true } // every ping is lost
+	h.wire(Config{}, Callbacks{}, Callbacks{})
+
+	count := 0
+	var tick func()
+	tick = func() {
+		if count++; count <= 20 {
+			if _, err := h.a.Ping(); err != nil {
+				t.Fatal(err)
+			}
+			h.schedule(3*time.Second, tick) // well past 4x the initial RTO
+		}
+	}
+	tick()
+	h.drain(t, 100000)
+	if len(h.a.pings) > 2 {
+		t.Fatalf("%d lost ping probes survived expiry, want <= 2", len(h.a.pings))
+	}
+
+	for i := 0; i < maxPings+50; i++ {
+		if _, err := h.a.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.a.pings) > maxPings {
+		t.Fatalf("%d ping probes, cap is %d", len(h.a.pings), maxPings)
+	}
+}
+
+// TestDiscardReadsFlushesWindow: the credit DiscardReads frees must
+// leave the machine immediately, not ride the next unrelated engine
+// event — a window-blocked sender otherwise stalls until its probe
+// RTO fires.
+func TestDiscardReadsFlushesWindow(t *testing.T) {
+	h := newHarness(16)
+	var bs *Stream
+	h.wire(Config{StreamWindow: 2 << 10, SessionWindow: 4 << 10},
+		Callbacks{},
+		Callbacks{Accept: func(s *Stream) { bs = s }})
+	s, err := h.a.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write(payload(8 << 10)) // fills the 2 KiB stream window, rest refused
+	h.run(t, func() bool {
+		if bs == nil {
+			return false
+		}
+		n, _ := bs.ReadReady()
+		return n == 2<<10
+	}, 100000)
+	h.drain(t, 100000) // settle acks; a is now blocked on zero credit
+
+	start := h.clk
+	bs.DiscardReads()
+	h.run(t, func() bool { return s.WriteBudget() > 0 }, 10000)
+	if waited := h.clk - start; waited > 3*h.delay {
+		t.Fatalf("freed credit took %v to reach the sender (one-way delay %v): not flushed",
+			waited, h.delay)
+	}
+}
+
+// TestSessionBufferBound: a peer that ignores session flow control
+// (here: three streams each pushing a full stream window) must not
+// make the receiver buffer more than SessionWindow in total.
+func TestSessionBufferBound(t *testing.T) {
+	const sess = 8 << 10
+	h := newHarness(17)
+	accepted := map[uint64]*Stream{}
+	h.wire(Config{StreamWindow: sess, SessionWindow: sess},
+		Callbacks{},
+		Callbacks{Accept: func(s *Stream) { accepted[s.ID()] = s }})
+
+	// Rogue frames injected straight into b, bypassing a's conforming
+	// sender: b expects even peer stream IDs.
+	var buf []byte
+	data := payload(sess)
+	for _, id := range []uint64{2, 4, 6} {
+		for off := 0; off < len(data); off += 1024 {
+			buf = AppendFrame(buf[:0], &Frame{
+				Type: proto.TypeStream, Stream: id,
+				Off: uint32(off), Data: data[off : off+1024],
+			})
+			h.b.HandleDatagram(buf)
+		}
+	}
+	if h.b.rcvInUse > sess {
+		t.Fatalf("rogue peer buffered %d bytes, session bound is %d", h.b.rcvInUse, sess)
+	}
+	total := 0
+	for _, s := range accepted {
+		total += len(s.rcvBuf) + s.oooBytes()
+	}
+	if total != h.b.rcvInUse {
+		t.Fatalf("in-use accounting drifted: tracked %d, actual %d", h.b.rcvInUse, total)
+	}
+	if total != sess {
+		t.Fatalf("buffered %d bytes, want the full session window %d", total, sess)
 	}
 }
 
